@@ -1,0 +1,113 @@
+// Command agentd runs one ML app's Themis Agent as an HTTP daemon: it
+// answers the Arbiter's finish-time-fairness probes, prepares bids for GPU
+// offers and receives winning allocations. The app it represents is either
+// loaded from a trace file (the first app in the trace) or generated
+// synthetically.
+//
+// Example:
+//
+//	agentd -listen :7201 -arbiter http://localhost:7100 -app my-app -jobs 8 -model VGG16
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"themis/internal/cluster"
+	"themis/internal/core"
+	"themis/internal/hyperparam"
+	"themis/internal/placement"
+	"themis/internal/rpc"
+	"themis/internal/trace"
+	"themis/internal/workload"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", ":7201", "address to serve the Agent API on")
+		advertise  = flag.String("advertise", "", "base URL the Arbiter should call back on (default http://localhost<listen>)")
+		arbiterURL = flag.String("arbiter", "", "Arbiter base URL to register with (empty skips registration)")
+		appID      = flag.String("app", "agent-app", "application ID")
+		model      = flag.String("model", "ResNet50", "model family (placement-sensitivity profile)")
+		jobs       = flag.Int("jobs", 8, "number of hyperparameter trials")
+		work       = flag.Float64("work", 240, "serial GPU-minutes per trial")
+		gang       = flag.Int("gang", 4, "GPUs per trial")
+		clusterKnd = flag.String("cluster", "testbed", "cluster topology the Arbiter schedules: 'sim' or 'testbed'")
+		tracePath  = flag.String("trace", "", "load the app from a trace file instead of generating one")
+	)
+	flag.Parse()
+
+	var topo *cluster.Topology
+	switch *clusterKnd {
+	case "sim":
+		topo = cluster.SimulationCluster()
+	case "testbed":
+		topo = cluster.TestbedCluster()
+	default:
+		fmt.Fprintf(os.Stderr, "agentd: unknown cluster %q\n", *clusterKnd)
+		os.Exit(1)
+	}
+
+	app, err := buildApp(*tracePath, *appID, *model, *jobs, *work, *gang)
+	if err != nil {
+		log.Fatalf("agentd: %v", err)
+	}
+	agent := core.NewAgent(topo, app, hyperparam.ForApp(app), nil)
+	server := rpc.NewAgentServer(agent)
+
+	callback := *advertise
+	if callback == "" {
+		callback = "http://localhost" + *listen
+	}
+	if *arbiterURL != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		resp, err := rpc.NewArbiterClient(*arbiterURL).Register(ctx, string(app.ID), callback, app.MaxParallelism())
+		if err != nil {
+			log.Fatalf("agentd: registering with %s: %v", *arbiterURL, err)
+		}
+		log.Printf("agentd: registered %s with arbiter (lease %.0f min)", app.ID, resp.LeaseMin)
+	}
+
+	log.Printf("agentd: serving app %s (%d trials, %s, demand %d GPUs) on %s",
+		app.ID, len(app.Jobs), app.Profile.Name, app.MaxParallelism(), *listen)
+	if err := http.ListenAndServe(*listen, server.Handler()); err != nil {
+		log.Fatalf("agentd: %v", err)
+	}
+}
+
+// buildApp loads the first app from a trace or synthesises one.
+func buildApp(tracePath, id, model string, jobs int, work float64, gang int) (*workload.App, error) {
+	if tracePath != "" {
+		tr, err := trace.Load(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		apps, err := tr.ToApps()
+		if err != nil {
+			return nil, err
+		}
+		if len(apps) == 0 {
+			return nil, fmt.Errorf("trace %s contains no apps", tracePath)
+		}
+		return apps[0], nil
+	}
+	profile, ok := placement.ByName(model)
+	if !ok {
+		return nil, fmt.Errorf("unknown model %q (catalog: VGG16, VGG19, AlexNet, Inceptionv3, ResNet50, ...)", model)
+	}
+	var trials []*workload.Job
+	for i := 0; i < jobs; i++ {
+		j := workload.NewJob(workload.AppID(id), i, work, gang)
+		j.Quality = float64(i) / float64(jobs+1)
+		j.Seed = int64(i + 1)
+		trials = append(trials, j)
+	}
+	app := workload.NewApp(workload.AppID(id), 0, profile, trials)
+	return app, app.Validate()
+}

@@ -1,0 +1,70 @@
+// Command arbiterd runs the Themis cross-app Arbiter as an HTTP daemon. ML
+// app Agents (see cmd/agentd) register with it; the daemon periodically
+// pools free and lease-expired GPUs, offers them to the worst-off fraction
+// of apps and runs the partial-allocation auction over their bids.
+//
+// Example:
+//
+//	arbiterd -listen :7100 -cluster testbed -f 0.8 -lease 20 -interval 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"themis/internal/cluster"
+	"themis/internal/core"
+	"themis/internal/rpc"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", ":7100", "address to serve the Arbiter API on")
+		clusterKind = flag.String("cluster", "testbed", "cluster topology: 'sim' (256 GPUs) or 'testbed' (50 GPUs)")
+		fairness    = flag.Float64("f", 0.8, "fairness knob f")
+		lease       = flag.Float64("lease", 20, "lease duration in scheduling minutes")
+		interval    = flag.Duration("interval", 30*time.Second, "wall-clock interval between auction rounds (0 disables the loop; trigger with POST /v1/auction)")
+		timeScale   = flag.Float64("timescale", 1, "scheduling minutes per wall-clock minute (e.g. 60 makes one real second one scheduling minute)")
+	)
+	flag.Parse()
+
+	var topo *cluster.Topology
+	switch *clusterKind {
+	case "sim":
+		topo = cluster.SimulationCluster()
+	case "testbed":
+		topo = cluster.TestbedCluster()
+	default:
+		fmt.Fprintf(os.Stderr, "arbiterd: unknown cluster %q\n", *clusterKind)
+		os.Exit(1)
+	}
+	arb, err := core.NewArbiter(topo, core.Config{FairnessKnob: *fairness, LeaseDuration: *lease})
+	if err != nil {
+		log.Fatalf("arbiterd: %v", err)
+	}
+	server := rpc.NewArbiterServer(arb)
+	start := time.Now()
+	server.Clock = func() float64 { return time.Since(start).Minutes() * *timeScale }
+
+	if *interval > 0 {
+		go func() {
+			ticker := time.NewTicker(*interval)
+			defer ticker.Stop()
+			for range ticker.C {
+				if _, err := server.RunAuction(server.Clock()); err != nil {
+					log.Printf("arbiterd: auction round failed: %v", err)
+				}
+			}
+		}()
+	}
+
+	log.Printf("arbiterd: serving %d-GPU %s cluster on %s (f=%.2f, lease=%.0f min)",
+		topo.TotalGPUs(), *clusterKind, *listen, *fairness, *lease)
+	if err := http.ListenAndServe(*listen, server.Handler()); err != nil {
+		log.Fatalf("arbiterd: %v", err)
+	}
+}

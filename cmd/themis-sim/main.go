@@ -1,0 +1,155 @@
+// Command themis-sim runs one cluster-scheduling simulation — a synthetic
+// trace (or a trace file) replayed against a GPU cluster under a chosen
+// scheduling policy — and prints the fairness and efficiency metrics the
+// paper evaluates.
+//
+// Examples:
+//
+//	themis-sim -cluster sim -policy themis -apps 50
+//	themis-sim -cluster testbed -policy tiresias -apps 30 -scale 0.2
+//	themis-sim -trace trace.json -policy gandiva
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"themis/internal/cluster"
+	"themis/internal/core"
+	"themis/internal/metrics"
+	"themis/internal/schedulers"
+	"themis/internal/sim"
+	"themis/internal/trace"
+	"themis/internal/workload"
+)
+
+func main() {
+	var (
+		clusterKind = flag.String("cluster", "sim", "cluster topology: 'sim' (256 GPUs) or 'testbed' (50 GPUs)")
+		policyName  = flag.String("policy", "themis", "scheduling policy: themis, gandiva, tiresias, slaq, resource-fair, strawman")
+		numApps     = flag.Int("apps", 30, "number of apps to generate (ignored with -trace)")
+		seed        = flag.Int64("seed", 1, "workload generation seed")
+		scale       = flag.Float64("scale", 1.0, "job duration scale factor")
+		interArr    = flag.Float64("interarrival", 20, "mean app inter-arrival time (minutes)")
+		contention  = flag.Float64("contention", 1, "contention factor (scales the arrival rate)")
+		lease       = flag.Float64("lease", 20, "GPU lease duration (minutes)")
+		fairness    = flag.Float64("f", 0.8, "Themis fairness knob")
+		bidError    = flag.Float64("biderror", 0, "Themis bid valuation error θ (Figure 11)")
+		tracePath   = flag.String("trace", "", "replay apps from a trace file instead of generating")
+		horizon     = flag.Float64("horizon", 0, "simulation horizon in minutes (0 = unlimited)")
+		perApp      = flag.Bool("per-app", false, "also print per-app records")
+	)
+	flag.Parse()
+
+	if err := run(*clusterKind, *policyName, *tracePath, *numApps, *seed, *scale, *interArr, *contention, *lease, *fairness, *bidError, *horizon, *perApp); err != nil {
+		fmt.Fprintln(os.Stderr, "themis-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(clusterKind, policyName, tracePath string, numApps int, seed int64, scale, interArr, contention, lease, fairness, bidError, horizon float64, perApp bool) error {
+	var topo *cluster.Topology
+	switch clusterKind {
+	case "sim":
+		topo = cluster.SimulationCluster()
+	case "testbed":
+		topo = cluster.TestbedCluster()
+	default:
+		return fmt.Errorf("unknown cluster %q (want sim or testbed)", clusterKind)
+	}
+
+	var apps []*workload.App
+	var err error
+	if tracePath != "" {
+		tr, err := trace.Load(tracePath)
+		if err != nil {
+			return err
+		}
+		apps, err = tr.ToApps()
+		if err != nil {
+			return err
+		}
+	} else {
+		cfg := workload.DefaultGeneratorConfig()
+		cfg.Seed = seed
+		cfg.NumApps = numApps
+		cfg.DurationScale = scale
+		cfg.MeanInterArrival = interArr
+		cfg.ContentionFactor = contention
+		apps, err = workload.Generate(cfg)
+		if err != nil {
+			return err
+		}
+	}
+
+	var policy sim.Policy
+	switch policyName {
+	case "themis":
+		p := schedulers.NewThemis(core.Config{FairnessKnob: fairness, LeaseDuration: lease})
+		p.BidErrorTheta = bidError
+		p.ErrorSeed = seed
+		policy = p
+	case "gandiva":
+		policy = schedulers.NewGandiva()
+	case "tiresias":
+		policy = schedulers.NewTiresias()
+	case "slaq":
+		policy = schedulers.NewSLAQ()
+	case "resource-fair":
+		policy = schedulers.NewResourceFair()
+	case "strawman":
+		policy = schedulers.NewStrawman()
+	default:
+		return fmt.Errorf("unknown policy %q", policyName)
+	}
+
+	s, err := sim.New(sim.Config{
+		Topology:        topo,
+		Apps:            apps,
+		Policy:          policy,
+		LeaseDuration:   lease,
+		RestartOverhead: sim.DefaultRestartOverhead,
+		Horizon:         horizon,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := s.Run()
+	if err != nil {
+		return err
+	}
+	sum := metrics.Summarize(res)
+
+	fmt.Printf("policy               %s\n", sum.Policy)
+	fmt.Printf("cluster              %s (%d GPUs, %d machines, %d racks)\n", clusterKind, topo.TotalGPUs(), topo.NumMachines(), topo.NumRacks())
+	fmt.Printf("apps                 %d finished / %d total\n", sum.AppsFinished, sum.AppsTotal)
+	fmt.Printf("makespan             %.1f min\n", sum.Makespan)
+	fmt.Printf("peak contention      %.2fx\n", sum.PeakContention)
+	fmt.Printf("max fairness (rho)   %.3f\n", sum.MaxFairness)
+	fmt.Printf("median fairness      %.3f\n", sum.MedianFairness)
+	fmt.Printf("Jain's index         %.3f\n", sum.JainsIndex)
+	fmt.Printf("mean completion time %.1f min (p95 %.1f)\n", sum.MeanCompletionTime, sum.P95CompletionTime)
+	fmt.Printf("mean placement score %.3f\n", sum.MeanPlacementScore)
+	fmt.Printf("cluster GPU time     %.0f GPU-min\n", sum.GPUTime)
+
+	if t, ok := policy.(*schedulers.Themis); ok && t.Arbiter() != nil {
+		st := t.Arbiter().Stats
+		fmt.Printf("auctions             %d (offers %d, GPUs auctioned %d, leftover %d)\n",
+			st.Auctions, st.OffersMade, st.GPUsAuctioned, st.GPUsLeftOver)
+		if st.Auctions > 0 {
+			fmt.Printf("auction latency      mean %.2f ms, max %.2f ms\n",
+				float64(st.TotalAuctionTime.Milliseconds())/float64(st.Auctions), float64(st.MaxAuctionTime.Milliseconds()))
+		}
+	}
+
+	if perApp {
+		fmt.Println()
+		fmt.Println("app\tmodel\tsubmit\tcompletion\trho\tplacement\tjobs\tkilled")
+		for _, rec := range res.Apps {
+			fmt.Printf("%s\t%s\t%.1f\t%.1f\t%.3f\t%.2f\t%d\t%d\n",
+				rec.App, rec.Model, rec.SubmitTime, rec.CompletionTime, rec.FinishTimeFairness, rec.PlacementScore, rec.JobsTotal, rec.JobsKilled)
+		}
+	}
+	return nil
+}

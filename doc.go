@@ -1,0 +1,20 @@
+// Package themis is a from-scratch Go reproduction of "Themis: Fair and
+// Efficient GPU Cluster Scheduling for Machine Learning Workloads"
+// (Mahajan et al., NSDI 2020).
+//
+// The library lives under internal/ (see DESIGN.md for the module map):
+// finish-time-fair partial-allocation auctions (internal/core), the GPU
+// cluster and placement-sensitivity models (internal/cluster,
+// internal/placement), the workload and trace machinery
+// (internal/workload, internal/trace), the hyperparameter tuners
+// (internal/hyperparam), the event-driven simulator (internal/sim), the
+// baseline schedulers the paper compares against (internal/schedulers), and
+// the per-figure experiment harness (internal/experiments).
+//
+// The benchmarks in this root package regenerate every table and figure of
+// the paper's evaluation; run them with
+//
+//	go test -bench=. -benchmem
+//
+// and see EXPERIMENTS.md for the paper-vs-measured record.
+package themis

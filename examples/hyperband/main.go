@@ -1,0 +1,113 @@
+// Hyperband example: a hyperparameter-exploration app (16 trials of a VGG16
+// model, successively halved by HyperBand) shares a cluster with background
+// apps. The same workload is scheduled by Themis and by the
+// least-attained-service baseline (Tiresias) so the effect of finish-time
+// fair, placement-aware scheduling on the exploration is visible.
+//
+//	go run ./examples/hyperband
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"themis/internal/cluster"
+	"themis/internal/core"
+	"themis/internal/metrics"
+	"themis/internal/placement"
+	"themis/internal/schedulers"
+	"themis/internal/sim"
+	"themis/internal/workload"
+)
+
+// buildWorkload creates the hyperparameter-exploration app plus background
+// load. It is called once per scheduler so each run gets fresh state.
+func buildWorkload() []*workload.App {
+	var apps []*workload.App
+
+	// The app under study: 16 VGG16 trials, 4 GPUs each, exploring learning
+	// rates; HyperBand will keep halving until one survivor trains fully.
+	var trials []*workload.Job
+	for i := 0; i < 16; i++ {
+		j := workload.NewJob("hyperband-app", i, 360, 4) // 360 serial GPU-minutes per trial
+		j.Quality = float64(i) / 16
+		j.Seed = int64(100 + i)
+		j.TotalIterations = 1000
+		trials = append(trials, j)
+	}
+	apps = append(apps, workload.NewApp("hyperband-app", 10, placement.VGG16, trials))
+
+	// Background apps that keep the cluster contended.
+	for b := 0; b < 5; b++ {
+		var jobs []*workload.Job
+		for i := 0; i < 4; i++ {
+			j := workload.NewJob(workload.AppID(fmt.Sprintf("bg-%d", b)), i, 240, 4)
+			j.Quality = float64(i) / 4
+			j.Seed = int64(200 + b*10 + i)
+			jobs = append(jobs, j)
+		}
+		profile := placement.ResNet50
+		if b%2 == 0 {
+			profile = placement.InceptionV3
+		}
+		apps = append(apps, workload.NewApp(workload.AppID(fmt.Sprintf("bg-%d", b)), float64(b*8), profile, jobs))
+	}
+	return apps
+}
+
+func run(policy sim.Policy) (*sim.Result, error) {
+	topo, err := cluster.Config{
+		MachineSpecs:    []cluster.MachineSpec{{Count: 10, GPUs: 4, SlotSize: 2, GPU: cluster.GPUTypeP100}},
+		MachinesPerRack: 5,
+	}.Build()
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(sim.Config{
+		Topology:        topo,
+		Apps:            buildWorkload(),
+		Policy:          policy,
+		LeaseDuration:   15,
+		RestartOverhead: 0.75,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+func main() {
+	for _, policy := range []sim.Policy{
+		schedulers.NewThemis(core.DefaultConfig()),
+		schedulers.NewTiresias(),
+	} {
+		res, err := run(policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s ===\n", policy.Name())
+		var study *sim.AppRecord
+		for i := range res.Apps {
+			if res.Apps[i].App == "hyperband-app" {
+				study = &res.Apps[i]
+			}
+		}
+		if study == nil {
+			log.Fatal("hyperband app record missing")
+		}
+		fmt.Printf("hyperband app: completion %.0f min, rho %.2f, %d/%d trials terminated early, placement %.2f\n",
+			study.CompletionTime, study.FinishTimeFairness, study.JobsKilled, study.JobsTotal, study.PlacementScore)
+		fmt.Printf("cluster:       worst rho %.2f, Jain's index %.3f, GPU time %.0f GPU-min\n",
+			metrics.MaxFairness(res), metrics.JainsIndexOf(res), metrics.GPUTime(res))
+
+		fmt.Println("allocation timeline of the hyperband app (time → GPUs):")
+		events := res.TimelineFor("hyperband-app")
+		for i, e := range events {
+			if i > 0 && e.GPUs == events[i-1].GPUs {
+				continue // only print changes
+			}
+			fmt.Printf("  t=%6.1f  %d GPUs\n", e.Time, e.GPUs)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,304 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Alloc is a GPU allocation vector: the number of GPUs held on each machine.
+// It is the unit of currency between the Arbiter and the Agents — the paper's
+// [G_{x,y,i}] vector aggregated per machine. Machines with zero GPUs are not
+// stored.
+type Alloc map[MachineID]int
+
+// NewAlloc returns an empty allocation vector.
+func NewAlloc() Alloc { return make(Alloc) }
+
+// Clone returns a deep copy of the allocation.
+func (a Alloc) Clone() Alloc {
+	out := make(Alloc, len(a))
+	for m, n := range a {
+		if n != 0 {
+			out[m] = n
+		}
+	}
+	return out
+}
+
+// Total returns the total number of GPUs in the allocation.
+func (a Alloc) Total() int {
+	t := 0
+	for _, n := range a {
+		t += n
+	}
+	return t
+}
+
+// IsEmpty reports whether the allocation holds no GPUs.
+func (a Alloc) IsEmpty() bool { return a.Total() == 0 }
+
+// Add returns a new allocation holding the GPUs of both a and b.
+func (a Alloc) Add(b Alloc) Alloc {
+	out := a.Clone()
+	for m, n := range b {
+		out[m] += n
+		if out[m] == 0 {
+			delete(out, m)
+		}
+	}
+	return out
+}
+
+// Sub returns a new allocation with b's GPUs removed from a. It returns an
+// error if b holds GPUs on a machine where a holds fewer.
+func (a Alloc) Sub(b Alloc) (Alloc, error) {
+	out := a.Clone()
+	for m, n := range b {
+		if out[m] < n {
+			return nil, fmt.Errorf("alloc: cannot remove %d GPUs from machine %d (have %d)", n, m, out[m])
+		}
+		out[m] -= n
+		if out[m] == 0 {
+			delete(out, m)
+		}
+	}
+	return out, nil
+}
+
+// Machines returns the machine IDs with a non-zero count, in ascending order.
+func (a Alloc) Machines() []MachineID {
+	out := make([]MachineID, 0, len(a))
+	for m, n := range a {
+		if n > 0 {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Equal reports whether two allocations hold the same GPUs per machine.
+func (a Alloc) Equal(b Alloc) bool {
+	if a.Total() != b.Total() {
+		return false
+	}
+	for m, n := range a {
+		if n != 0 && b[m] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the allocation as "M3:2G,M7:1G" with machines in ID order,
+// matching the bid-table notation in the paper's Figure 3.
+func (a Alloc) String() string {
+	if a.Total() == 0 {
+		return "∅"
+	}
+	parts := make([]string, 0, len(a))
+	for _, m := range a.Machines() {
+		parts = append(parts, fmt.Sprintf("M%d:%dG", m, a[m]))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Key returns a canonical string usable as a map key for memoising valuation
+// lookups over allocations.
+func (a Alloc) Key() string { return a.String() }
+
+// State tracks which app currently holds which GPUs on a Topology. It is the
+// Arbiter's (and the simulator's) authoritative view of cluster occupancy.
+// State is not safe for concurrent use; callers serialise access.
+type State struct {
+	topo    *Topology
+	used    map[MachineID]int            // GPUs in use per machine
+	held    map[string]Alloc             // app ID -> allocation
+	on      map[MachineID]map[string]int // machine -> app ID -> count
+	offline map[MachineID]bool           // machines currently failed
+}
+
+// NewState returns an empty occupancy state over topo.
+func NewState(topo *Topology) *State {
+	return &State{
+		topo: topo,
+		used: make(map[MachineID]int),
+		held: make(map[string]Alloc),
+		on:   make(map[MachineID]map[string]int),
+	}
+}
+
+// Topology returns the topology the state tracks.
+func (s *State) Topology() *Topology { return s.topo }
+
+// FreeOn returns the number of free GPUs on machine m (zero while the
+// machine is offline).
+func (s *State) FreeOn(m MachineID) int {
+	if s.offline[m] {
+		return 0
+	}
+	return s.topo.Machine(m).NumGPUs - s.used[m]
+}
+
+// UsedOn returns the number of GPUs in use on machine m.
+func (s *State) UsedOn(m MachineID) int { return s.used[m] }
+
+// TotalFree returns the number of free GPUs across the whole cluster,
+// excluding offline machines.
+func (s *State) TotalFree() int {
+	free := 0
+	for _, m := range s.topo.Machines() {
+		free += s.FreeOn(m.ID)
+	}
+	return free
+}
+
+// TotalUsed returns the number of GPUs in use across the whole cluster.
+func (s *State) TotalUsed() int {
+	used := 0
+	for _, n := range s.used {
+		used += n
+	}
+	return used
+}
+
+// FreeVector returns the free GPUs per machine as an Alloc — the resource
+// offer vector the Arbiter auctions.
+func (s *State) FreeVector() Alloc {
+	out := NewAlloc()
+	for _, m := range s.topo.Machines() {
+		if free := s.FreeOn(m.ID); free > 0 {
+			out[m.ID] = free
+		}
+	}
+	return out
+}
+
+// Held returns a copy of the allocation currently held by app.
+func (s *State) Held(app string) Alloc {
+	if a, ok := s.held[app]; ok {
+		return a.Clone()
+	}
+	return NewAlloc()
+}
+
+// Apps returns the IDs of apps currently holding GPUs, sorted.
+func (s *State) Apps() []string {
+	out := make([]string, 0, len(s.held))
+	for id, a := range s.held {
+		if !a.IsEmpty() {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AppsOn returns the per-app GPU counts on machine m, as a copy.
+func (s *State) AppsOn(m MachineID) map[string]int {
+	out := make(map[string]int, len(s.on[m]))
+	for app, n := range s.on[m] {
+		if n > 0 {
+			out[app] = n
+		}
+	}
+	return out
+}
+
+// Grant assigns the GPUs in alloc to app. It fails (without partial effect)
+// if any machine lacks sufficient free GPUs.
+func (s *State) Grant(app string, alloc Alloc) error {
+	for m, n := range alloc {
+		if n < 0 {
+			return fmt.Errorf("cluster: negative grant of %d GPUs on machine %d", n, m)
+		}
+		if int(m) < 0 || int(m) >= s.topo.NumMachines() {
+			return fmt.Errorf("cluster: grant on unknown machine %d", m)
+		}
+		if s.FreeOn(m) < n {
+			return fmt.Errorf("cluster: machine %d has %d free GPUs, cannot grant %d to %s", m, s.FreeOn(m), n, app)
+		}
+	}
+	for m, n := range alloc {
+		if n == 0 {
+			continue
+		}
+		s.used[m] += n
+		if s.on[m] == nil {
+			s.on[m] = make(map[string]int)
+		}
+		s.on[m][app] += n
+	}
+	s.held[app] = s.Held(app).Add(alloc)
+	return nil
+}
+
+// Release removes the GPUs in alloc from app's holdings. It fails (without
+// partial effect) if app does not hold the GPUs being released.
+func (s *State) Release(app string, alloc Alloc) error {
+	held := s.Held(app)
+	if _, err := held.Sub(alloc); err != nil {
+		return fmt.Errorf("cluster: app %s: %w", app, err)
+	}
+	for m, n := range alloc {
+		if n == 0 {
+			continue
+		}
+		s.used[m] -= n
+		s.on[m][app] -= n
+		if s.on[m][app] == 0 {
+			delete(s.on[m], app)
+		}
+	}
+	newHeld, _ := held.Sub(alloc)
+	if newHeld.IsEmpty() {
+		delete(s.held, app)
+	} else {
+		s.held[app] = newHeld
+	}
+	return nil
+}
+
+// ReleaseAll removes every GPU held by app and returns the allocation that
+// was released.
+func (s *State) ReleaseAll(app string) Alloc {
+	held := s.Held(app)
+	if held.IsEmpty() {
+		return held
+	}
+	if err := s.Release(app, held); err != nil {
+		// Held() is by construction releasable; a failure indicates internal
+		// state corruption.
+		panic("cluster: ReleaseAll internal inconsistency: " + err.Error())
+	}
+	return held
+}
+
+// Validate checks internal invariants: per-machine used counts match the sum
+// of per-app holdings and never exceed capacity. It is used by tests and the
+// simulator's self-checks.
+func (s *State) Validate() error {
+	for _, m := range s.topo.Machines() {
+		sum := 0
+		for _, n := range s.on[m.ID] {
+			sum += n
+		}
+		if sum != s.used[m.ID] {
+			return fmt.Errorf("machine %d: used=%d but per-app sum=%d", m.ID, s.used[m.ID], sum)
+		}
+		if s.used[m.ID] > m.NumGPUs || s.used[m.ID] < 0 {
+			return fmt.Errorf("machine %d: used=%d out of range [0,%d]", m.ID, s.used[m.ID], m.NumGPUs)
+		}
+	}
+	total := NewAlloc()
+	for _, a := range s.held {
+		total = total.Add(a)
+	}
+	for m, n := range total {
+		if n != s.used[m] {
+			return fmt.Errorf("machine %d: held sum %d != used %d", m, n, s.used[m])
+		}
+	}
+	return nil
+}

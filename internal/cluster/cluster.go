@@ -1,0 +1,224 @@
+// Package cluster models the GPU cluster a Themis deployment schedules:
+// racks of machines, each with a number of GPUs grouped into NVLink slots.
+//
+// The scheduler only ever reasons about GPU counts, their machine/rack
+// location and the locality level an allocation achieves, so the model
+// exposes exactly those: a Topology describing the hardware, a Cluster
+// tracking which app holds which GPUs, and Alloc vectors (GPUs-per-machine
+// maps) exchanged between the Arbiter and the Agents.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MachineID identifies a machine in the cluster. IDs are dense, starting at 0.
+type MachineID int
+
+// RackID identifies a rack. IDs are dense, starting at 0.
+type RackID int
+
+// GPUType labels the accelerator model installed in a machine. The scheduler
+// treats all GPUs as interchangeable for capacity purposes (as the paper
+// does), but the type is carried through for reporting.
+type GPUType string
+
+// Common GPU types used by the synthetic clusters. The paper's testbed mixes
+// K80 and M60 GPUs; its simulations use an unnamed heterogeneous fleet.
+const (
+	GPUTypeK80  GPUType = "K80"
+	GPUTypeM60  GPUType = "M60"
+	GPUTypeP100 GPUType = "P100"
+	GPUTypeV100 GPUType = "V100"
+)
+
+// Machine describes one server in the cluster.
+type Machine struct {
+	ID       MachineID
+	Rack     RackID
+	NumGPUs  int
+	SlotSize int // GPUs per NVLink slot; NumGPUs is a multiple of SlotSize
+	GPU      GPUType
+}
+
+// Validate reports whether the machine description is internally consistent.
+func (m Machine) Validate() error {
+	if m.NumGPUs <= 0 {
+		return fmt.Errorf("machine %d: NumGPUs must be positive, got %d", m.ID, m.NumGPUs)
+	}
+	if m.SlotSize <= 0 {
+		return fmt.Errorf("machine %d: SlotSize must be positive, got %d", m.ID, m.SlotSize)
+	}
+	if m.NumGPUs%m.SlotSize != 0 {
+		return fmt.Errorf("machine %d: NumGPUs (%d) not a multiple of SlotSize (%d)", m.ID, m.NumGPUs, m.SlotSize)
+	}
+	return nil
+}
+
+// Topology is an immutable description of the cluster hardware.
+type Topology struct {
+	machines []Machine
+	byRack   map[RackID][]MachineID
+	total    int
+}
+
+// NewTopology builds a Topology from a set of machines. Machine IDs must be
+// dense (0..n-1) and unique.
+func NewTopology(machines []Machine) (*Topology, error) {
+	if len(machines) == 0 {
+		return nil, fmt.Errorf("topology needs at least one machine")
+	}
+	t := &Topology{
+		machines: make([]Machine, len(machines)),
+		byRack:   make(map[RackID][]MachineID),
+	}
+	seen := make(map[MachineID]bool, len(machines))
+	for _, m := range machines {
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		if int(m.ID) < 0 || int(m.ID) >= len(machines) {
+			return nil, fmt.Errorf("machine ID %d out of range [0,%d)", m.ID, len(machines))
+		}
+		if seen[m.ID] {
+			return nil, fmt.Errorf("duplicate machine ID %d", m.ID)
+		}
+		seen[m.ID] = true
+		t.machines[m.ID] = m
+		t.byRack[m.Rack] = append(t.byRack[m.Rack], m.ID)
+		t.total += m.NumGPUs
+	}
+	for _, ids := range t.byRack {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
+	return t, nil
+}
+
+// NumMachines returns the number of machines in the cluster.
+func (t *Topology) NumMachines() int { return len(t.machines) }
+
+// NumRacks returns the number of racks in the cluster.
+func (t *Topology) NumRacks() int { return len(t.byRack) }
+
+// TotalGPUs returns the total GPU capacity of the cluster.
+func (t *Topology) TotalGPUs() int { return t.total }
+
+// Machine returns the description of machine id.
+func (t *Topology) Machine(id MachineID) Machine { return t.machines[id] }
+
+// Machines returns all machines, ordered by ID. The returned slice is a copy.
+func (t *Topology) Machines() []Machine {
+	out := make([]Machine, len(t.machines))
+	copy(out, t.machines)
+	return out
+}
+
+// MachinesInRack returns the machine IDs in a rack, ordered by ID.
+func (t *Topology) MachinesInRack(r RackID) []MachineID {
+	ids := t.byRack[r]
+	out := make([]MachineID, len(ids))
+	copy(out, ids)
+	return out
+}
+
+// Racks returns all rack IDs in ascending order.
+func (t *Topology) Racks() []RackID {
+	out := make([]RackID, 0, len(t.byRack))
+	for r := range t.byRack {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Rack returns the rack housing machine id.
+func (t *Topology) Rack(id MachineID) RackID { return t.machines[id].Rack }
+
+// Config describes a synthetic cluster to construct. It is the programmatic
+// equivalent of a cluster spec file.
+type Config struct {
+	// MachineSpecs lists groups of identical machines.
+	MachineSpecs []MachineSpec
+	// MachinesPerRack controls how machines are laid out into racks; when
+	// zero, DefaultMachinesPerRack is used.
+	MachinesPerRack int
+}
+
+// MachineSpec is one group of identical machines in a Config.
+type MachineSpec struct {
+	Count    int
+	GPUs     int
+	SlotSize int
+	GPU      GPUType
+}
+
+// DefaultMachinesPerRack is the rack width used when Config.MachinesPerRack
+// is zero. It mirrors a common 16-machine rack.
+const DefaultMachinesPerRack = 16
+
+// Build constructs the Topology described by the Config. Machines are laid
+// out spec group by spec group, filling racks in order.
+func (c Config) Build() (*Topology, error) {
+	perRack := c.MachinesPerRack
+	if perRack <= 0 {
+		perRack = DefaultMachinesPerRack
+	}
+	var machines []Machine
+	id := 0
+	for _, spec := range c.MachineSpecs {
+		if spec.Count <= 0 {
+			return nil, fmt.Errorf("machine spec count must be positive, got %d", spec.Count)
+		}
+		slot := spec.SlotSize
+		if slot <= 0 {
+			slot = spec.GPUs
+		}
+		for i := 0; i < spec.Count; i++ {
+			machines = append(machines, Machine{
+				ID:       MachineID(id),
+				Rack:     RackID(id / perRack),
+				NumGPUs:  spec.GPUs,
+				SlotSize: slot,
+				GPU:      spec.GPU,
+			})
+			id++
+		}
+	}
+	return NewTopology(machines)
+}
+
+// SimulationCluster returns the paper's default 256-GPU heterogeneous
+// simulated cluster: a mixture of 4-GPU, 2-GPU and 1-GPU machines spread
+// across multiple racks (§8.1).
+func SimulationCluster() *Topology {
+	t, err := Config{
+		MachineSpecs: []MachineSpec{
+			{Count: 48, GPUs: 4, SlotSize: 2, GPU: GPUTypeP100}, // 192 GPUs
+			{Count: 24, GPUs: 2, SlotSize: 2, GPU: GPUTypeV100}, // 48 GPUs
+			{Count: 16, GPUs: 1, SlotSize: 1, GPU: GPUTypeK80},  // 16 GPUs
+		},
+		MachinesPerRack: 16,
+	}.Build()
+	if err != nil {
+		panic("cluster: building default simulation cluster: " + err.Error())
+	}
+	return t
+}
+
+// TestbedCluster returns the paper's 50-GPU Azure testbed: 20 instances with
+// 1, 2 or 4 GPUs each (NC- and NV-series, K80 and M60 GPUs) (§8.1).
+func TestbedCluster() *Topology {
+	t, err := Config{
+		MachineSpecs: []MachineSpec{
+			{Count: 8, GPUs: 4, SlotSize: 2, GPU: GPUTypeM60}, // 32 GPUs
+			{Count: 6, GPUs: 2, SlotSize: 2, GPU: GPUTypeK80}, // 12 GPUs
+			{Count: 6, GPUs: 1, SlotSize: 1, GPU: GPUTypeK80}, // 6 GPUs
+		},
+		MachinesPerRack: 10,
+	}.Build()
+	if err != nil {
+		panic("cluster: building default testbed cluster: " + err.Error())
+	}
+	return t
+}

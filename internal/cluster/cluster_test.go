@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestConfigBuild(t *testing.T) {
+	topo, err := Config{
+		MachineSpecs: []MachineSpec{
+			{Count: 4, GPUs: 4, SlotSize: 2, GPU: GPUTypeP100},
+			{Count: 2, GPUs: 2, SlotSize: 2, GPU: GPUTypeK80},
+		},
+		MachinesPerRack: 3,
+	}.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := topo.NumMachines(); got != 6 {
+		t.Errorf("NumMachines = %d, want 6", got)
+	}
+	if got := topo.TotalGPUs(); got != 20 {
+		t.Errorf("TotalGPUs = %d, want 20", got)
+	}
+	if got := topo.NumRacks(); got != 2 {
+		t.Errorf("NumRacks = %d, want 2", got)
+	}
+	// machines 0,1,2 in rack 0; 3,4,5 in rack 1
+	if topo.Rack(2) != 0 || topo.Rack(3) != 1 {
+		t.Errorf("rack layout wrong: rack(2)=%d rack(3)=%d", topo.Rack(2), topo.Rack(3))
+	}
+	if got := len(topo.MachinesInRack(0)); got != 3 {
+		t.Errorf("MachinesInRack(0) = %d machines, want 3", got)
+	}
+}
+
+func TestConfigBuildRejectsBadSpec(t *testing.T) {
+	_, err := Config{MachineSpecs: []MachineSpec{{Count: 0, GPUs: 4}}}.Build()
+	if err == nil {
+		t.Fatal("expected error for zero-count spec")
+	}
+}
+
+func TestNewTopologyValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		machines []Machine
+	}{
+		{"empty", nil},
+		{"duplicate IDs", []Machine{
+			{ID: 0, NumGPUs: 4, SlotSize: 2},
+			{ID: 0, NumGPUs: 4, SlotSize: 2},
+		}},
+		{"ID out of range", []Machine{{ID: 5, NumGPUs: 4, SlotSize: 2}}},
+		{"zero GPUs", []Machine{{ID: 0, NumGPUs: 0, SlotSize: 1}}},
+		{"slot not dividing GPUs", []Machine{{ID: 0, NumGPUs: 4, SlotSize: 3}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := NewTopology(c.machines); err == nil {
+				t.Errorf("NewTopology(%v) succeeded, want error", c.machines)
+			}
+		})
+	}
+}
+
+func TestDefaultClusters(t *testing.T) {
+	sim := SimulationCluster()
+	if got := sim.TotalGPUs(); got != 256 {
+		t.Errorf("SimulationCluster TotalGPUs = %d, want 256", got)
+	}
+	if sim.NumRacks() < 2 {
+		t.Errorf("SimulationCluster should span multiple racks, got %d", sim.NumRacks())
+	}
+	tb := TestbedCluster()
+	if got := tb.TotalGPUs(); got != 50 {
+		t.Errorf("TestbedCluster TotalGPUs = %d, want 50", got)
+	}
+	if got := tb.NumMachines(); got != 20 {
+		t.Errorf("TestbedCluster NumMachines = %d, want 20", got)
+	}
+}
+
+func TestAllocArithmetic(t *testing.T) {
+	a := Alloc{0: 2, 1: 1}
+	b := Alloc{1: 1, 2: 3}
+	sum := a.Add(b)
+	if sum.Total() != 7 {
+		t.Errorf("Add total = %d, want 7", sum.Total())
+	}
+	if sum[1] != 2 {
+		t.Errorf("Add machine 1 = %d, want 2", sum[1])
+	}
+	diff, err := sum.Sub(b)
+	if err != nil {
+		t.Fatalf("Sub: %v", err)
+	}
+	if !diff.Equal(a) {
+		t.Errorf("Sub result %v != original %v", diff, a)
+	}
+	if _, err := a.Sub(Alloc{0: 5}); err == nil {
+		t.Error("Sub removing more than held should fail")
+	}
+	// Add must not mutate its receiver.
+	if a.Total() != 3 {
+		t.Errorf("receiver mutated by Add: %v", a)
+	}
+}
+
+func TestAllocString(t *testing.T) {
+	a := Alloc{3: 1, 1: 2}
+	if got := a.String(); got != "M1:2G,M3:1G" {
+		t.Errorf("String = %q, want M1:2G,M3:1G", got)
+	}
+	if got := NewAlloc().String(); got != "∅" {
+		t.Errorf("empty String = %q, want ∅", got)
+	}
+}
+
+func TestStateGrantRelease(t *testing.T) {
+	topo := mustTopo(t, 4, 4, 2)
+	s := NewState(topo)
+	if s.TotalFree() != 16 {
+		t.Fatalf("TotalFree = %d, want 16", s.TotalFree())
+	}
+	if err := s.Grant("app1", Alloc{0: 2, 1: 4}); err != nil {
+		t.Fatalf("Grant: %v", err)
+	}
+	if s.FreeOn(0) != 2 || s.FreeOn(1) != 0 {
+		t.Errorf("FreeOn wrong: m0=%d m1=%d", s.FreeOn(0), s.FreeOn(1))
+	}
+	if err := s.Grant("app2", Alloc{1: 1}); err == nil {
+		t.Error("over-granting machine 1 should fail")
+	}
+	// failed grant must have no partial effect
+	if s.TotalUsed() != 6 {
+		t.Errorf("TotalUsed after failed grant = %d, want 6", s.TotalUsed())
+	}
+	if err := s.Release("app1", Alloc{1: 2}); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if got := s.Held("app1").Total(); got != 4 {
+		t.Errorf("Held after partial release = %d, want 4", got)
+	}
+	if err := s.Release("app1", Alloc{2: 1}); err == nil {
+		t.Error("releasing GPUs never held should fail")
+	}
+	released := s.ReleaseAll("app1")
+	if released.Total() != 4 {
+		t.Errorf("ReleaseAll returned %d GPUs, want 4", released.Total())
+	}
+	if s.TotalUsed() != 0 {
+		t.Errorf("TotalUsed after ReleaseAll = %d, want 0", s.TotalUsed())
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestStateFreeVectorAndApps(t *testing.T) {
+	topo := mustTopo(t, 3, 4, 2)
+	s := NewState(topo)
+	if err := s.Grant("b", Alloc{0: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Grant("a", Alloc{1: 1}); err != nil {
+		t.Fatal(err)
+	}
+	fv := s.FreeVector()
+	if fv[0] != 0 || fv[1] != 3 || fv[2] != 4 {
+		t.Errorf("FreeVector = %v", fv)
+	}
+	if _, ok := fv[0]; ok {
+		t.Error("FreeVector should omit fully-used machines")
+	}
+	apps := s.Apps()
+	if len(apps) != 2 || apps[0] != "a" || apps[1] != "b" {
+		t.Errorf("Apps = %v, want [a b]", apps)
+	}
+	on := s.AppsOn(0)
+	if on["b"] != 4 || len(on) != 1 {
+		t.Errorf("AppsOn(0) = %v", on)
+	}
+}
+
+func TestLocality(t *testing.T) {
+	// 4 machines x 4 GPUs (slot=2), 2 per rack
+	topo, err := Config{
+		MachineSpecs:    []MachineSpec{{Count: 4, GPUs: 4, SlotSize: 2}},
+		MachinesPerRack: 2,
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		alloc Alloc
+		want  Locality
+		score float64
+	}{
+		{Alloc{}, LocalitySlot, 1.0},
+		{Alloc{0: 2}, LocalitySlot, 1.0},
+		{Alloc{0: 4}, LocalityMachine, 0.9},
+		{Alloc{0: 2, 1: 2}, LocalityRack, 0.7},
+		{Alloc{0: 2, 2: 2}, LocalityNone, 0.5},
+	}
+	for _, c := range cases {
+		if got := LocalityOf(topo, c.alloc); got != c.want {
+			t.Errorf("LocalityOf(%v) = %v, want %v", c.alloc, got, c.want)
+		}
+		if got := PlacementScore(topo, c.alloc); got != c.score {
+			t.Errorf("PlacementScore(%v) = %v, want %v", c.alloc, got, c.score)
+		}
+	}
+	st := Spread(topo, Alloc{0: 1, 1: 1, 2: 1})
+	if st.Machines != 3 || st.Racks != 2 || st.Locality != LocalityNone {
+		t.Errorf("Spread = %+v", st)
+	}
+}
+
+func TestLocalityString(t *testing.T) {
+	names := map[Locality]string{
+		LocalitySlot:    "slot",
+		LocalityMachine: "machine",
+		LocalityRack:    "rack",
+		LocalityNone:    "cross-rack",
+		Locality(99):    "unknown",
+	}
+	for l, want := range names {
+		if got := l.String(); got != want {
+			t.Errorf("Locality(%d).String() = %q, want %q", l, got, want)
+		}
+	}
+}
+
+// mustTopo builds a homogeneous topology of n machines with g GPUs each.
+func mustTopo(t *testing.T, n, g, slot int) *Topology {
+	t.Helper()
+	topo, err := Config{
+		MachineSpecs: []MachineSpec{{Count: n, GPUs: g, SlotSize: slot}},
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}

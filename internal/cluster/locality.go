@@ -1,0 +1,110 @@
+package cluster
+
+// Locality is the network boundary an allocation spans. It drives both the
+// placement-sensitivity slowdown S (package placement) and the placement
+// score reported in the paper's Figure 7. Smaller spans mean higher
+// interconnect bandwidth between the GPUs of a job.
+type Locality int
+
+const (
+	// LocalitySlot: all GPUs within one NVLink slot of one machine.
+	LocalitySlot Locality = iota
+	// LocalityMachine: all GPUs within one machine (PCIe between slots).
+	LocalityMachine
+	// LocalityRack: GPUs span machines within one rack.
+	LocalityRack
+	// LocalityNone: GPUs span racks.
+	LocalityNone
+)
+
+// String returns a human-readable name for the locality level.
+func (l Locality) String() string {
+	switch l {
+	case LocalitySlot:
+		return "slot"
+	case LocalityMachine:
+		return "machine"
+	case LocalityRack:
+		return "rack"
+	case LocalityNone:
+		return "cross-rack"
+	default:
+		return "unknown"
+	}
+}
+
+// LocalityOf classifies the network boundary spanned by alloc on topo.
+// An empty allocation is reported as LocalitySlot (it spans nothing).
+//
+// The slot level is conservative: the state does not track which physical
+// GPU indices an app holds, so an allocation counts as slot-local only when
+// it fits entirely within a single machine's slot size. This matches how the
+// paper's simulator scores placements (it reasons about counts, not GPU
+// serial numbers).
+func LocalityOf(topo *Topology, alloc Alloc) Locality {
+	machines := alloc.Machines()
+	if len(machines) == 0 {
+		return LocalitySlot
+	}
+	if len(machines) == 1 {
+		m := topo.Machine(machines[0])
+		if alloc[machines[0]] <= m.SlotSize {
+			return LocalitySlot
+		}
+		return LocalityMachine
+	}
+	rack := topo.Rack(machines[0])
+	for _, id := range machines[1:] {
+		if topo.Rack(id) != rack {
+			return LocalityNone
+		}
+	}
+	return LocalityRack
+}
+
+// PlacementScore maps an allocation to the paper's 4-level placement score
+// (§8.1 Metrics): 1.0 for slot locality, decreasing for machine, rack and
+// cross-rack spreads. A score of 1.0 indicates tightly packed GPUs.
+func PlacementScore(topo *Topology, alloc Alloc) float64 {
+	return LocalityScore(LocalityOf(topo, alloc))
+}
+
+// LocalityScore returns the placement score associated with a locality level.
+func LocalityScore(l Locality) float64 {
+	switch l {
+	case LocalitySlot:
+		return 1.0
+	case LocalityMachine:
+		return 0.9
+	case LocalityRack:
+		return 0.7
+	default:
+		return 0.5
+	}
+}
+
+// SpreadStats summarises how an allocation is spread over the topology.
+type SpreadStats struct {
+	GPUs     int
+	Machines int
+	Racks    int
+	Locality Locality
+	Score    float64
+}
+
+// Spread computes SpreadStats for alloc on topo.
+func Spread(topo *Topology, alloc Alloc) SpreadStats {
+	machines := alloc.Machines()
+	racks := make(map[RackID]bool)
+	for _, m := range machines {
+		racks[topo.Rack(m)] = true
+	}
+	loc := LocalityOf(topo, alloc)
+	return SpreadStats{
+		GPUs:     alloc.Total(),
+		Machines: len(machines),
+		Racks:    len(racks),
+		Locality: loc,
+		Score:    LocalityScore(loc),
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"themis/internal/cluster"
+	"themis/internal/estimator"
+	"themis/internal/hyperparam"
+	"themis/internal/placement"
+	"themis/internal/workload"
+)
+
+// Agent is the per-app intermediary between the app's own scheduler (its
+// hyperparameter tuner) and the cross-app Arbiter (§3.1). It answers the
+// Arbiter's ρ probes and prepares bid tables for offers, using the narrow
+// API the tuner exposes: per-job work left, per-job maximum parallelism and
+// the app's placement-sensitivity profile.
+type Agent struct {
+	App       *workload.App
+	Tuner     hyperparam.Tuner
+	Estimator *RhoEstimator
+
+	// MaxBidRows caps the bid table size; zero means DefaultMaxBidRows.
+	MaxBidRows int
+	// PlacementBlind makes the Agent bid on arbitrarily spread GPU subsets
+	// instead of placement-packed ones. It exists only for the ablation
+	// benchmarks that quantify the value of placement-aware bidding; the
+	// real system always bids placement-sensitively.
+	PlacementBlind bool
+}
+
+// DefaultMaxBidRows bounds the size of a prepared bid table.
+const DefaultMaxBidRows = 12
+
+// NewAgent builds an Agent for app on topo, with an optional error model for
+// the Figure 11 sensitivity study.
+func NewAgent(topo *cluster.Topology, app *workload.App, tuner hyperparam.Tuner, errs *estimator.ErrorModel) *Agent {
+	est := NewRhoEstimator(topo, app, tuner)
+	est.Errors = errs
+	return &Agent{App: app, Tuner: tuner, Estimator: est}
+}
+
+// ID returns the app's identifier.
+func (ag *Agent) ID() workload.AppID { return ag.App.ID }
+
+// ReportRho answers the Arbiter's probe (Figure 3 step 1) with the app's
+// current finish-time fairness estimate given its present allocation.
+func (ag *Agent) ReportRho(now float64, current cluster.Alloc) float64 {
+	return ag.Estimator.CurrentRho(now, current)
+}
+
+// UnmetParallelism returns how many more GPUs the app could still use: the
+// sum of its active jobs' maximum parallelism minus what it already holds.
+func (ag *Agent) UnmetParallelism(current cluster.Alloc) int {
+	want := 0
+	for _, j := range ag.App.ActiveJobs() {
+		p := j.MaxParallelism
+		if p <= 0 {
+			p = j.GangSize
+		}
+		want += p
+	}
+	unmet := want - current.Total()
+	if unmet < 0 {
+		return 0
+	}
+	return unmet
+}
+
+// PrepareBid responds to an offer (Figure 3 step 3): it enumerates candidate
+// subsets of the offered GPUs — placement-sensitively anchored on the app's
+// existing allocation — and values each subset with the ρ the app would
+// achieve after receiving it. The empty subset (current ρ) is always
+// included.
+func (ag *Agent) PrepareBid(now float64, offer, current cluster.Alloc) BidTable {
+	table := BidTable{App: ag.App.ID}
+	table.Entries = append(table.Entries, BidEntry{
+		Alloc: cluster.NewAlloc(),
+		Rho:   ag.Estimator.CurrentRho(now, current),
+	})
+	gang := ag.typicalGangSize()
+	sizes := candidateSizes(offer.Total(), ag.UnmetParallelism(current), gang)
+	maxRows := ag.MaxBidRows
+	if maxRows <= 0 {
+		maxRows = DefaultMaxBidRows
+	}
+	seen := map[string]bool{"": true}
+	for _, size := range sizes {
+		if len(table.Entries) >= maxRows {
+			break
+		}
+		var candidate cluster.Alloc
+		if ag.PlacementBlind {
+			candidate = spreadCandidate(offer, size)
+		} else {
+			candidate = placement.Pick(ag.Estimator.Topo, offer, current, size)
+		}
+		if candidate.Total() == 0 {
+			continue
+		}
+		key := candidate.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		table.Entries = append(table.Entries, BidEntry{
+			Alloc: candidate,
+			Rho:   ag.Estimator.Rho(now, current, candidate),
+		})
+	}
+	return table
+}
+
+// spreadCandidate picks count GPUs one machine at a time in ID order — the
+// placement-oblivious candidate generation used by the ablation benchmarks.
+func spreadCandidate(offer cluster.Alloc, count int) cluster.Alloc {
+	picked := cluster.NewAlloc()
+	remaining := offer.Clone()
+	for count > 0 && remaining.Total() > 0 {
+		progress := false
+		for _, m := range remaining.Machines() {
+			if count == 0 {
+				break
+			}
+			if remaining[m] <= 0 {
+				continue
+			}
+			picked[m]++
+			remaining[m]--
+			count--
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	return picked
+}
+
+// GangSize returns the gang size the app's active jobs typically need (the
+// mode across active jobs, falling back to 1); the Arbiter uses it as the
+// chunk size for leftover grants.
+func (ag *Agent) GangSize() int { return ag.typicalGangSize() }
+
+// typicalGangSize returns the gang size the app's active jobs need (the mode
+// across active jobs, falling back to 1).
+func (ag *Agent) typicalGangSize() int {
+	counts := make(map[int]int)
+	for _, j := range ag.App.ActiveJobs() {
+		counts[j.GangSize]++
+	}
+	best, bestN := 1, 0
+	for g, n := range counts {
+		if n > bestN || (n == bestN && g > best) {
+			best, bestN = g, n
+		}
+	}
+	return best
+}
+
+// SplitForJobs maps an app-level allocation onto the app's active jobs in a
+// placement-sensitive manner, honouring per-job parallelism limits. The
+// simulator uses it to drive per-job progress; a real deployment's Agent
+// would hand these to the tuner (Figure 3 step 5).
+func (ag *Agent) SplitForJobs(total cluster.Alloc) map[workload.JobID]cluster.Alloc {
+	active := ag.App.ActiveJobs()
+	splits := ag.Estimator.splitAcrossJobs(total, active)
+	out := make(map[workload.JobID]cluster.Alloc, len(active))
+	for i, j := range active {
+		out[j.ID] = splits[i]
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"themis/internal/cluster"
+	"themis/internal/solver"
+	"themis/internal/workload"
+)
+
+// Config holds the Arbiter's tunables.
+type Config struct {
+	// FairnessKnob is f ∈ [0,1] (§5): available GPUs are offered to the
+	// worst 1−f fraction of apps by finish-time fairness. Higher f gives
+	// stronger fairness guarantees; lower f widens visibility and lets the
+	// Arbiter find more placement-efficient allocations. The paper settles
+	// on 0.8.
+	FairnessKnob float64
+	// LeaseDuration is how long (minutes) a granted allocation is held
+	// before the GPUs return to the pool. The paper settles on 20 minutes.
+	LeaseDuration float64
+	// Auction configures the partial-allocation mechanism.
+	Auction AuctionOptions
+}
+
+// DefaultConfig returns the configuration the paper converges on (§8.2):
+// f = 0.8 and a 20-minute lease.
+func DefaultConfig() Config {
+	return Config{FairnessKnob: 0.8, LeaseDuration: 20}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.FairnessKnob < 0 || c.FairnessKnob > 1 {
+		return fmt.Errorf("fairness knob %v outside [0,1]", c.FairnessKnob)
+	}
+	if c.LeaseDuration <= 0 {
+		return fmt.Errorf("lease duration %v must be positive", c.LeaseDuration)
+	}
+	return nil
+}
+
+// Arbiter is the cross-app scheduler (bottom level of the two-level
+// architecture): it pools available GPUs, offers them to the worst-off
+// fraction of apps, runs the partial-allocation auction over their bids and
+// hands out leftovers work-conservingly (§3.1 steps 1–5, Pseudocode 1).
+type Arbiter struct {
+	cfg  Config
+	topo *cluster.Topology
+
+	// Stats accumulates scheduling telemetry (auction counts, latencies).
+	Stats ArbiterStats
+}
+
+// ArbiterStats records telemetry about the auctions an Arbiter has run,
+// mirroring the overheads the paper reports in §8.3.2.
+type ArbiterStats struct {
+	Auctions           int
+	OffersMade         int
+	GPUsAuctioned      int
+	GPUsLeftOver       int
+	TotalAuctionTime   time.Duration
+	MaxAuctionTime     time.Duration
+	TruthfulPayments   float64 // sum of (1 − c_i) over winners
+	WinnersWithNothing int
+}
+
+// NewArbiter builds an Arbiter over topo with the given configuration.
+func NewArbiter(topo *cluster.Topology, cfg Config) (*Arbiter, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid arbiter config: %w", err)
+	}
+	return &Arbiter{cfg: cfg, topo: topo}, nil
+}
+
+// Config returns the Arbiter's configuration.
+func (a *Arbiter) Config() Config { return a.cfg }
+
+// Topology returns the topology the Arbiter schedules.
+func (a *Arbiter) Topology() *cluster.Topology { return a.topo }
+
+// Bidder is the Arbiter-facing interface of an Agent. The in-process *Agent
+// implements it directly; the rpc package provides a remote implementation
+// that forwards each call to an agent daemon over HTTP.
+type Bidder interface {
+	// ID returns the app the bidder represents.
+	ID() workload.AppID
+	// ReportRho answers a ρ probe given the app's current allocation.
+	ReportRho(now float64, current cluster.Alloc) float64
+	// PrepareBid returns the app's valuation table for an offer.
+	PrepareBid(now float64, offer, current cluster.Alloc) BidTable
+	// UnmetParallelism returns how many more GPUs the app can use.
+	UnmetParallelism(current cluster.Alloc) int
+	// GangSize returns the app's typical gang size (leftover-grant chunk).
+	GangSize() int
+}
+
+// AgentState is one app's view presented to the Arbiter at auction time: its
+// Agent plus the allocation it currently holds.
+type AgentState struct {
+	Agent   Bidder
+	Current cluster.Alloc
+}
+
+// Allocation is one allocation decision produced by OfferResources.
+type Allocation struct {
+	App   workload.AppID
+	Alloc cluster.Alloc
+	// FromAuction distinguishes auction winnings from leftover grants.
+	FromAuction bool
+	// Rho is the winning bid's estimated finish-time fairness (auction
+	// grants only).
+	Rho float64
+}
+
+// OfferResources implements Pseudocode 1. Given the GPUs currently available
+// it probes every agent for its finish-time fairness estimate, offers the
+// GPUs to the worst 1−f fraction, runs the partial-allocation auction over
+// their bids, distributes leftovers to the remaining apps placement
+// sensitively, and returns the resulting allocation decisions. The caller
+// (simulator or RPC server) applies the decisions and starts leases of
+// Config().LeaseDuration.
+func (a *Arbiter) OfferResources(now float64, free cluster.Alloc, agents []AgentState) ([]Allocation, error) {
+	if free.Total() == 0 || len(agents) == 0 {
+		return nil, nil
+	}
+	start := time.Now()
+	a.Stats.Auctions++
+	a.Stats.GPUsAuctioned += free.Total()
+
+	// Step 1: probe every app for its current ρ.
+	ps := make([]probedAgent, 0, len(agents))
+	for _, st := range agents {
+		ps = append(ps, probedAgent{state: st, rho: st.Agent.ReportRho(now, st.Current)})
+	}
+	// Step 2: sort by decreasing ρ (worst-off first) and offer to the worst
+	// 1−f fraction, always at least one app.
+	sort.SliceStable(ps, func(i, j int) bool { return ps[i].rho > ps[j].rho })
+	n := len(ps)
+	participants := int(math.Ceil((1 - a.cfg.FairnessKnob) * float64(n)))
+	if participants < 1 {
+		participants = 1
+	}
+	if participants > n {
+		participants = n
+	}
+	a.Stats.OffersMade += participants
+
+	// Step 3: collect bids from the participants.
+	bidding := ps[:participants]
+	bids := make([]BidTable, 0, participants)
+	for _, p := range bidding {
+		bids = append(bids, p.state.Agent.PrepareBid(now, free, p.state.Current))
+	}
+
+	// Step 4: partial allocation over the bids.
+	auction, err := RunPartialAllocation(a.topo, free, bids, a.cfg.Auction)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []Allocation
+	bidByApp := make(map[workload.AppID]BidTable, len(bids))
+	for _, b := range bids {
+		bidByApp[b.App] = b
+	}
+	for id, alloc := range auction.Winners {
+		a.Stats.TruthfulPayments += 1 - auction.HiddenPayment[id]
+		if alloc.Total() == 0 {
+			a.Stats.WinnersWithNothing++
+			continue
+		}
+		out = append(out, Allocation{App: id, Alloc: alloc, FromAuction: true, Rho: rhoOfWin(bidByApp[id], alloc)})
+	}
+
+	// Step 5 (leftovers): GPUs unallocated by the auction go to apps that
+	// did not participate, one at a time, placement sensitively; if none can
+	// use them, participants may take them so no GPU is left idle.
+	leftover := auction.Leftover
+	a.Stats.GPUsLeftOver += leftover.Total()
+	if leftover.Total() > 0 {
+		nonParticipants := ps[participants:]
+		grants := make(map[workload.AppID]cluster.Alloc)
+		for id, g := range a.grantLeftovers(leftover, nonParticipants, out) {
+			grants[id] = g
+		}
+		if remaining := subtractGrants(leftover, grants); remaining.Total() > 0 {
+			// Work conservation: let auction participants absorb the rest.
+			extra := a.grantLeftovers(remaining, bidding, out)
+			for id, g := range extra {
+				grants[id] = grants[id].Add(g)
+			}
+		}
+		for id, g := range grants {
+			if g.Total() > 0 {
+				out = append(out, Allocation{App: id, Alloc: g, FromAuction: false})
+			}
+		}
+	}
+
+	elapsed := time.Since(start)
+	a.Stats.TotalAuctionTime += elapsed
+	if elapsed > a.Stats.MaxAuctionTime {
+		a.Stats.MaxAuctionTime = elapsed
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].App < out[j].App })
+	return out, nil
+}
+
+// probedAgent pairs an agent's state with the ρ it reported to this auction.
+type probedAgent struct {
+	state AgentState
+	rho   float64
+}
+
+// grantLeftovers runs the leftover-allocation rule over a candidate set,
+// taking into account allocations already decided in this auction round.
+func (a *Arbiter) grantLeftovers(leftover cluster.Alloc, candidates []probedAgent, decided []Allocation) map[workload.AppID]cluster.Alloc {
+	if len(candidates) == 0 || leftover.Total() == 0 {
+		return nil
+	}
+	decidedBy := make(map[workload.AppID]cluster.Alloc)
+	for _, d := range decided {
+		decidedBy[d.App] = decidedBy[d.App].Add(d.Alloc)
+	}
+	currents := make(map[workload.AppID]cluster.Alloc, len(candidates))
+	wants := make(map[workload.AppID]int, len(candidates))
+	chunks := make(map[workload.AppID]int, len(candidates))
+	for _, c := range candidates {
+		id := c.state.Agent.ID()
+		cur := c.state.Current.Add(decidedBy[id])
+		currents[id] = cur
+		wants[id] = c.state.Agent.UnmetParallelism(cur)
+		chunks[id] = c.state.Agent.GangSize()
+	}
+	return AllocateLeftovers(a.topo, leftover, currents, wants, chunks)
+}
+
+func subtractGrants(leftover cluster.Alloc, grants map[workload.AppID]cluster.Alloc) cluster.Alloc {
+	remaining := leftover.Clone()
+	for _, g := range grants {
+		var err error
+		remaining, err = remaining.Sub(g)
+		if err != nil {
+			panic("core: leftover grants exceed leftover pool: " + err.Error())
+		}
+	}
+	return remaining
+}
+
+// rhoOfWin finds the ρ the winning app estimated for the allocation it
+// received (or the closest not-larger bid row).
+func rhoOfWin(bid BidTable, won cluster.Alloc) float64 {
+	best := bid.CurrentRho()
+	for _, e := range bid.Entries {
+		if e.Alloc.Total() > 0 && e.Alloc.Total() <= won.Total() && e.Rho < best {
+			best = e.Rho
+		}
+	}
+	return best
+}
+
+// SolverOptions exposes the solver options used by the auction, for
+// benchmarks that want to compare exact and heuristic winner determination.
+func (c *Config) SolverOptions() *solver.Options { return &c.Auction.Solver }

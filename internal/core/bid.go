@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"themis/internal/cluster"
+	"themis/internal/workload"
+)
+
+// BidEntry is one row of an Agent's valuation table (Figure 3b): a candidate
+// subset of the offered GPUs and the new finish-time fairness metric the app
+// estimates it would achieve with that subset added to its current
+// allocation.
+type BidEntry struct {
+	Alloc cluster.Alloc
+	Rho   float64
+}
+
+// Value returns the entry's auction valuation. The partial allocation
+// mechanism maximises a product of valuations where higher must mean better,
+// so the valuation is the reciprocal of the (always positive) finish-time
+// fairness estimate: V = 1/ρ. This keeps the valuation homogeneous of degree
+// one in the allocation, the property the mechanism's truthfulness relies on
+// (§5.1): scaling an allocation k× improves ρ — and hence V — k×.
+func (b BidEntry) Value() float64 {
+	if b.Rho <= 0 {
+		return 1 / 1e-9
+	}
+	return 1 / b.Rho
+}
+
+// BidTable is an Agent's reply to an offer: its valuation for selected
+// subsets of the offered GPUs, always including the empty subset (the app's
+// current ρ).
+type BidTable struct {
+	App     workload.AppID
+	Entries []BidEntry
+}
+
+// CurrentRho returns the ρ of the empty-allocation row (the app's current
+// finish-time fairness), or Unbounded if the table has no such row.
+func (t BidTable) CurrentRho() float64 {
+	for _, e := range t.Entries {
+		if e.Alloc.Total() == 0 {
+			return e.Rho
+		}
+	}
+	return Unbounded
+}
+
+// Best returns the entry with the lowest ρ (highest value).
+func (t BidTable) Best() BidEntry {
+	best := BidEntry{Rho: Unbounded, Alloc: cluster.NewAlloc()}
+	for _, e := range t.Entries {
+		if e.Rho < best.Rho {
+			best = e
+		}
+	}
+	return best
+}
+
+// String renders the table in the paper's Figure 3b style, one row per line.
+func (t BidTable) String() string {
+	rows := make([]string, 0, len(t.Entries))
+	for _, e := range t.Entries {
+		rows = append(rows, fmt.Sprintf("%s -> ρ=%.3f", e.Alloc, e.Rho))
+	}
+	sort.Strings(rows)
+	return fmt.Sprintf("bid[%s]{%s}", t.App, strings.Join(rows, "; "))
+}
+
+// Validate checks that the table only requests GPUs present in the offer and
+// contains an empty row.
+func (t BidTable) Validate(offer cluster.Alloc) error {
+	hasEmpty := false
+	for _, e := range t.Entries {
+		if e.Alloc.Total() == 0 {
+			hasEmpty = true
+		}
+		for m, n := range e.Alloc {
+			if n < 0 {
+				return fmt.Errorf("bid for app %s has negative GPUs on machine %d", t.App, m)
+			}
+			if n > offer[m] {
+				return fmt.Errorf("bid for app %s wants %d GPUs on machine %d but only %d offered", t.App, n, m, offer[m])
+			}
+		}
+		if e.Rho <= 0 {
+			return fmt.Errorf("bid for app %s has non-positive ρ %v", t.App, e.Rho)
+		}
+	}
+	if !hasEmpty {
+		return fmt.Errorf("bid for app %s lacks the empty-allocation row", t.App)
+	}
+	return nil
+}
+
+// candidateSizes returns the GPU counts an Agent bids on, given the total
+// offered GPUs, the app's unmet parallelism and its gang size. The Agent
+// bids on every gang-size multiple up to a small cap, then doubles, always
+// including the largest useful size — bounding the table so bid preparation
+// stays cheap (§8.3.2) while covering the allocations that matter.
+func candidateSizes(offered, unmet, gang int) []int {
+	if offered <= 0 || unmet <= 0 {
+		return nil
+	}
+	max := offered
+	if unmet < max {
+		max = unmet
+	}
+	if gang <= 0 {
+		gang = 1
+	}
+	sizes := make(map[int]bool)
+	// Gang multiples: 1×, 2×, 3×, 4× the gang size.
+	for k := 1; k <= 4; k++ {
+		if s := k * gang; s <= max {
+			sizes[s] = true
+		}
+	}
+	// Doublings to reach large offers quickly.
+	for s := gang * 8; s < max; s *= 2 {
+		sizes[s] = true
+	}
+	sizes[max] = true
+	if gang > 1 && max >= 1 {
+		sizes[min(gang/2, max)] = true // a half-gang row for constrained offers
+	}
+	out := make([]int, 0, len(sizes))
+	for s := range sizes {
+		if s > 0 {
+			out = append(out, s)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"sort"
+
+	"themis/internal/cluster"
+	"themis/internal/workload"
+)
+
+// Lease records one granted allocation and when it expires. Every GPU in a
+// Themis cluster is held under a lease; when a lease expires the GPUs return
+// to the free pool and are re-auctioned (§3.1).
+type Lease struct {
+	App     workload.AppID
+	Alloc   cluster.Alloc
+	Granted float64
+	Expiry  float64
+}
+
+// LeaseTable tracks the outstanding leases of a cluster. It is a plain data
+// structure (no locking); the Arbiter or simulator owning it serialises
+// access.
+type LeaseTable struct {
+	leases []Lease
+	nextID int
+}
+
+// NewLeaseTable returns an empty lease table.
+func NewLeaseTable() *LeaseTable { return &LeaseTable{} }
+
+// Grant records a lease for app over alloc from now until now+duration.
+// Empty allocations are ignored.
+func (t *LeaseTable) Grant(app workload.AppID, alloc cluster.Alloc, now, duration float64) {
+	if alloc.Total() == 0 {
+		return
+	}
+	t.leases = append(t.leases, Lease{App: app, Alloc: alloc.Clone(), Granted: now, Expiry: now + duration})
+}
+
+// Expired removes and returns all leases with expiry ≤ now.
+func (t *LeaseTable) Expired(now float64) []Lease {
+	var expired, live []Lease
+	for _, l := range t.leases {
+		if l.Expiry <= now {
+			expired = append(expired, l)
+		} else {
+			live = append(live, l)
+		}
+	}
+	t.leases = live
+	sort.Slice(expired, func(i, j int) bool { return expired[i].Expiry < expired[j].Expiry })
+	return expired
+}
+
+// ReleaseApp removes and returns all leases held by app (used when an app
+// finishes and its GPUs return to the pool before their leases expire).
+func (t *LeaseTable) ReleaseApp(app workload.AppID) []Lease {
+	var released, live []Lease
+	for _, l := range t.leases {
+		if l.App == app {
+			released = append(released, l)
+		} else {
+			live = append(live, l)
+		}
+	}
+	t.leases = live
+	return released
+}
+
+// NextExpiry returns the earliest expiry time of any outstanding lease and
+// whether one exists.
+func (t *LeaseTable) NextExpiry() (float64, bool) {
+	if len(t.leases) == 0 {
+		return 0, false
+	}
+	best := t.leases[0].Expiry
+	for _, l := range t.leases[1:] {
+		if l.Expiry < best {
+			best = l.Expiry
+		}
+	}
+	return best, true
+}
+
+// Outstanding returns a copy of all live leases, soonest expiry first.
+func (t *LeaseTable) Outstanding() []Lease {
+	out := make([]Lease, len(t.leases))
+	copy(out, t.leases)
+	sort.Slice(out, func(i, j int) bool { return out[i].Expiry < out[j].Expiry })
+	return out
+}
+
+// HeldBy returns the total allocation currently leased to app.
+func (t *LeaseTable) HeldBy(app workload.AppID) cluster.Alloc {
+	total := cluster.NewAlloc()
+	for _, l := range t.leases {
+		if l.App == app {
+			total = total.Add(l.Alloc)
+		}
+	}
+	return total
+}
+
+// Len returns the number of outstanding leases.
+func (t *LeaseTable) Len() int { return len(t.leases) }

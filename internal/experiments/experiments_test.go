@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// tiny returns the smallest options that still exercise every figure's code
+// path; the full Quick()/Default() scales are reserved for benchmarks and
+// the expdriver binary.
+func tiny() Options {
+	o := Quick()
+	o.SimApps = 6
+	o.TestbedApps = 6
+	o.JobsPerAppMedian = 3
+	o.MaxJobsPerApp = 5
+	o.SimDurationScale = 0.1
+	o.TestbedDurationScale = 0.1
+	o.SimClusterScale = 0.2
+	o.MeanInterArrival = 3
+	o.LeaseDuration = 8
+	o.Horizon = 6000
+	return o
+}
+
+func TestOptionsValidate(t *testing.T) {
+	for _, o := range []Options{Default(), Quick(), tiny()} {
+		if err := o.Validate(); err != nil {
+			t.Errorf("options %+v invalid: %v", o, err)
+		}
+	}
+	bad := Default()
+	bad.SimApps = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero SimApps should be invalid")
+	}
+	bad = Default()
+	bad.FairnessKnob = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("fairness knob 2 should be invalid")
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	res, err := Figure1(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Durations) != 100 || len(res.Fractions) != 100 {
+		t.Fatalf("CDF lengths %d,%d", len(res.Durations), len(res.Fractions))
+	}
+	for i := 1; i < len(res.Durations); i++ {
+		if res.Durations[i] < res.Durations[i-1] {
+			t.Fatal("duration CDF not monotone")
+		}
+	}
+	// The trace tops out near the paper's 1000-minute cap and has the
+	// paper's jobs-per-app range.
+	if res.Durations[99] > 1000.01 {
+		t.Errorf("max duration %v exceeds 1000-minute cap", res.Durations[99])
+	}
+	if res.Stats.JobsPerAppMax > 98 || res.Stats.JobsPerAppMin < 1 {
+		t.Errorf("jobs per app out of the paper's range: %+v", res.Stats)
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	rows := Figure2()
+	if len(rows) != 5 {
+		t.Fatalf("Figure 2 has %d models, want 5", len(rows))
+	}
+	byModel := make(map[string]Figure2Row, len(rows))
+	for _, r := range rows {
+		byModel[r.Model] = r
+		if r.OneServer <= 0 || r.TwoByTwoServers <= 0 {
+			t.Errorf("%s throughput non-positive", r.Model)
+		}
+		if r.TwoByTwoServers > r.OneServer+1e-9 {
+			t.Errorf("%s: spreading across servers should never speed up", r.Model)
+		}
+	}
+	// The paper's key contrast: VGG16 suffers badly from spreading,
+	// ResNet50 barely at all.
+	if byModel["VGG16"].Slowdown > 0.75 {
+		t.Errorf("VGG16 2x2 slowdown %v, want < 0.75", byModel["VGG16"].Slowdown)
+	}
+	if byModel["ResNet50"].Slowdown < 0.9 {
+		t.Errorf("ResNet50 2x2 slowdown %v, want > 0.9", byModel["ResNet50"].Slowdown)
+	}
+}
+
+func TestFigure4aShape(t *testing.T) {
+	rows, err := Figure4a(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Figure4aKnobs) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.MaxFairness < r.MedianFairness || r.MedianFairness < r.MinFairness {
+			t.Errorf("fairness ordering violated at f=%v: %+v", r.F, r)
+		}
+		if r.MaxFairness <= 0 {
+			t.Errorf("non-positive max fairness at f=%v", r.F)
+		}
+	}
+	// Higher f should not make worst-case fairness dramatically worse: the
+	// paper's trend is decreasing max fairness with f. Allow noise at tiny
+	// scale but require the f=0.8 point to be no worse than 1.5× the f=0 point.
+	var f0, f08 float64
+	for _, r := range rows {
+		if r.F == 0 {
+			f0 = r.MaxFairness
+		}
+		if r.F == 0.8 {
+			f08 = r.MaxFairness
+		}
+	}
+	if f08 > f0*1.5 {
+		t.Errorf("max fairness at f=0.8 (%v) much worse than at f=0 (%v)", f08, f0)
+	}
+}
+
+func TestComparisonFigures5Through7(t *testing.T) {
+	cmp, err := RunComparison(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Summaries) != 4 {
+		t.Fatalf("expected 4 schemes, got %d", len(cmp.Summaries))
+	}
+	// Every scheme should finish the whole workload at this tiny scale.
+	for scheme, n := range cmp.FinishedApps() {
+		if n == 0 {
+			t.Errorf("scheme %s finished no apps", scheme)
+		}
+	}
+	fig5a := cmp.Figure5a()
+	if len(fig5a) != 4 {
+		t.Fatalf("Figure 5a rows = %d", len(fig5a))
+	}
+	byScheme := make(map[string]Figure5aRow)
+	for _, r := range fig5a {
+		byScheme[r.Scheme] = r
+		if r.MaxFairness <= 0 {
+			t.Errorf("%s max fairness %v", r.Scheme, r.MaxFairness)
+		}
+	}
+	// Themis must not be the worst scheme on max fairness.
+	worstScheme, worstVal := "", 0.0
+	for s, r := range byScheme {
+		if r.MaxFairness > worstVal {
+			worstScheme, worstVal = s, r.MaxFairness
+		}
+	}
+	if worstScheme == "themis" {
+		t.Errorf("Themis has the worst max fairness (%v): %+v", worstVal, byScheme)
+	}
+	fig5b := cmp.Figure5b()
+	for _, r := range fig5b {
+		if r.JainsIndex <= 0 || r.JainsIndex > 1 {
+			t.Errorf("%s Jain's index %v out of range", r.Scheme, r.JainsIndex)
+		}
+	}
+	fig6 := cmp.Figure6(20)
+	fig7 := cmp.Figure7(20)
+	if len(fig6) != 4 || len(fig7) != 4 {
+		t.Fatalf("CDF figure scheme counts: %d, %d", len(fig6), len(fig7))
+	}
+	for _, c := range fig7 {
+		for _, v := range c.Values {
+			if v < 0.5-1e-9 || v > 1+1e-9 {
+				t.Errorf("%s placement score %v outside [0.5,1]", c.Scheme, v)
+			}
+		}
+	}
+	if cmp.IdealMaxFairness < 1 {
+		t.Errorf("ideal max fairness %v < 1", cmp.IdealMaxFairness)
+	}
+	impr := cmp.MeanJCTImprovement()
+	if len(impr) != 3 {
+		t.Errorf("JCT improvement entries = %d, want 3", len(impr))
+	}
+	if app, rho := cmp.WorstApp("themis"); app == "" || rho <= 0 {
+		t.Errorf("WorstApp = %v, %v", app, rho)
+	}
+	if recs := cmp.AppRecords("gandiva"); len(recs) == 0 {
+		t.Error("no app records for gandiva")
+	}
+	if recs := cmp.AppRecords("nonexistent"); recs != nil {
+		t.Error("records for unknown scheme should be nil")
+	}
+}
+
+func TestFigure8Timeline(t *testing.T) {
+	res, err := Figure8(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Short) < 2 || len(res.Long) < 2 {
+		t.Fatalf("timelines too short: short=%d long=%d", len(res.Short), len(res.Long))
+	}
+	// Both apps must eventually receive GPUs.
+	shortPeak, longPeak := 0, 0
+	for _, e := range res.Short {
+		if e.GPUs > shortPeak {
+			shortPeak = e.GPUs
+		}
+	}
+	for _, e := range res.Long {
+		if e.GPUs > longPeak {
+			longPeak = e.GPUs
+		}
+	}
+	if shortPeak == 0 || longPeak == 0 {
+		t.Errorf("an app never received GPUs: short peak %d, long peak %d", shortPeak, longPeak)
+	}
+	if res.Result.AppsFinished < 2 {
+		t.Errorf("only %d apps finished in the Figure 8 scenario", res.Result.AppsFinished)
+	}
+}
+
+func TestFigure11ErrorRobustness(t *testing.T) {
+	rows, err := Figure11(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Figure11Thetas) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	base := rows[0].MaxFairness
+	for _, r := range rows {
+		if r.MaxFairness <= 0 {
+			t.Errorf("theta %v: non-positive max fairness", r.Theta)
+		}
+		// The paper's point: even 20% error does not change max fairness
+		// significantly. Allow a generous 2× band at tiny scale.
+		if r.MaxFairness > base*2 {
+			t.Errorf("theta %v: max fairness %v far from baseline %v", r.Theta, r.MaxFairness, base)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+
+	"themis/internal/metrics"
+	"themis/internal/schedulers"
+)
+
+// Figure9Fractions is the sweep of the percentage of network-intensive apps
+// used by Figures 9a and 9b.
+var Figure9Fractions = []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+
+// Figure9aRow is one point of Figure 9a: Themis's factor of improvement in
+// max fairness over Tiresias as the workload becomes more network intensive.
+type Figure9aRow struct {
+	NetworkFraction     float64
+	ThemisMaxFairness   float64
+	TiresiasMaxFairness float64
+	FactorOfImprovement float64
+}
+
+// Figure9a sweeps the fraction of network-intensive apps on the simulated
+// cluster and compares Themis and Tiresias on max fairness.
+func Figure9a(opts Options) ([]Figure9aRow, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	topo := opts.simTopology()
+	var rows []Figure9aRow
+	for _, frac := range Figure9Fractions {
+		vals, err := opts.averageOver(func(seed int64) ([]float64, error) {
+			themisApps, err := opts.simWorkloadWith(seed, frac, 1)
+			if err != nil {
+				return nil, err
+			}
+			themisRes, err := opts.runSim(topo, themisApps, schedulers.NewThemis(opts.themisConfig()))
+			if err != nil {
+				return nil, err
+			}
+			tirApps, err := opts.simWorkloadWith(seed, frac, 1)
+			if err != nil {
+				return nil, err
+			}
+			tirRes, err := opts.runSim(topo, tirApps, schedulers.NewTiresias())
+			if err != nil {
+				return nil, err
+			}
+			return []float64{metrics.MaxFairness(themisRes), metrics.MaxFairness(tirRes)}, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("figure 9a at %v%% network-intensive: %w", frac*100, err)
+		}
+		row := Figure9aRow{NetworkFraction: frac, ThemisMaxFairness: vals[0], TiresiasMaxFairness: vals[1]}
+		if row.ThemisMaxFairness > 0 {
+			row.FactorOfImprovement = row.TiresiasMaxFairness / row.ThemisMaxFairness
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure9bRow is one point of Figure 9b: cluster GPU time per scheme at a
+// given fraction of network-intensive apps.
+type Figure9bRow struct {
+	NetworkFraction float64
+	GPUTime         map[string]float64
+}
+
+// Figure9b sweeps the fraction of network-intensive apps and reports every
+// scheme's total GPU time.
+func Figure9b(opts Options) ([]Figure9bRow, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	topo := opts.simTopology()
+	set := SchedulerSet(opts.themisConfig())
+	var rows []Figure9bRow
+	for _, frac := range Figure9Fractions {
+		row := Figure9bRow{NetworkFraction: frac, GPUTime: make(map[string]float64, len(set))}
+		vals, err := opts.averageOver(func(seed int64) ([]float64, error) {
+			out := make([]float64, 0, len(SchemeOrder))
+			for _, scheme := range SchemeOrder {
+				apps, err := opts.simWorkloadWith(seed, frac, 1)
+				if err != nil {
+					return nil, err
+				}
+				res, err := opts.runSim(topo, apps, set[scheme]())
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", scheme, err)
+				}
+				out = append(out, metrics.GPUTime(res))
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("figure 9b at %v%% network-intensive: %w", frac*100, err)
+		}
+		for i, scheme := range SchemeOrder {
+			row.GPUTime[scheme] = vals[i]
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure10Factors is the contention sweep of Figure 10.
+var Figure10Factors = []float64{1, 2, 4}
+
+// Figure10Row is one group of Figure 10: Jain's fairness index for Themis
+// and Tiresias at a given contention factor.
+type Figure10Row struct {
+	ContentionFactor float64
+	ThemisJains      float64
+	TiresiasJains    float64
+}
+
+// Figure10 increases contention by shrinking inter-arrival times and
+// compares the fairness-index degradation of Themis and Tiresias.
+func Figure10(opts Options) ([]Figure10Row, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	topo := opts.simTopology()
+	var rows []Figure10Row
+	for _, c := range Figure10Factors {
+		vals, err := opts.averageOver(func(seed int64) ([]float64, error) {
+			themisApps, err := opts.simWorkloadWith(seed, 0.4, c)
+			if err != nil {
+				return nil, err
+			}
+			themisRes, err := opts.runSim(topo, themisApps, schedulers.NewThemis(opts.themisConfig()))
+			if err != nil {
+				return nil, err
+			}
+			tirApps, err := opts.simWorkloadWith(seed, 0.4, c)
+			if err != nil {
+				return nil, err
+			}
+			tirRes, err := opts.runSim(topo, tirApps, schedulers.NewTiresias())
+			if err != nil {
+				return nil, err
+			}
+			return []float64{metrics.JainsIndexOf(themisRes), metrics.JainsIndexOf(tirRes)}, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("figure 10 at %vx contention: %w", c, err)
+		}
+		rows = append(rows, Figure10Row{ContentionFactor: c, ThemisJains: vals[0], TiresiasJains: vals[1]})
+	}
+	return rows, nil
+}
+
+// Figure11Thetas is the bid-valuation error sweep of Figure 11.
+var Figure11Thetas = []float64{0, 0.05, 0.10, 0.20}
+
+// Figure11Row is one point of Figure 11: max finish-time fairness when bid
+// valuations carry ±θ random error.
+type Figure11Row struct {
+	Theta       float64
+	MaxFairness float64
+}
+
+// Figure11 perturbs every Agent's ρ estimates by ±θ and measures the impact
+// on max finish-time fairness (computed, as in the paper, on accurate
+// realised times).
+func Figure11(opts Options) ([]Figure11Row, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	topo := opts.simTopology()
+	var rows []Figure11Row
+	for _, theta := range Figure11Thetas {
+		vals, err := opts.averageOver(func(seed int64) ([]float64, error) {
+			apps, err := opts.simWorkload(seed)
+			if err != nil {
+				return nil, err
+			}
+			policy := schedulers.NewThemis(opts.themisConfig())
+			policy.BidErrorTheta = theta
+			policy.ErrorSeed = seed + int64(theta*1000)
+			res, err := opts.runSim(topo, apps, policy)
+			if err != nil {
+				return nil, err
+			}
+			return []float64{metrics.MaxFairness(res)}, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("figure 11 at theta=%v: %w", theta, err)
+		}
+		rows = append(rows, Figure11Row{Theta: theta, MaxFairness: vals[0]})
+	}
+	return rows, nil
+}

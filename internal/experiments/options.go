@@ -1,0 +1,243 @@
+// Package experiments reproduces the paper's evaluation: one constructor per
+// figure, each returning the data series the figure plots, produced by
+// running the event-driven simulator with the relevant workload and
+// scheduler configuration. The cmd/expdriver binary and the repository's
+// benchmarks are thin wrappers over these constructors.
+package experiments
+
+import (
+	"fmt"
+
+	"themis/internal/cluster"
+	"themis/internal/core"
+	"themis/internal/hyperparam"
+	"themis/internal/sim"
+	"themis/internal/workload"
+)
+
+// Options control the scale and parameters of the experiment runs. The
+// defaults mirror the paper's setup; Quick returns a scaled-down variant for
+// tests and benchmarks that must complete in seconds while preserving the
+// figures' qualitative shapes.
+type Options struct {
+	// Seed drives workload generation; each experiment derives per-run seeds
+	// from it deterministically.
+	Seed int64
+	// SimApps is the number of apps submitted to the 256-GPU simulated
+	// cluster experiments.
+	SimApps int
+	// TestbedApps is the number of apps submitted to the 50-GPU testbed
+	// experiments (Figures 5–8).
+	TestbedApps int
+	// JobsPerAppMedian controls workload size (the paper's trace median is 23).
+	JobsPerAppMedian float64
+	// MaxJobsPerApp caps trials per app.
+	MaxJobsPerApp int
+	// SimDurationScale scales job durations in simulated-cluster
+	// experiments (the paper replays them unscaled).
+	SimDurationScale float64
+	// TestbedDurationScale scales job durations in testbed experiments; the
+	// paper scales its testbed runs down 5× (0.2).
+	TestbedDurationScale float64
+	// SimClusterScale shrinks the 256-GPU simulated cluster proportionally
+	// (1 = the paper's cluster); quick configurations use a quarter-scale
+	// cluster so contention — which drives every fairness result — stays in
+	// the paper's regime with fewer apps.
+	SimClusterScale float64
+	// MeanInterArrival is the app inter-arrival mean in minutes.
+	MeanInterArrival float64
+	// LeaseDuration is the default lease length in minutes.
+	LeaseDuration float64
+	// FairnessKnob is Themis's default f.
+	FairnessKnob float64
+	// RestartOverhead is the checkpoint/restart pause in minutes.
+	RestartOverhead float64
+	// Horizon caps each simulation (minutes of simulated time); 0 = none.
+	Horizon float64
+	// Repeats is how many workload seeds each sweep point is averaged over.
+	// The paper replays a single trace; averaging over a few seeds keeps the
+	// scaled-down configurations' trends stable. Zero means 1.
+	Repeats int
+}
+
+// Default returns the paper-fidelity options (§8.1): 256-GPU cluster
+// experiments replay the full trace shape; testbed experiments use the
+// paper's 5× duration scale-down.
+func Default() Options {
+	return Options{
+		Seed:                 42,
+		SimApps:              50,
+		TestbedApps:          30,
+		JobsPerAppMedian:     23,
+		MaxJobsPerApp:        98,
+		SimDurationScale:     1,
+		TestbedDurationScale: 0.2,
+		SimClusterScale:      1,
+		MeanInterArrival:     20,
+		LeaseDuration:        20,
+		FairnessKnob:         0.8,
+		RestartOverhead:      0.75,
+		Horizon:              50000,
+		Repeats:              1,
+	}
+}
+
+// Quick returns options scaled down for fast benchmarks and CI: fewer apps
+// and trials and shorter jobs, but the same cluster topologies, policies and
+// parameter sweeps, so every figure's qualitative shape is preserved.
+func Quick() Options {
+	return Options{
+		Seed:                 42,
+		SimApps:              16,
+		TestbedApps:          14,
+		JobsPerAppMedian:     5,
+		MaxJobsPerApp:        12,
+		SimDurationScale:     0.3,
+		TestbedDurationScale: 0.3,
+		SimClusterScale:      0.25,
+		MeanInterArrival:     3,
+		LeaseDuration:        10,
+		FairnessKnob:         0.8,
+		RestartOverhead:      0.25,
+		Horizon:              20000,
+		Repeats:              3,
+	}
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	if o.SimApps <= 0 || o.TestbedApps <= 0 {
+		return fmt.Errorf("experiments: app counts must be positive")
+	}
+	if o.SimDurationScale <= 0 || o.TestbedDurationScale <= 0 || o.MeanInterArrival <= 0 || o.LeaseDuration <= 0 {
+		return fmt.Errorf("experiments: scales and durations must be positive")
+	}
+	if o.SimClusterScale <= 0 || o.SimClusterScale > 1 {
+		return fmt.Errorf("experiments: sim cluster scale outside (0,1]")
+	}
+	if o.FairnessKnob < 0 || o.FairnessKnob > 1 {
+		return fmt.Errorf("experiments: fairness knob outside [0,1]")
+	}
+	return nil
+}
+
+// repeatSeeds returns the workload seeds each sweep point averages over.
+func (o Options) repeatSeeds() []int64 {
+	n := o.Repeats
+	if n <= 0 {
+		n = 1
+	}
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = o.Seed + int64(i)*7919 // distinct, deterministic seeds
+	}
+	return seeds
+}
+
+// averageOver runs fn once per repeat seed and averages the metric vectors
+// it returns element-wise. All invocations must return vectors of the same
+// length.
+func (o Options) averageOver(fn func(seed int64) ([]float64, error)) ([]float64, error) {
+	seeds := o.repeatSeeds()
+	var sum []float64
+	for _, seed := range seeds {
+		vals, err := fn(seed)
+		if err != nil {
+			return nil, err
+		}
+		if sum == nil {
+			sum = make([]float64, len(vals))
+		}
+		if len(vals) != len(sum) {
+			return nil, fmt.Errorf("experiments: inconsistent metric vector lengths (%d vs %d)", len(vals), len(sum))
+		}
+		for i, v := range vals {
+			sum[i] += v
+		}
+	}
+	for i := range sum {
+		sum[i] /= float64(len(seeds))
+	}
+	return sum, nil
+}
+
+// simTopology returns the simulated cluster for these options: the paper's
+// 256-GPU heterogeneous cluster, or a proportionally scaled-down version of
+// it when SimClusterScale < 1.
+func (o Options) simTopology() *cluster.Topology {
+	if o.SimClusterScale >= 1 {
+		return cluster.SimulationCluster()
+	}
+	scale := func(n int) int {
+		s := int(float64(n)*o.SimClusterScale + 0.5)
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	topo, err := cluster.Config{
+		MachineSpecs: []cluster.MachineSpec{
+			{Count: scale(48), GPUs: 4, SlotSize: 2, GPU: cluster.GPUTypeP100},
+			{Count: scale(24), GPUs: 2, SlotSize: 2, GPU: cluster.GPUTypeV100},
+			{Count: scale(16), GPUs: 1, SlotSize: 1, GPU: cluster.GPUTypeK80},
+		},
+		MachinesPerRack: 16,
+	}.Build()
+	if err != nil {
+		panic("experiments: building scaled simulation cluster: " + err.Error())
+	}
+	return topo
+}
+
+// generatorConfig builds a workload generator config from the options.
+func (o Options) generatorConfig(numApps int, seed int64, networkFraction, contention, durationScale float64) workload.GeneratorConfig {
+	cfg := workload.DefaultGeneratorConfig()
+	cfg.Seed = seed
+	cfg.NumApps = numApps
+	cfg.MeanInterArrival = o.MeanInterArrival
+	cfg.ContentionFactor = contention
+	cfg.FractionNetworkIntensive = networkFraction
+	cfg.JobsPerAppMedian = o.JobsPerAppMedian
+	cfg.MaxJobsPerApp = o.MaxJobsPerApp
+	cfg.DurationScale = durationScale
+	return cfg
+}
+
+// simWorkload generates the default simulated-cluster workload (60:40
+// compute:network mix, 1× contention).
+func (o Options) simWorkload(seed int64) ([]*workload.App, error) {
+	return workload.Generate(o.generatorConfig(o.SimApps, seed, 0.4, 1, o.SimDurationScale))
+}
+
+// simWorkloadWith generates a simulated-cluster workload with a specific
+// network-intensive fraction and contention factor (Figures 9 and 10).
+func (o Options) simWorkloadWith(seed int64, networkFraction, contention float64) ([]*workload.App, error) {
+	return workload.Generate(o.generatorConfig(o.SimApps, seed, networkFraction, contention, o.SimDurationScale))
+}
+
+// testbedWorkload generates the testbed-scale workload used by Figures 5–8.
+func (o Options) testbedWorkload(seed int64) ([]*workload.App, error) {
+	return workload.Generate(o.generatorConfig(o.TestbedApps, seed, 0.4, 1, o.TestbedDurationScale))
+}
+
+// themisConfig returns the Themis arbiter configuration for these options.
+func (o Options) themisConfig() core.Config {
+	return core.Config{FairnessKnob: o.FairnessKnob, LeaseDuration: o.LeaseDuration}
+}
+
+// runSim executes one simulation of apps on topo under policy.
+func (o Options) runSim(topo *cluster.Topology, apps []*workload.App, policy sim.Policy) (*sim.Result, error) {
+	s, err := sim.New(sim.Config{
+		Topology:        topo,
+		Apps:            apps,
+		Policy:          policy,
+		TunerFor:        hyperparam.ForApp,
+		LeaseDuration:   o.LeaseDuration,
+		RestartOverhead: o.RestartOverhead,
+		Horizon:         o.Horizon,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}

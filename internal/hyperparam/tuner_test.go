@@ -1,0 +1,192 @@
+package hyperparam
+
+import (
+	"testing"
+
+	"themis/internal/placement"
+	"themis/internal/workload"
+)
+
+// makeApp builds an app with n trials of equal work; qualities are spread
+// evenly so trial 0 is best.
+func makeApp(t *testing.T, n int, work float64) *workload.App {
+	t.Helper()
+	jobs := make([]*workload.Job, n)
+	for i := 0; i < n; i++ {
+		j := workload.NewJob("app-t", i, work, 4)
+		j.Quality = float64(i) / float64(n)
+		j.Seed = int64(1000 + i)
+		j.TotalIterations = 1000
+		jobs[i] = j
+	}
+	app := workload.NewApp("app-t", 0, placement.ResNet50, jobs)
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+// advanceAll runs every active trial for dt minutes on its gang size.
+func advanceAll(app *workload.App, now, dt float64) {
+	for _, j := range app.ActiveJobs() {
+		j.Advance(now, dt, j.GangSize, 1)
+	}
+}
+
+func TestSingleTuner(t *testing.T) {
+	app := makeApp(t, 1, 100)
+	s := NewSingle()
+	if s.Name() != "single" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	s.Update(0, app)
+	if s.Done(app) {
+		t.Error("app with unfinished job should not be done")
+	}
+	if got := s.WorkLeft(app.Jobs[0]); got != 100 {
+		t.Errorf("WorkLeft = %v, want 100", got)
+	}
+	app.Jobs[0].Advance(0, 1000, 4, 1)
+	if !s.Done(app) {
+		t.Error("app should be done after its only job finishes")
+	}
+}
+
+func TestHyperBandSuccessiveHalving(t *testing.T) {
+	app := makeApp(t, 8, 4000) // 4000 serial minutes, 1000 iterations
+	hb := NewHyperBand(100)
+	// Run everything past the first rung boundary (100 iters = 10% of work
+	// = 400 serial minutes = 100 minutes on 4 GPUs).
+	advanceAll(app, 0, 101)
+	hb.Update(101, app)
+	if got := len(app.ActiveJobs()); got != 4 {
+		t.Fatalf("after rung 1: %d active trials, want 4", got)
+	}
+	// Second rung.
+	advanceAll(app, 101, 101)
+	hb.Update(202, app)
+	if got := len(app.ActiveJobs()); got != 2 {
+		t.Fatalf("after rung 2: %d active trials, want 2", got)
+	}
+	// Third rung: down to a single survivor, no further kills.
+	advanceAll(app, 202, 101)
+	hb.Update(303, app)
+	if got := len(app.ActiveJobs()); got != 1 {
+		t.Fatalf("after rung 3: %d active trials, want 1", got)
+	}
+	advanceAll(app, 303, 101)
+	hb.Update(404, app)
+	if got := len(app.ActiveJobs()); got != 1 {
+		t.Fatalf("survivor must not be killed, got %d active", got)
+	}
+	// Survivors should skew toward low-quality-value (better) trials: the
+	// best trial converges fastest so it should never be killed.
+	if app.Jobs[0].Killed {
+		t.Error("the best trial (quality 0) was killed by HyperBand")
+	}
+	// Not done until the survivor completes.
+	if hb.Done(app) {
+		t.Error("app should not be done while survivor is active")
+	}
+	for _, j := range app.ActiveJobs() {
+		j.Advance(404, 1e6, 4, 1)
+	}
+	if !hb.Done(app) {
+		t.Error("app should be done once the survivor finishes")
+	}
+}
+
+func TestHyperBandWaitsForStragglers(t *testing.T) {
+	app := makeApp(t, 4, 4000)
+	hb := NewHyperBand(100)
+	// Only advance three of the four trials past the rung.
+	for _, j := range app.Jobs[:3] {
+		j.Advance(0, 101, 4, 1)
+	}
+	hb.Update(101, app)
+	if got := len(app.ActiveJobs()); got != 4 {
+		t.Errorf("rung must wait for stragglers; got %d active", got)
+	}
+}
+
+func TestHyperBandDefaultRung(t *testing.T) {
+	if hb := NewHyperBand(0); hb.RungIterations != 100 {
+		t.Errorf("default rung = %d, want 100", hb.RungIterations)
+	}
+}
+
+func TestHyperDriveClassification(t *testing.T) {
+	app := makeApp(t, 6, 4000)
+	hd := NewHyperDrive()
+	// Warm up all trials past MinIterations (50 iters = 5% = 200 serial
+	// minutes = 50 minutes on 4 GPUs).
+	advanceAll(app, 0, 60)
+	hd.Update(60, app)
+	active := app.ActiveJobs()
+	if len(active) >= 6 {
+		t.Errorf("HyperDrive should have killed at least one poor trial, %d active", len(active))
+	}
+	if len(active) < 1 {
+		t.Fatal("HyperDrive must keep at least one trial")
+	}
+	// The best trial must survive and keep full parallelism.
+	best := app.Jobs[0]
+	if best.Killed {
+		t.Fatal("best trial killed")
+	}
+	if hd.Class(best.ID) != ClassGood {
+		t.Errorf("best trial classified %v, want good", hd.Class(best.ID))
+	}
+	if best.MaxParallelism != best.GangSize {
+		t.Errorf("good trial parallelism = %d, want %d", best.MaxParallelism, best.GangSize)
+	}
+	// Any promising trial has reduced parallelism.
+	for _, j := range active {
+		if hd.Class(j.ID) == ClassPromising && j.MaxParallelism >= j.GangSize {
+			t.Errorf("promising trial %s kept full parallelism %d", j.ID, j.MaxParallelism)
+		}
+	}
+}
+
+func TestHyperDriveNeverKillsLastTrial(t *testing.T) {
+	app := makeApp(t, 2, 4000)
+	// Make both trials bad but one worse.
+	app.Jobs[0].Quality = 0.9
+	app.Jobs[1].Quality = 0.99
+	hd := NewHyperDrive()
+	advanceAll(app, 0, 60)
+	hd.Update(60, app)
+	if len(app.ActiveJobs()) < 1 {
+		t.Fatal("HyperDrive killed every trial")
+	}
+}
+
+func TestHyperDriveWarmup(t *testing.T) {
+	app := makeApp(t, 4, 4000)
+	hd := NewHyperDrive()
+	advanceAll(app, 0, 1) // well under MinIterations
+	hd.Update(1, app)
+	if got := len(app.ActiveJobs()); got != 4 {
+		t.Errorf("no trial should be killed before warm-up, %d active", got)
+	}
+}
+
+func TestClassificationString(t *testing.T) {
+	if ClassGood.String() != "good" || ClassPromising.String() != "promising" || ClassPoor.String() != "poor" {
+		t.Error("classification names wrong")
+	}
+	if Classification(42).String() != "unknown" {
+		t.Error("unknown classification should stringify to unknown")
+	}
+}
+
+func TestForApp(t *testing.T) {
+	single := makeApp(t, 1, 100)
+	if ForApp(single).Name() != "single" {
+		t.Error("one-trial app should get the Single tuner")
+	}
+	multi := makeApp(t, 5, 100)
+	if ForApp(multi).Name() != "hyperband" {
+		t.Error("multi-trial app should get HyperBand")
+	}
+}

@@ -1,0 +1,157 @@
+package placement
+
+import (
+	"sort"
+
+	"themis/internal/cluster"
+)
+
+// Pick greedily selects up to count GPUs from the free vector in a
+// placement-sensitive manner, producing the allocation to add.
+//
+// Preference order:
+//  1. machines where anchor (the app's existing allocation) already holds
+//     GPUs — extending an allocation in place keeps its locality tight;
+//  2. machines in racks the anchor already touches;
+//  3. otherwise machines with the most free GPUs, so the picked GPUs pack
+//     into as few machines (and racks) as possible.
+//
+// This is the greedy job-level assignment of §5.2 step 4 and the leftover
+// allocation rule of §5.1 step 3. It never picks more than count GPUs and
+// never more than free allows; the result may hold fewer than count GPUs if
+// the free pool is smaller.
+func Pick(topo *cluster.Topology, free cluster.Alloc, anchor cluster.Alloc, count int) cluster.Alloc {
+	picked := cluster.NewAlloc()
+	if count <= 0 {
+		return picked
+	}
+	remaining := free.Clone()
+	need := count
+
+	take := func(m cluster.MachineID) {
+		if need <= 0 {
+			return
+		}
+		n := remaining[m]
+		if n <= 0 {
+			return
+		}
+		if n > need {
+			n = need
+		}
+		picked[m] += n
+		remaining[m] -= n
+		need -= n
+	}
+
+	// Pass 1: machines the anchor already uses, largest anchor share first.
+	for _, m := range sortedMachineIDs(anchor) {
+		take(m)
+		if need == 0 {
+			return picked
+		}
+	}
+
+	// Pass 2: machines in racks the anchor already touches.
+	anchorRacks := make(map[cluster.RackID]bool)
+	for _, m := range anchor.Machines() {
+		anchorRacks[topo.Rack(m)] = true
+	}
+	if len(anchorRacks) > 0 {
+		for _, m := range machinesByFree(remaining) {
+			if anchorRacks[topo.Rack(m)] {
+				take(m)
+				if need == 0 {
+					return picked
+				}
+			}
+		}
+	}
+
+	// Pass 3: pack into as few machines as possible. Prefer the rack with
+	// the most aggregate free GPUs so multi-machine spills stay rack-local.
+	rackFree := make(map[cluster.RackID]int)
+	for m, n := range remaining {
+		if n > 0 {
+			rackFree[topo.Rack(m)] += n
+		}
+	}
+	racks := make([]cluster.RackID, 0, len(rackFree))
+	for r := range rackFree {
+		racks = append(racks, r)
+	}
+	sort.Slice(racks, func(i, j int) bool {
+		if rackFree[racks[i]] != rackFree[racks[j]] {
+			return rackFree[racks[i]] > rackFree[racks[j]]
+		}
+		return racks[i] < racks[j]
+	})
+	for _, r := range racks {
+		for _, m := range machinesByFree(remaining) {
+			if topo.Rack(m) != r {
+				continue
+			}
+			take(m)
+			if need == 0 {
+				return picked
+			}
+		}
+	}
+	return picked
+}
+
+// PickSingleGPU picks one GPU from free, preferring machines where anchor
+// already holds GPUs (the leftover-allocation rule: place the new GPU on a
+// machine already part of the app's allocation when possible).
+func PickSingleGPU(topo *cluster.Topology, free cluster.Alloc, anchor cluster.Alloc) cluster.Alloc {
+	return Pick(topo, free, anchor, 1)
+}
+
+// SatisfiesMinPerMachine reports whether an allocation meets a per-machine
+// minimum: every machine used holds at least min GPUs. It implements the
+// placement constraints of §6 — allocations that violate a job's constraint
+// have placement sensitivity 0 and therefore cannot make progress.
+func SatisfiesMinPerMachine(alloc cluster.Alloc, min int) bool {
+	if min <= 0 {
+		return true
+	}
+	for _, n := range alloc {
+		if n > 0 && n < min {
+			return false
+		}
+	}
+	return true
+}
+
+// machinesByFree returns the machines with free GPUs sorted by descending
+// free count, then ascending ID.
+func machinesByFree(free cluster.Alloc) []cluster.MachineID {
+	ids := free.Machines()
+	sort.Slice(ids, func(i, j int) bool {
+		if free[ids[i]] != free[ids[j]] {
+			return free[ids[i]] > free[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// SplitAmongJobs partitions an app-level allocation across jobs that each
+// want up to maxPerJob GPUs, assigning GPUs to jobs in a placement-sensitive
+// manner: each job is packed onto as few machines as possible before moving
+// to the next job. jobs is the number of jobs wanting GPUs; the result has
+// one allocation per job (possibly empty), in job order.
+func SplitAmongJobs(topo *cluster.Topology, total cluster.Alloc, jobs int, maxPerJob int) []cluster.Alloc {
+	out := make([]cluster.Alloc, jobs)
+	remaining := total.Clone()
+	for j := 0; j < jobs; j++ {
+		out[j] = Pick(topo, remaining, cluster.NewAlloc(), maxPerJob)
+		var err error
+		remaining, err = remaining.Sub(out[j])
+		if err != nil {
+			// Pick never selects more than remaining holds.
+			panic("placement: SplitAmongJobs internal inconsistency: " + err.Error())
+		}
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package placement
+
+import (
+	"testing"
+	"testing/quick"
+
+	"themis/internal/cluster"
+)
+
+func testTopo(t *testing.T, machines, gpus, perRack int) *cluster.Topology {
+	t.Helper()
+	topo, err := cluster.Config{
+		MachineSpecs:    []cluster.MachineSpec{{Count: machines, GPUs: gpus, SlotSize: 2}},
+		MachinesPerRack: perRack,
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestCatalogProfilesValid(t *testing.T) {
+	for _, p := range append(Catalog(), GenericNetworkIntensive, GenericComputeIntensive) {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, ok := ByName("VGG16")
+	if !ok || p.Name != "VGG16" {
+		t.Errorf("ByName(VGG16) = %v, %v", p, ok)
+	}
+	if _, ok := ByName("NoSuchModel"); ok {
+		t.Error("ByName should fail for unknown model")
+	}
+}
+
+func TestCatalogPartition(t *testing.T) {
+	net := NetworkIntensiveProfiles()
+	comp := ComputeIntensiveProfiles()
+	if len(net)+len(comp) != len(Catalog()) {
+		t.Errorf("partition sizes %d+%d != catalog %d", len(net), len(comp), len(Catalog()))
+	}
+	for _, p := range net {
+		if !p.NetworkIntensive {
+			t.Errorf("%s in network-intensive set but not marked", p.Name)
+		}
+	}
+}
+
+func TestSensitivityShape(t *testing.T) {
+	topo := testTopo(t, 4, 4, 2)
+	oneServer := cluster.Alloc{0: 4}
+	twoServers := cluster.Alloc{0: 2, 1: 2}
+	crossRack := cluster.Alloc{0: 2, 2: 2}
+
+	// VGG16 (network-intensive): spreading across servers must cost a lot.
+	vggLocal := VGG16.Throughput(topo, oneServer)
+	vggSpread := VGG16.Throughput(topo, twoServers)
+	if vggSpread >= 0.75*vggLocal {
+		t.Errorf("VGG16 spread throughput %v not much lower than local %v", vggSpread, vggLocal)
+	}
+	// ResNet50 (compute-intensive): spreading must cost little.
+	resLocal := ResNet50.Throughput(topo, oneServer)
+	resSpread := ResNet50.Throughput(topo, twoServers)
+	if resSpread < 0.9*resLocal {
+		t.Errorf("ResNet50 spread throughput %v dropped too much from %v", resSpread, resLocal)
+	}
+	// Wider spreads are never faster.
+	if VGG16.SOf(topo, crossRack) > VGG16.SOf(topo, twoServers) {
+		t.Error("cross-rack S should not exceed rack-local S")
+	}
+	// Single GPU never slows down.
+	if got := VGG16.SOf(topo, cluster.Alloc{0: 1}); got != 1 {
+		t.Errorf("single-GPU S = %v, want 1", got)
+	}
+}
+
+func TestSpeedupMonotoneInGPUs(t *testing.T) {
+	topo := testTopo(t, 2, 4, 2)
+	if VGG16.Speedup(topo, cluster.Alloc{0: 4}) <= VGG16.Speedup(topo, cluster.Alloc{0: 2}) {
+		t.Error("more GPUs on the same machine should increase speedup")
+	}
+}
+
+func TestPickPrefersAnchorMachines(t *testing.T) {
+	topo := testTopo(t, 4, 4, 2)
+	free := cluster.Alloc{0: 2, 1: 4, 2: 4}
+	anchor := cluster.Alloc{0: 2}
+	got := Pick(topo, free, anchor, 2)
+	if got[0] != 2 {
+		t.Errorf("Pick should extend anchor machine 0 first, got %v", got)
+	}
+}
+
+func TestPickPacksFewMachines(t *testing.T) {
+	topo := testTopo(t, 4, 4, 2)
+	free := cluster.Alloc{0: 1, 1: 1, 2: 4, 3: 1}
+	got := Pick(topo, free, cluster.NewAlloc(), 4)
+	if got[2] != 4 || got.Total() != 4 {
+		t.Errorf("Pick should pack onto machine 2, got %v", got)
+	}
+}
+
+func TestPickPrefersAnchorRack(t *testing.T) {
+	// 2 machines per rack; anchor on machine 0 (rack 0); free on machines 1
+	// (rack 0) and 2 (rack 1) equally.
+	topo := testTopo(t, 4, 4, 2)
+	free := cluster.Alloc{1: 2, 2: 2}
+	anchor := cluster.Alloc{0: 4}
+	got := Pick(topo, free, anchor, 2)
+	if got[1] != 2 {
+		t.Errorf("Pick should stay in anchor rack, got %v", got)
+	}
+}
+
+func TestPickBounded(t *testing.T) {
+	topo := testTopo(t, 2, 4, 2)
+	free := cluster.Alloc{0: 1, 1: 1}
+	got := Pick(topo, free, cluster.NewAlloc(), 10)
+	if got.Total() != 2 {
+		t.Errorf("Pick should be capped by free pool, got %v", got)
+	}
+	if got := Pick(topo, free, cluster.NewAlloc(), 0); !got.IsEmpty() {
+		t.Errorf("Pick with count=0 should be empty, got %v", got)
+	}
+}
+
+// TestPickProperties checks, over random free vectors, that Pick never
+// exceeds the free pool, never exceeds the requested count and never
+// fabricates machines.
+func TestPickProperties(t *testing.T) {
+	topo := testTopo(t, 8, 4, 4)
+	f := func(seed uint32, count uint8) bool {
+		free := cluster.NewAlloc()
+		s := seed
+		for m := 0; m < 8; m++ {
+			s = s*1664525 + 1013904223
+			free[cluster.MachineID(m)] = int(s % 5)
+			if free[cluster.MachineID(m)] == 0 {
+				delete(free, cluster.MachineID(m))
+			}
+		}
+		want := int(count % 24)
+		got := Pick(topo, free, cluster.NewAlloc(), want)
+		if got.Total() > want {
+			return false
+		}
+		if got.Total() > free.Total() {
+			return false
+		}
+		for m, n := range got {
+			if n < 0 || n > free[m] {
+				return false
+			}
+		}
+		// Pick must take as many as available up to want.
+		expect := want
+		if free.Total() < want {
+			expect = free.Total()
+		}
+		return got.Total() == expect
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitAmongJobs(t *testing.T) {
+	topo := testTopo(t, 4, 4, 2)
+	total := cluster.Alloc{0: 4, 1: 4}
+	parts := SplitAmongJobs(topo, total, 3, 4)
+	if len(parts) != 3 {
+		t.Fatalf("got %d parts, want 3", len(parts))
+	}
+	sum := cluster.NewAlloc()
+	for _, p := range parts {
+		sum = sum.Add(p)
+	}
+	if !sum.Equal(total) {
+		t.Errorf("parts sum %v != total %v", sum, total)
+	}
+	// Each of the first two jobs should get a whole machine (packed).
+	if parts[0].Total() != 4 || len(parts[0].Machines()) != 1 {
+		t.Errorf("first job should be packed on one machine, got %v", parts[0])
+	}
+	if parts[2].Total() != 0 {
+		t.Errorf("third job should get nothing, got %v", parts[2])
+	}
+}
+
+func TestFigure2ModelsOrder(t *testing.T) {
+	models := Figure2Models()
+	want := []string{"VGG16", "VGG19", "AlexNet", "Inceptionv3", "ResNet50"}
+	if len(models) != len(want) {
+		t.Fatalf("Figure2Models returned %d models, want %d", len(models), len(want))
+	}
+	for i, m := range models {
+		if m.Name != want[i] {
+			t.Errorf("Figure2Models[%d] = %s, want %s", i, m.Name, want[i])
+		}
+	}
+}

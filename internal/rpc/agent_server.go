@@ -1,0 +1,139 @@
+package rpc
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"themis/internal/cluster"
+	"themis/internal/core"
+)
+
+// AgentServer exposes one app's Agent over HTTP: the Arbiter probes it for ρ
+// (POST /v1/rho), requests bids (POST /v1/bid) and delivers allocations
+// (POST /v1/allocation). GET /v1/health reports liveness.
+type AgentServer struct {
+	agent *core.Agent
+
+	mu      sync.Mutex
+	current cluster.Alloc
+	expiry  float64
+}
+
+// NewAgentServer wraps an Agent for serving.
+func NewAgentServer(agent *core.Agent) *AgentServer {
+	return &AgentServer{agent: agent, current: cluster.NewAlloc()}
+}
+
+// Current returns the allocation the Agent currently believes it holds.
+func (s *AgentServer) Current() cluster.Alloc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.current.Clone()
+}
+
+// Handler returns the HTTP handler implementing the Agent protocol.
+func (s *AgentServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/health", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]string{"status": "ok", "app": string(s.agent.ID())})
+	})
+	mux.HandleFunc("/v1/rho", s.handleRho)
+	mux.HandleFunc("/v1/bid", s.handleBid)
+	mux.HandleFunc("/v1/allocation", s.handleAllocation)
+	return mux
+}
+
+func (s *AgentServer) handleRho(w http.ResponseWriter, r *http.Request) {
+	var req RhoRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	current, err := req.Current.ToAlloc()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	if len(req.Current) == 0 {
+		current = s.current.Clone()
+	} else {
+		s.current = current.Clone()
+	}
+	s.mu.Unlock()
+	rho := s.agent.ReportRho(req.Now, current)
+	writeJSON(w, RhoResponse{App: string(s.agent.ID()), Rho: rho})
+}
+
+func (s *AgentServer) handleBid(w http.ResponseWriter, r *http.Request) {
+	var req BidRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	offer, err := req.Offer.ToAlloc()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	current, err := req.Current.ToAlloc()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	if len(req.Current) == 0 {
+		current = s.current.Clone()
+	}
+	s.mu.Unlock()
+	bid := s.agent.PrepareBid(req.Now, offer, current)
+	writeJSON(w, FromBidTable(bid))
+}
+
+func (s *AgentServer) handleAllocation(w http.ResponseWriter, r *http.Request) {
+	var msg AllocationMsg
+	if !readJSON(w, r, &msg) {
+		return
+	}
+	alloc, err := msg.Alloc.ToAlloc()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	s.current = alloc
+	s.expiry = msg.LeaseExpiry
+	s.mu.Unlock()
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The response is already partially written; nothing more to do.
+		return
+	}
+}
+
+// readJSON decodes the request body into v, writing an error response and
+// returning false on failure.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return false
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

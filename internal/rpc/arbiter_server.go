@@ -1,0 +1,257 @@
+package rpc
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"themis/internal/cluster"
+	"themis/internal/core"
+	"themis/internal/workload"
+)
+
+// RemoteBidder adapts a registered remote Agent to the Arbiter's Bidder
+// interface: every call becomes an HTTP request to the agent daemon. A
+// failing or unreachable agent degrades gracefully — it reports an
+// out-of-auction ρ and an empty bid, so one dead agent never blocks the
+// cluster's auctions.
+type RemoteBidder struct {
+	AppID   workload.AppID
+	Client  *AgentClient
+	Demand  int
+	Gang    int
+	Timeout time.Duration
+}
+
+// ID implements core.Bidder.
+func (r *RemoteBidder) ID() workload.AppID { return r.AppID }
+
+func (r *RemoteBidder) ctx() (context.Context, context.CancelFunc) {
+	timeout := r.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	return context.WithTimeout(context.Background(), timeout)
+}
+
+// ReportRho implements core.Bidder over HTTP.
+func (r *RemoteBidder) ReportRho(now float64, current cluster.Alloc) float64 {
+	ctx, cancel := r.ctx()
+	defer cancel()
+	rho, err := r.Client.ProbeRho(ctx, now, current)
+	if err != nil || rho <= 0 {
+		// An unreachable app cannot use GPUs right now: report it as
+		// perfectly satisfied so it never wins an auction it cannot consume.
+		return 1
+	}
+	return rho
+}
+
+// PrepareBid implements core.Bidder over HTTP.
+func (r *RemoteBidder) PrepareBid(now float64, offer, current cluster.Alloc) core.BidTable {
+	ctx, cancel := r.ctx()
+	defer cancel()
+	bid, err := r.Client.RequestBid(ctx, now, offer, current)
+	if err != nil || len(bid.Entries) == 0 {
+		return core.BidTable{App: r.AppID, Entries: []core.BidEntry{{Alloc: cluster.NewAlloc(), Rho: 1}}}
+	}
+	return bid
+}
+
+// UnmetParallelism implements core.Bidder using the registered demand.
+func (r *RemoteBidder) UnmetParallelism(current cluster.Alloc) int {
+	unmet := r.Demand - current.Total()
+	if unmet < 0 {
+		return 0
+	}
+	return unmet
+}
+
+// GangSize implements core.Bidder.
+func (r *RemoteBidder) GangSize() int {
+	if r.Gang <= 0 {
+		return 1
+	}
+	return r.Gang
+}
+
+// ArbiterServer exposes a core.Arbiter over HTTP. Agents register themselves
+// (POST /v1/register); an auction round over the currently free GPUs is
+// triggered with POST /v1/auction (the arbiterd daemon does this
+// periodically); GET /v1/status reports cluster state.
+type ArbiterServer struct {
+	arbiter *core.Arbiter
+	topo    *cluster.Topology
+
+	// Clock returns the current scheduling time in minutes; the default uses
+	// wall-clock minutes since the server was created.
+	Clock func() float64
+	// AgentGang is the default leftover chunk size for registered agents
+	// that do not state one.
+	AgentGang int
+
+	mu     sync.Mutex
+	state  *cluster.State
+	leases *core.LeaseTable
+	agents map[workload.AppID]*RemoteBidder
+}
+
+// NewArbiterServer builds a server around an Arbiter and its topology.
+func NewArbiterServer(arb *core.Arbiter) *ArbiterServer {
+	start := time.Now()
+	return &ArbiterServer{
+		arbiter:   arb,
+		topo:      arb.Topology(),
+		Clock:     func() float64 { return time.Since(start).Minutes() },
+		AgentGang: 4,
+		state:     cluster.NewState(arb.Topology()),
+		leases:    core.NewLeaseTable(),
+		agents:    make(map[workload.AppID]*RemoteBidder),
+	}
+}
+
+// Handler returns the HTTP handler implementing the Arbiter protocol.
+func (s *ArbiterServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/register", s.handleRegister)
+	mux.HandleFunc("/v1/auction", s.handleAuction)
+	mux.HandleFunc("/v1/status", s.handleStatus)
+	mux.HandleFunc("/v1/health", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func (s *ArbiterServer) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.App == "" || req.Callback == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("register requires app and callback"))
+		return
+	}
+	demand := req.MaxParallelism
+	if demand <= 0 {
+		demand = s.topo.TotalGPUs()
+	}
+	s.mu.Lock()
+	s.agents[workload.AppID(req.App)] = &RemoteBidder{
+		AppID:  workload.AppID(req.App),
+		Client: NewAgentClient(req.Callback),
+		Demand: demand,
+		Gang:   s.AgentGang,
+	}
+	s.mu.Unlock()
+	writeJSON(w, RegisterResponse{OK: true, LeaseMin: s.arbiter.Config().LeaseDuration})
+}
+
+func (s *ArbiterServer) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	held := make(map[string]int)
+	for _, app := range s.state.Apps() {
+		held[app] = s.state.Held(app).Total()
+	}
+	agents := make(map[string]struct{}, len(s.agents))
+	for id := range s.agents {
+		agents[string(id)] = struct{}{}
+	}
+	writeJSON(w, StatusResponse{
+		Now:          s.Clock(),
+		TotalGPUs:    s.topo.TotalGPUs(),
+		FreeGPUs:     s.state.TotalFree(),
+		Agents:       sortedKeys(agents),
+		Held:         held,
+		Auctions:     s.arbiter.Stats.Auctions,
+		ActiveLeases: s.leases.Len(),
+	})
+}
+
+// handleAuction runs one auction round: it reclaims expired leases, offers
+// the free GPUs to the registered agents, applies the winning allocations
+// and notifies every affected agent of its new total allocation.
+func (s *ArbiterServer) handleAuction(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	now := s.Clock()
+	resp, err := s.RunAuction(now)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// RunAuction executes one auction round at the given scheduling time. It is
+// exported so daemons and tests can drive auctions without HTTP.
+func (s *ArbiterServer) RunAuction(now float64) (AuctionResponse, error) {
+	s.mu.Lock()
+	// Reclaim expired leases.
+	changed := make(map[workload.AppID]bool)
+	for _, l := range s.leases.Expired(now) {
+		if err := s.state.Release(string(l.App), l.Alloc); err != nil {
+			s.mu.Unlock()
+			return AuctionResponse{}, fmt.Errorf("rpc: releasing expired lease for %s: %w", l.App, err)
+		}
+		changed[l.App] = true
+	}
+	free := s.state.FreeVector()
+	states := make([]core.AgentState, 0, len(s.agents))
+	for _, b := range s.agents {
+		states = append(states, core.AgentState{Agent: b, Current: s.state.Held(string(b.AppID))})
+	}
+	s.mu.Unlock()
+
+	resp := AuctionResponse{Now: now, Offered: free.Total(), Decisions: make(map[string]WireAlloc)}
+	if free.Total() == 0 || len(states) == 0 {
+		return resp, nil
+	}
+	decisions, err := s.arbiter.OfferResources(now, free, states)
+	if err != nil {
+		return AuctionResponse{}, err
+	}
+
+	s.mu.Lock()
+	lease := s.arbiter.Config().LeaseDuration
+	granted := make(map[workload.AppID]cluster.Alloc)
+	for _, d := range decisions {
+		if err := s.state.Grant(string(d.App), d.Alloc); err != nil {
+			s.mu.Unlock()
+			return AuctionResponse{}, fmt.Errorf("rpc: applying allocation for %s: %w", d.App, err)
+		}
+		s.leases.Grant(d.App, d.Alloc, now, lease)
+		changed[d.App] = true
+		granted[d.App] = granted[d.App].Add(d.Alloc)
+	}
+	for id, alloc := range granted {
+		resp.Decisions[string(id)] = ToWireAlloc(alloc)
+	}
+	notify := make(map[workload.AppID]cluster.Alloc, len(changed))
+	for id := range changed {
+		notify[id] = s.state.Held(string(id))
+	}
+	clients := make(map[workload.AppID]*AgentClient, len(changed))
+	for id := range changed {
+		if b, ok := s.agents[id]; ok {
+			clients[id] = b.Client
+		}
+	}
+	s.mu.Unlock()
+
+	// Deliver new totals to every agent whose allocation changed.
+	for id, alloc := range notify {
+		client, ok := clients[id]
+		if !ok {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = client.DeliverAllocation(ctx, now, alloc, true, now+lease)
+		cancel()
+	}
+	return resp, nil
+}

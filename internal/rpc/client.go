@@ -1,0 +1,160 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"themis/internal/cluster"
+	"themis/internal/core"
+)
+
+// AgentClient is the Arbiter-side client for one registered Agent.
+type AgentClient struct {
+	// BaseURL is the Agent's HTTP endpoint, e.g. "http://host:port".
+	BaseURL string
+	// HTTPClient is the client used for requests; nil uses a client with a
+	// short timeout suitable for scheduling RPCs.
+	HTTPClient *http.Client
+}
+
+// NewAgentClient returns a client for the Agent at baseURL.
+func NewAgentClient(baseURL string) *AgentClient {
+	return &AgentClient{BaseURL: baseURL, HTTPClient: &http.Client{Timeout: 10 * time.Second}}
+}
+
+func (c *AgentClient) client() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// post sends a JSON request and decodes the JSON response into out.
+func (c *AgentClient) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("rpc: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("rpc: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("rpc: calling %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("rpc: %s returned %d: %s", path, resp.StatusCode, e.Error)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("rpc: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// ProbeRho asks the Agent for its current finish-time fairness estimate.
+func (c *AgentClient) ProbeRho(ctx context.Context, now float64, current cluster.Alloc) (float64, error) {
+	var resp RhoResponse
+	err := c.post(ctx, "/v1/rho", RhoRequest{Now: now, Current: ToWireAlloc(current)}, &resp)
+	return resp.Rho, err
+}
+
+// RequestBid offers GPUs to the Agent and returns its bid table.
+func (c *AgentClient) RequestBid(ctx context.Context, now float64, offer, current cluster.Alloc) (core.BidTable, error) {
+	var resp BidResponse
+	if err := c.post(ctx, "/v1/bid", BidRequest{Now: now, Offer: ToWireAlloc(offer), Current: ToWireAlloc(current)}, &resp); err != nil {
+		return core.BidTable{}, err
+	}
+	return resp.ToBidTable()
+}
+
+// DeliverAllocation notifies the Agent of its new total allocation and lease
+// expiry.
+func (c *AgentClient) DeliverAllocation(ctx context.Context, now float64, alloc cluster.Alloc, fromAuction bool, leaseExpiry float64) error {
+	return c.post(ctx, "/v1/allocation", AllocationMsg{
+		Now: now, Alloc: ToWireAlloc(alloc), FromAuction: fromAuction, LeaseExpiry: leaseExpiry,
+	}, nil)
+}
+
+// Health checks the Agent's liveness.
+func (c *AgentClient) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/health", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("rpc: health check returned %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// ArbiterClient is the Agent-side (or operator-side) client for an Arbiter.
+type ArbiterClient struct {
+	BaseURL    string
+	HTTPClient *http.Client
+}
+
+// NewArbiterClient returns a client for the Arbiter at baseURL.
+func NewArbiterClient(baseURL string) *ArbiterClient {
+	return &ArbiterClient{BaseURL: baseURL, HTTPClient: &http.Client{Timeout: 10 * time.Second}}
+}
+
+func (c *ArbiterClient) post(ctx context.Context, path string, in, out any) error {
+	a := AgentClient{BaseURL: c.BaseURL, HTTPClient: c.HTTPClient}
+	return a.post(ctx, path, in, out)
+}
+
+// Register announces an Agent to the Arbiter.
+func (c *ArbiterClient) Register(ctx context.Context, app, callback string, maxParallelism int) (RegisterResponse, error) {
+	var resp RegisterResponse
+	err := c.post(ctx, "/v1/register", RegisterRequest{App: app, Callback: callback, MaxParallelism: maxParallelism}, &resp)
+	return resp, err
+}
+
+// TriggerAuction asks the Arbiter to run one auction round over the GPUs
+// currently free and returns the decisions.
+func (c *ArbiterClient) TriggerAuction(ctx context.Context) (AuctionResponse, error) {
+	var resp AuctionResponse
+	err := c.post(ctx, "/v1/auction", struct{}{}, &resp)
+	return resp, err
+}
+
+// Status fetches the Arbiter's cluster status.
+func (c *ArbiterClient) Status(ctx context.Context) (StatusResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/status", nil)
+	if err != nil {
+		return StatusResponse{}, err
+	}
+	client := c.HTTPClient
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return StatusResponse{}, err
+	}
+	defer resp.Body.Close()
+	var out StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return StatusResponse{}, fmt.Errorf("rpc: decoding status: %w", err)
+	}
+	return out, nil
+}

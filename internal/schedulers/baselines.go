@@ -1,0 +1,288 @@
+package schedulers
+
+import (
+	"sort"
+
+	"themis/internal/cluster"
+	"themis/internal/estimator"
+	"themis/internal/placement"
+	"themis/internal/sim"
+	"themis/internal/workload"
+)
+
+// Gandiva models Xiao et al.'s introspective cluster scheduler as the paper
+// does (§8): every app reports the placement score it would obtain from the
+// offered GPUs, and a greedy placement algorithm maximises aggregate
+// placement score at every lease boundary. Gandiva has no fairness
+// objective. (GPU time-slicing is deliberately not modelled, as in the
+// paper, since it would benefit all schemes equally.)
+type Gandiva struct{}
+
+// NewGandiva returns the Gandiva baseline policy.
+func NewGandiva() *Gandiva { return &Gandiva{} }
+
+// Name implements sim.Policy.
+func (*Gandiva) Name() string { return "gandiva" }
+
+// Allocate greedily hands gang-sized chunks to whichever app places them
+// best, repeating until demand or supply is exhausted.
+func (*Gandiva) Allocate(now float64, free cluster.Alloc, view *sim.View) map[workload.AppID]cluster.Alloc {
+	out := make(map[workload.AppID]cluster.Alloc)
+	remaining := free.Clone()
+	demand := demandOf(view)
+	for remaining.Total() > 0 {
+		type candidate struct {
+			st    *sim.AppState
+			alloc cluster.Alloc
+			score float64
+		}
+		var best *candidate
+		for _, st := range view.Apps {
+			unmet := demand[st.App.ID]
+			if unmet <= 0 {
+				continue
+			}
+			chunk := chunkFor(st, unmet)
+			anchor := st.Held.Add(out[st.App.ID])
+			alloc := placement.Pick(view.Topo, remaining, anchor, chunk)
+			if alloc.Total() == 0 {
+				continue
+			}
+			score := cluster.PlacementScore(view.Topo, anchor.Add(alloc))
+			if best == nil || score > best.score ||
+				(score == best.score && st.App.SubmitTime < best.st.App.SubmitTime) {
+				best = &candidate{st: st, alloc: alloc, score: score}
+			}
+		}
+		if best == nil {
+			break
+		}
+		mergeGrant(out, best.st.App.ID, best.alloc)
+		demand[best.st.App.ID] -= best.alloc.Total()
+		var err error
+		remaining, err = remaining.Sub(best.alloc)
+		if err != nil {
+			panic("schedulers: gandiva over-allocated: " + err.Error())
+		}
+	}
+	return out
+}
+
+// Tiresias models Gu et al.'s least-attained-service (LAS) discipline as the
+// paper does (§8): apps report their total GPU service so far and the GPUs
+// go to the apps with the least attained service. The policy is placement
+// unaware, so chunks are picked spread across machines.
+type Tiresias struct{}
+
+// NewTiresias returns the Tiresias baseline policy.
+func NewTiresias() *Tiresias { return &Tiresias{} }
+
+// Name implements sim.Policy.
+func (*Tiresias) Name() string { return "tiresias" }
+
+// Allocate assigns gang-sized chunks to apps in ascending order of attained
+// GPU service until supply or demand runs out.
+func (*Tiresias) Allocate(now float64, free cluster.Alloc, view *sim.View) map[workload.AppID]cluster.Alloc {
+	out := make(map[workload.AppID]cluster.Alloc)
+	remaining := free.Clone()
+	demand := demandOf(view)
+
+	service := make(map[workload.AppID]float64, len(view.Apps))
+	for _, st := range view.Apps {
+		service[st.App.ID] = st.AttainedService()
+	}
+	for remaining.Total() > 0 {
+		// Pick the app with least attained service (counting what it has
+		// been granted this round as if already consumed, so one app does
+		// not absorb the entire pool in a single round).
+		var best *sim.AppState
+		for _, st := range view.Apps {
+			if demand[st.App.ID] <= 0 {
+				continue
+			}
+			if best == nil || service[st.App.ID] < service[best.App.ID] ||
+				(service[st.App.ID] == service[best.App.ID] && st.App.SubmitTime < best.App.SubmitTime) {
+				best = st
+			}
+		}
+		if best == nil {
+			break
+		}
+		chunk := chunkFor(best, demand[best.App.ID])
+		alloc := spreadPick(remaining, chunk)
+		if alloc.Total() == 0 {
+			break
+		}
+		mergeGrant(out, best.App.ID, alloc)
+		demand[best.App.ID] -= alloc.Total()
+		// Bias future picks away from this app proportionally to the grant.
+		service[best.App.ID] += float64(alloc.Total())
+		var err error
+		remaining, err = remaining.Sub(alloc)
+		if err != nil {
+			panic("schedulers: tiresias over-allocated: " + err.Error())
+		}
+	}
+	return out
+}
+
+// SLAQ models Zhang et al.'s quality-driven scheduler as the paper does
+// (§8): every app reports the decrease in loss it would obtain from the
+// offered GPUs and the scheduler maximises the aggregate loss reduction. It
+// is fairness- and placement-unaware.
+type SLAQ struct {
+	// WindowMinutes is the horizon over which marginal loss reduction is
+	// evaluated (defaults to a lease length).
+	WindowMinutes float64
+
+	curves map[workload.JobID]estimator.LossCurve
+}
+
+// NewSLAQ returns the SLAQ baseline policy.
+func NewSLAQ() *SLAQ {
+	return &SLAQ{WindowMinutes: 20, curves: make(map[workload.JobID]estimator.LossCurve)}
+}
+
+// Name implements sim.Policy.
+func (*SLAQ) Name() string { return "slaq" }
+
+// Allocate repeatedly grants a gang-sized chunk to the app whose best active
+// trial would reduce its loss the most over the next window given that
+// chunk.
+func (s *SLAQ) Allocate(now float64, free cluster.Alloc, view *sim.View) map[workload.AppID]cluster.Alloc {
+	out := make(map[workload.AppID]cluster.Alloc)
+	remaining := free.Clone()
+	demand := demandOf(view)
+	granted := make(map[workload.AppID]int)
+
+	for remaining.Total() > 0 {
+		var best *sim.AppState
+		bestGain := 0.0
+		for _, st := range view.Apps {
+			if demand[st.App.ID] <= 0 {
+				continue
+			}
+			chunk := chunkFor(st, demand[st.App.ID])
+			gain := s.lossReduction(st, st.Held.Total()+granted[st.App.ID], chunk)
+			if best == nil || gain > bestGain ||
+				(gain == bestGain && st.App.SubmitTime < best.App.SubmitTime) {
+				best, bestGain = st, gain
+			}
+		}
+		if best == nil {
+			break
+		}
+		chunk := chunkFor(best, demand[best.App.ID])
+		alloc := spreadPick(remaining, chunk)
+		if alloc.Total() == 0 {
+			break
+		}
+		mergeGrant(out, best.App.ID, alloc)
+		demand[best.App.ID] -= alloc.Total()
+		granted[best.App.ID] += alloc.Total()
+		var err error
+		remaining, err = remaining.Sub(alloc)
+		if err != nil {
+			panic("schedulers: slaq over-allocated: " + err.Error())
+		}
+	}
+	return out
+}
+
+// lossReduction estimates the loss decrease the app's best-progressing trial
+// would achieve over the policy window if the app went from have to
+// have+extra GPUs.
+func (s *SLAQ) lossReduction(st *sim.AppState, have, extra int) float64 {
+	window := s.WindowMinutes
+	if window <= 0 {
+		window = 20
+	}
+	bestGain := 0.0
+	for _, j := range st.App.ActiveJobs() {
+		curve, ok := s.curves[j.ID]
+		if !ok {
+			curve = estimator.CurveForJob(j)
+			s.curves[j.ID] = curve
+		}
+		perIterWork := j.TotalWork / float64(maxInt(j.TotalIterations, 1))
+		done := j.IterationsDone()
+		itersWith := done + int(window*float64(have+extra)/maxFloat(perIterWork, 1e-9))
+		itersWithout := done + int(window*float64(have)/maxFloat(perIterWork, 1e-9))
+		gain := curve.Loss(itersWithout) - curve.Loss(itersWith)
+		if gain > bestGain {
+			bestGain = gain
+		}
+	}
+	return bestGain
+}
+
+// ResourceFair is a DRF-style instantaneous resource-fair reference policy:
+// it equalises GPU counts across active apps at every scheduling round,
+// ignoring placement and finish times. It is not part of the paper's
+// comparison set but is useful as an extra reference point in experiments.
+type ResourceFair struct{}
+
+// NewResourceFair returns the resource-fair reference policy.
+func NewResourceFair() *ResourceFair { return &ResourceFair{} }
+
+// Name implements sim.Policy.
+func (*ResourceFair) Name() string { return "resource-fair" }
+
+// Allocate gives one gang-sized chunk at a time to the app currently holding
+// the fewest GPUs.
+func (*ResourceFair) Allocate(now float64, free cluster.Alloc, view *sim.View) map[workload.AppID]cluster.Alloc {
+	out := make(map[workload.AppID]cluster.Alloc)
+	remaining := free.Clone()
+	demand := demandOf(view)
+	holding := make(map[workload.AppID]int, len(view.Apps))
+	for _, st := range view.Apps {
+		holding[st.App.ID] = st.Held.Total()
+	}
+	// Deterministic ordering of apps for tie-breaks.
+	apps := make([]*sim.AppState, len(view.Apps))
+	copy(apps, view.Apps)
+	sort.Slice(apps, func(i, j int) bool { return apps[i].App.ID < apps[j].App.ID })
+
+	for remaining.Total() > 0 {
+		var best *sim.AppState
+		for _, st := range apps {
+			if demand[st.App.ID] <= 0 {
+				continue
+			}
+			if best == nil || holding[st.App.ID] < holding[best.App.ID] {
+				best = st
+			}
+		}
+		if best == nil {
+			break
+		}
+		chunk := chunkFor(best, demand[best.App.ID])
+		alloc := spreadPick(remaining, chunk)
+		if alloc.Total() == 0 {
+			break
+		}
+		mergeGrant(out, best.App.ID, alloc)
+		demand[best.App.ID] -= alloc.Total()
+		holding[best.App.ID] += alloc.Total()
+		var err error
+		remaining, err = remaining.Sub(alloc)
+		if err != nil {
+			panic("schedulers: resource-fair over-allocated: " + err.Error())
+		}
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

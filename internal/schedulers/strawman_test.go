@@ -1,0 +1,48 @@
+package schedulers
+
+import (
+	"testing"
+
+	"themis/internal/core"
+	"themis/internal/metrics"
+	"themis/internal/sim"
+)
+
+func TestStrawmanCompletesWorkload(t *testing.T) {
+	res := runPolicy(t, NewStrawman(), 3, 8)
+	if got := len(res.Finished()); got != len(res.Apps) {
+		t.Errorf("strawman finished %d of %d apps", got, len(res.Apps))
+	}
+	if res.Policy != "strawman-ftf" {
+		t.Errorf("policy name %q", res.Policy)
+	}
+}
+
+// TestStrawmanVsThemisEfficiency reproduces §4's argument for auctions over
+// the strawman: giving everything to the single worst-off app ignores
+// placement fit, so Themis should use the cluster at least as efficiently
+// (GPU time) on a placement-sensitive workload while staying comparable on
+// worst-case fairness.
+func TestStrawmanVsThemisEfficiency(t *testing.T) {
+	themis := runPolicy(t, NewThemis(core.DefaultConfig()), 17, 10)
+	straw := runPolicy(t, NewStrawman(), 17, 10)
+	if metrics.GPUTime(themis) > metrics.GPUTime(straw)*1.15 {
+		t.Errorf("Themis GPU time %v much worse than strawman %v", metrics.GPUTime(themis), metrics.GPUTime(straw))
+	}
+	if metrics.MaxFairness(themis) > metrics.MaxFairness(straw)*1.6 {
+		t.Errorf("Themis max fairness %v much worse than strawman %v",
+			metrics.MaxFairness(themis), metrics.MaxFairness(straw))
+	}
+}
+
+func TestStrawmanSkipsSatisfiedApps(t *testing.T) {
+	// With a single app whose demand is already met, the strawman must not
+	// allocate anything further.
+	res := runPolicy(t, NewStrawman(), 5, 2)
+	for _, rec := range res.Apps {
+		if rec.FinishTimeFairness <= 0 {
+			t.Errorf("app %s has invalid rho", rec.App)
+		}
+	}
+	var _ sim.Policy = NewStrawman() // interface conformance
+}

@@ -1,0 +1,79 @@
+package schedulers
+
+import (
+	"sort"
+
+	"themis/internal/cluster"
+	"themis/internal/sim"
+	"themis/internal/workload"
+)
+
+// spreadPick selects up to count GPUs from free in a placement-blind way:
+// one GPU at a time, round-robin across machines. It models schedulers that
+// do not reason about locality (Tiresias, SLAQ) — their allocations tend to
+// straddle machines and racks.
+func spreadPick(free cluster.Alloc, count int) cluster.Alloc {
+	picked := cluster.NewAlloc()
+	if count <= 0 || free.Total() == 0 {
+		return picked
+	}
+	remaining := free.Clone()
+	machines := remaining.Machines()
+	sort.Slice(machines, func(i, j int) bool { return machines[i] < machines[j] })
+	for count > 0 && remaining.Total() > 0 {
+		progress := false
+		for _, m := range machines {
+			if count == 0 {
+				break
+			}
+			if remaining[m] <= 0 {
+				continue
+			}
+			picked[m]++
+			remaining[m]--
+			count--
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	return picked
+}
+
+// demandOf returns how many GPUs each active app can still use, keyed by ID.
+func demandOf(view *sim.View) map[workload.AppID]int {
+	out := make(map[workload.AppID]int, len(view.Apps))
+	for _, st := range view.Apps {
+		if d := st.UnmetDemand(); d > 0 {
+			out[st.App.ID] = d
+		}
+	}
+	return out
+}
+
+// chunkFor bounds a single grant: policies hand out GPUs in gang-size chunks
+// (the app's typical gang), never exceeding the app's unmet demand.
+func chunkFor(st *sim.AppState, unmet int) int {
+	gang := 0
+	for _, j := range st.App.ActiveJobs() {
+		if j.GangSize > gang {
+			gang = j.GangSize
+		}
+	}
+	if gang <= 0 {
+		gang = 1
+	}
+	if gang > unmet {
+		gang = unmet
+	}
+	return gang
+}
+
+// mergeGrant accumulates a grant into the policy's result map.
+func mergeGrant(out map[workload.AppID]cluster.Alloc, id workload.AppID, alloc cluster.Alloc) {
+	if alloc.Total() == 0 {
+		return
+	}
+	out[id] = out[id].Add(alloc)
+}

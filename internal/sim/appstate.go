@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"math"
+
+	"themis/internal/cluster"
+	"themis/internal/hyperparam"
+	"themis/internal/placement"
+	"themis/internal/workload"
+)
+
+// AppState is the simulator's runtime record for one app. Policies receive
+// AppStates through the View; the exported fields are safe to read, and the
+// job objects may be inspected (but not mutated) for policy decisions.
+type AppState struct {
+	App   *workload.App
+	Tuner hyperparam.Tuner
+	// Held is the app's current allocation; refreshed when a View is built.
+	Held cluster.Alloc
+	// TIdealAtArrival is the app's dedicated-cluster running time estimate
+	// frozen at submission (min over jobs of work / gang size), used for the
+	// realised finish-time fairness metric.
+	TIdealAtArrival float64
+
+	topo        *cluster.Topology
+	jobAllocs   map[workload.JobID]cluster.Alloc
+	pausedUntil float64
+}
+
+func newAppState(app *workload.App, tuner hyperparam.Tuner, topo *cluster.Topology) *AppState {
+	st := &AppState{
+		App:       app,
+		Tuner:     tuner,
+		Held:      cluster.NewAlloc(),
+		topo:      topo,
+		jobAllocs: make(map[workload.JobID]cluster.Alloc),
+	}
+	st.TIdealAtArrival = idealRunningTime(app)
+	app.TIdeal = st.TIdealAtArrival
+	return st
+}
+
+// idealRunningTime is the paper's T_ID estimate (§5.2 step 5): the minimum
+// over the app's jobs of serial work divided by ideal parallelism, with
+// perfect placement.
+func idealRunningTime(app *workload.App) float64 {
+	best := math.Inf(1)
+	for _, j := range app.Jobs {
+		g := j.GangSize
+		if j.MaxParallelism > g {
+			g = j.MaxParallelism
+		}
+		if g <= 0 {
+			continue
+		}
+		if t := j.TotalWork / float64(g); t < best {
+			best = t
+		}
+	}
+	if math.IsInf(best, 1) || best <= 0 {
+		return 1e-6
+	}
+	return best
+}
+
+// AttainedService returns the GPU-minutes the app has consumed so far — the
+// quantity Tiresias's least-attained-service policy schedules on.
+func (st *AppState) AttainedService() float64 { return st.App.GPUTime() }
+
+// UnmetDemand returns how many additional GPUs the app can still use.
+func (st *AppState) UnmetDemand() int {
+	want := 0
+	for _, j := range st.App.ActiveJobs() {
+		p := j.MaxParallelism
+		if p <= 0 {
+			p = j.GangSize
+		}
+		want += p
+	}
+	unmet := want - st.Held.Total()
+	if unmet < 0 {
+		return 0
+	}
+	return unmet
+}
+
+// PausedUntil returns the time before which the app's jobs make no progress
+// because of checkpoint/restart churn after its last allocation change.
+func (st *AppState) PausedUntil() float64 { return st.pausedUntil }
+
+// JobAlloc returns the GPUs currently assigned to job id within the app.
+func (st *AppState) JobAlloc(id workload.JobID) cluster.Alloc {
+	if a, ok := st.jobAllocs[id]; ok {
+		return a.Clone()
+	}
+	return cluster.NewAlloc()
+}
+
+// onAllocationChange re-splits the app's (new) total allocation across its
+// active jobs and applies the checkpoint/restart pause.
+func (st *AppState) onAllocationChange(now float64, held cluster.Alloc, overhead float64) {
+	st.Held = held
+	st.resplit()
+	if overhead > 0 {
+		until := now + overhead
+		if until > st.pausedUntil {
+			st.pausedUntil = until
+		}
+	}
+}
+
+// resplit assigns the app's held GPUs to its active jobs greedily and
+// placement-sensitively, honouring per-job parallelism limits. Jobs nearest
+// completion are placed first (they determine the app's finish time).
+func (st *AppState) resplit() {
+	st.jobAllocs = make(map[workload.JobID]cluster.Alloc)
+	active := st.App.ActiveJobs()
+	if len(active) == 0 || st.Held.Total() == 0 {
+		return
+	}
+	order := make([]*workload.Job, len(active))
+	copy(order, active)
+	for i := 0; i < len(order); i++ {
+		for k := i + 1; k < len(order); k++ {
+			if order[k].RemainingWork() < order[i].RemainingWork() {
+				order[i], order[k] = order[k], order[i]
+			}
+		}
+	}
+	remaining := st.Held.Clone()
+	for _, j := range order {
+		want := j.MaxParallelism
+		if want <= 0 {
+			want = j.GangSize
+		}
+		picked := placement.Pick(st.topo, remaining, cluster.NewAlloc(), want)
+		if picked.Total() == 0 {
+			continue
+		}
+		st.jobAllocs[j.ID] = picked
+		var err error
+		remaining, err = remaining.Sub(picked)
+		if err != nil {
+			panic("sim: resplit internal inconsistency: " + err.Error())
+		}
+	}
+}
+
+// advance integrates all running jobs' progress over [from, to].
+func (st *AppState) advance(from, to float64) {
+	start := from
+	if st.pausedUntil > start {
+		start = st.pausedUntil
+	}
+	if start >= to {
+		return
+	}
+	dt := to - start
+	for _, j := range st.App.ActiveJobs() {
+		alloc := st.jobAllocs[j.ID]
+		g := alloc.Total()
+		if g == 0 || !placement.SatisfiesMinPerMachine(alloc, j.MinGPUsPerMachine) {
+			continue
+		}
+		s := st.App.Profile.SOf(st.topo, alloc)
+		j.Advance(start, dt, g, s)
+	}
+}
+
+// nextCompletion returns the projected completion time of the app's
+// fastest-finishing running job, if any job is running.
+func (st *AppState) nextCompletion(now float64) (float64, bool) {
+	start := now
+	if st.pausedUntil > start {
+		start = st.pausedUntil
+	}
+	best := math.Inf(1)
+	for _, j := range st.App.ActiveJobs() {
+		alloc := st.jobAllocs[j.ID]
+		g := alloc.Total()
+		if g == 0 || !placement.SatisfiesMinPerMachine(alloc, j.MinGPUsPerMachine) {
+			continue
+		}
+		s := st.App.Profile.SOf(st.topo, alloc)
+		t := start + j.RemainingWork()/(float64(g)*s)
+		if t < best {
+			best = t
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, false
+	}
+	return best, true
+}
+
+// View is the read-only snapshot of simulator state a Policy sees when asked
+// to allocate free GPUs.
+type View struct {
+	Topo    *cluster.Topology
+	Cluster *cluster.State
+	Now     float64
+	// Apps lists the active (arrived, unfinished) apps in ID order, with
+	// Held already refreshed.
+	Apps []*AppState
+}
+
+// ByID returns the active app with the given ID, or nil.
+func (v *View) ByID(id workload.AppID) *AppState {
+	for _, st := range v.Apps {
+		if st.App.ID == id {
+			return st
+		}
+	}
+	return nil
+}
+
+// anyDemand reports whether any active app can still use more GPUs.
+func (v *View) anyDemand() bool {
+	for _, st := range v.Apps {
+		if st.UnmetDemand() > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"math"
+	"sort"
+
+	"themis/internal/cluster"
+	"themis/internal/workload"
+)
+
+// Failure injects a machine failure: at Time the machine goes offline for
+// Duration minutes, every allocation on it is revoked (the affected apps
+// lose those GPUs immediately and pay the restart overhead), and the machine
+// rejoins the free pool when it recovers. The paper leaves failure-aware
+// scheduling to future work (§6); the injector exists so schedulers can be
+// studied under failures and so tests can exercise the revocation path.
+type Failure struct {
+	Time     float64
+	Machine  cluster.MachineID
+	Duration float64
+}
+
+// recovery is a scheduled end of a failure.
+type recovery struct {
+	time    float64
+	machine cluster.MachineID
+}
+
+// initFailures validates and orders the configured failures.
+func (s *Simulator) initFailures() {
+	s.failures = append([]Failure(nil), s.cfg.Failures...)
+	sort.Slice(s.failures, func(i, j int) bool { return s.failures[i].Time < s.failures[j].Time })
+}
+
+// processFailures applies any failures or recoveries whose time has come.
+func (s *Simulator) processFailures() {
+	for len(s.failures) > 0 && s.failures[0].Time <= s.now+timeEps {
+		f := s.failures[0]
+		s.failures = s.failures[1:]
+		s.failMachine(f.Machine)
+		if f.Duration > 0 {
+			s.recoveries = append(s.recoveries, recovery{time: f.Time + f.Duration, machine: f.Machine})
+			sort.Slice(s.recoveries, func(i, j int) bool { return s.recoveries[i].time < s.recoveries[j].time })
+		}
+	}
+	for len(s.recoveries) > 0 && s.recoveries[0].time <= s.now+timeEps {
+		s.cs.SetOffline(s.recoveries[0].machine, false)
+		s.recoveries = s.recoveries[1:]
+	}
+}
+
+// failMachine takes a machine offline, revoking every allocation on it.
+func (s *Simulator) failMachine(m cluster.MachineID) {
+	for app, n := range s.cs.AppsOn(m) {
+		id := workload.AppID(app)
+		revoked := cluster.Alloc{m: n}
+		if err := s.cs.Release(app, revoked); err != nil {
+			panic("sim: revoking failed machine's GPUs: " + err.Error())
+		}
+		s.trimLeases(id, m, n)
+		if st, ok := s.active[id]; ok {
+			st.onAllocationChange(s.now, s.cs.Held(app), s.cfg.RestartOverhead)
+			s.result.noteAllocation(s.now, st, s.cs.Held(app))
+		}
+	}
+	s.cs.SetOffline(m, true)
+}
+
+// trimLeases removes count GPUs on machine m from the app's outstanding
+// leases so later expiries do not double-release them.
+func (s *Simulator) trimLeases(app workload.AppID, m cluster.MachineID, count int) {
+	for i := range s.leases {
+		if count == 0 {
+			break
+		}
+		l := &s.leases[i]
+		if l.app != app || l.alloc[m] == 0 {
+			continue
+		}
+		take := l.alloc[m]
+		if take > count {
+			take = count
+		}
+		l.alloc[m] -= take
+		if l.alloc[m] == 0 {
+			delete(l.alloc, m)
+		}
+		count -= take
+	}
+}
+
+// nextFailureEvent returns the earliest pending failure or recovery time.
+func (s *Simulator) nextFailureEvent() (float64, bool) {
+	best := math.Inf(1)
+	if len(s.failures) > 0 {
+		best = math.Min(best, s.failures[0].Time)
+	}
+	if len(s.recoveries) > 0 {
+		best = math.Min(best, s.recoveries[0].time)
+	}
+	if math.IsInf(best, 1) {
+		return 0, false
+	}
+	return best, true
+}

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"testing"
+
+	"themis/internal/cluster"
+	"themis/internal/placement"
+	"themis/internal/workload"
+)
+
+func TestFailureRevokesGPUsAndRecovers(t *testing.T) {
+	// A single machine that fails at t=10 for 30 minutes while the only app
+	// runs on it: the app must lose its GPUs, wait out the failure, and
+	// still finish once the machine recovers.
+	topo := simTopo(t, 1, 4, 1)
+	app := simApp("a", 0, placement.ResNet50, 1, 200)
+	s, err := New(Config{
+		Topology:      topo,
+		Apps:          []*workload.App{app},
+		Policy:        fifoPolicy{},
+		LeaseDuration: 20,
+		Failures:      []Failure{{Time: 10, Machine: 0, Duration: 30}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Finished()) != 1 {
+		t.Fatal("app did not finish despite machine recovery")
+	}
+	// The failure must show up as an allocation drop in the timeline at t=10.
+	sawDrop := false
+	for _, e := range res.TimelineFor("a") {
+		if e.Time >= 10 && e.Time < 11 && e.GPUs < 4 {
+			sawDrop = true
+		}
+	}
+	if !sawDrop {
+		t.Errorf("timeline shows no allocation drop at the failure: %v", res.TimelineFor("a"))
+	}
+	// Completion is delayed by roughly the 30-minute outage beyond the
+	// unfailed ideal of 50 minutes on 4 GPUs.
+	if res.Apps[0].CompletionTime <= 75 {
+		t.Errorf("completion %v should be delayed by the 30-minute outage", res.Apps[0].CompletionTime)
+	}
+}
+
+func TestFailureOfIdleMachineIsHarmless(t *testing.T) {
+	topo := simTopo(t, 2, 4, 2)
+	app := simApp("a", 0, placement.ResNet50, 1, 40)
+	s, err := New(Config{
+		Topology:      topo,
+		Apps:          []*workload.App{app},
+		Policy:        fifoPolicy{},
+		LeaseDuration: 20,
+		Failures:      []Failure{{Time: 1, Machine: 1, Duration: 1000}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Finished()) != 1 {
+		t.Error("failure of an unused machine should not block completion")
+	}
+}
+
+func TestPermanentFailureShrinksCluster(t *testing.T) {
+	// Single machine fails permanently while the only app runs: the app can
+	// never finish, and the run must still terminate at the horizon.
+	topo := simTopo(t, 1, 4, 1)
+	app := simApp("a", 0, placement.ResNet50, 1, 200)
+	s, err := New(Config{
+		Topology:      topo,
+		Apps:          []*workload.App{app},
+		Policy:        fifoPolicy{},
+		LeaseDuration: 10,
+		Horizon:       300,
+		Failures:      []Failure{{Time: 5, Machine: 0, Duration: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Finished()) != 0 {
+		t.Error("app finished despite its only machine failing permanently")
+	}
+}
+
+func TestClusterOfflineAccounting(t *testing.T) {
+	topo := simTopo(t, 2, 4, 2)
+	cs := cluster.NewState(topo)
+	if err := cs.Grant("a", cluster.Alloc{0: 2}); err != nil {
+		t.Fatal(err)
+	}
+	cs.SetOffline(0, true)
+	if cs.FreeOn(0) != 0 {
+		t.Errorf("offline machine should offer no GPUs, got %d", cs.FreeOn(0))
+	}
+	if cs.TotalFree() != 4 {
+		t.Errorf("TotalFree = %d, want 4 (only machine 1)", cs.TotalFree())
+	}
+	if got := cs.FreeVector(); got[0] != 0 || got[1] != 4 {
+		t.Errorf("FreeVector = %v", got)
+	}
+	// Used GPUs are still accounted even while offline.
+	if cs.TotalUsed() != 2 {
+		t.Errorf("TotalUsed = %d, want 2", cs.TotalUsed())
+	}
+	if err := cs.Grant("b", cluster.Alloc{0: 1}); err == nil {
+		t.Error("granting on an offline machine should fail")
+	}
+	off := cs.OfflineMachines()
+	if len(off) != 1 || off[0] != 0 || !cs.Offline(0) {
+		t.Errorf("OfflineMachines = %v", off)
+	}
+	cs.SetOffline(0, false)
+	if cs.FreeOn(0) != 2 {
+		t.Errorf("after recovery FreeOn(0) = %d, want 2", cs.FreeOn(0))
+	}
+	// Unknown machines are ignored.
+	cs.SetOffline(99, true)
+	if len(cs.OfflineMachines()) != 0 {
+		t.Error("unknown machine should not be recorded as offline")
+	}
+}
+
+func TestPlacementConstraintBlocksSpreadAllocations(t *testing.T) {
+	// A job that needs at least 4 co-located GPUs makes no progress on a
+	// 2+2 split but runs fine on a single machine.
+	topo := simTopo(t, 2, 4, 2)
+	app := simApp("a", 0, placement.ResNet50, 1, 100)
+	app.Jobs[0].MinGPUsPerMachine = 4
+	st := newAppState(app, fifoTuner{}, topo)
+
+	st.onAllocationChange(0, cluster.Alloc{0: 2, 1: 2}, 0)
+	st.advance(0, 10)
+	if app.Jobs[0].DoneWork != 0 {
+		t.Errorf("constrained job progressed on a violating allocation: %v", app.Jobs[0].DoneWork)
+	}
+	if _, ok := st.nextCompletion(10); ok {
+		t.Error("violating allocation should not produce a completion event")
+	}
+
+	st.onAllocationChange(10, cluster.Alloc{0: 4}, 0)
+	st.advance(10, 20)
+	if app.Jobs[0].DoneWork == 0 {
+		t.Error("constrained job should progress on a machine-local allocation")
+	}
+}
+
+func TestSatisfiesMinPerMachine(t *testing.T) {
+	cases := []struct {
+		alloc cluster.Alloc
+		min   int
+		want  bool
+	}{
+		{cluster.Alloc{0: 4}, 4, true},
+		{cluster.Alloc{0: 2, 1: 2}, 4, false},
+		{cluster.Alloc{0: 4, 1: 4}, 4, true},
+		{cluster.Alloc{0: 1}, 0, true},
+		{cluster.NewAlloc(), 4, true},
+	}
+	for _, c := range cases {
+		if got := placement.SatisfiesMinPerMachine(c.alloc, c.min); got != c.want {
+			t.Errorf("SatisfiesMinPerMachine(%v, %d) = %v, want %v", c.alloc, c.min, got, c.want)
+		}
+	}
+}

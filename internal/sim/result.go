@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"sort"
+
+	"themis/internal/cluster"
+	"themis/internal/workload"
+)
+
+// AppRecord is the per-app outcome of a simulation run.
+type AppRecord struct {
+	App        workload.AppID
+	Model      string
+	Network    bool
+	SubmitTime float64
+	FinishTime float64 // workload.NotFinished if unfinished at the horizon
+	// TIdeal is the dedicated-cluster running time estimate (minutes).
+	TIdeal float64
+	// CompletionTime is FinishTime − SubmitTime (or NotFinished).
+	CompletionTime float64
+	// FinishTimeFairness is the realised ρ = completion time / TIdeal for
+	// finished apps; for unfinished apps it uses the elapsed time so far
+	// (a lower bound).
+	FinishTimeFairness float64
+	// BusyGPUTime is the GPU-minutes the app's jobs actively computed on.
+	BusyGPUTime float64
+	// HeldGPUTime is the GPU-minutes the app held GPUs (busy or not).
+	HeldGPUTime float64
+	// PlacementScore is the time-weighted average placement score of the
+	// app's allocations while it held GPUs (1.0 = always tightly packed).
+	PlacementScore float64
+	// JobsTotal and JobsKilled count the app's trials and how many its
+	// tuner terminated early.
+	JobsTotal  int
+	JobsKilled int
+}
+
+// AllocationEvent is one point in an app's GPU-allocation timeline (Figure 8).
+type AllocationEvent struct {
+	Time float64
+	App  workload.AppID
+	GPUs int
+}
+
+// Result aggregates everything a simulation run produced.
+type Result struct {
+	Policy    string
+	TotalGPUs int
+	Makespan  float64
+	// ClusterGPUTime is the integral of in-use GPUs over time — the paper's
+	// "GPU Time" efficiency metric (lower is better for a fixed workload).
+	ClusterGPUTime float64
+	// PeakContention is the maximum over time of (aggregate unmet + held
+	// demand) / cluster GPUs, matching the paper's contention statistic.
+	PeakContention float64
+
+	Apps     []AppRecord
+	Timeline []AllocationEvent
+
+	records map[workload.AppID]*appAccumulator
+	topo    *cluster.Topology
+}
+
+// appAccumulator holds in-flight per-app accounting during the run.
+type appAccumulator struct {
+	state       *AppState
+	heldGPUTime float64
+	scoreWeight float64
+	scoreSum    float64
+	arrived     bool
+}
+
+func newResult(cfg Config) *Result {
+	return &Result{
+		Policy:    cfg.Policy.Name(),
+		TotalGPUs: cfg.Topology.TotalGPUs(),
+		records:   make(map[workload.AppID]*appAccumulator),
+		topo:      cfg.Topology,
+	}
+}
+
+func (r *Result) acc(st *AppState) *appAccumulator {
+	a, ok := r.records[st.App.ID]
+	if !ok {
+		a = &appAccumulator{state: st}
+		r.records[st.App.ID] = a
+	}
+	return a
+}
+
+func (r *Result) noteArrival(now float64, st *AppState) {
+	r.acc(st).arrived = true
+	r.Timeline = append(r.Timeline, AllocationEvent{Time: now, App: st.App.ID, GPUs: 0})
+}
+
+func (r *Result) noteAllocation(now float64, st *AppState, held cluster.Alloc) {
+	r.acc(st)
+	r.Timeline = append(r.Timeline, AllocationEvent{Time: now, App: st.App.ID, GPUs: held.Total()})
+}
+
+func (r *Result) noteFinish(now float64, st *AppState) {
+	r.acc(st)
+	r.Timeline = append(r.Timeline, AllocationEvent{Time: now, App: st.App.ID, GPUs: 0})
+}
+
+// noteInterval accrues cluster- and app-level GPU time and placement scores
+// over an interval during which allocations were constant. Placement is
+// scored per job (the paper's Figure 7 metric): an app's sample is the
+// GPU-weighted mean of its jobs' placement scores.
+func (r *Result) noteInterval(from, to float64, cs *cluster.State, active map[workload.AppID]*AppState) {
+	dt := to - from
+	if dt <= 0 {
+		return
+	}
+	used := cs.TotalUsed()
+	r.ClusterGPUTime += float64(used) * dt
+	if r.TotalGPUs > 0 {
+		if c := float64(used) / float64(r.TotalGPUs); c > r.PeakContention {
+			r.PeakContention = c
+		}
+	}
+	for _, app := range cs.Apps() {
+		id := workload.AppID(app)
+		acc, ok := r.records[id]
+		if !ok {
+			continue
+		}
+		held := cs.Held(app)
+		g := held.Total()
+		if g == 0 {
+			continue
+		}
+		acc.heldGPUTime += float64(g) * dt
+		score, weight := r.jobPlacementScore(active[id], held)
+		acc.scoreSum += score * dt * weight
+		acc.scoreWeight += dt * weight
+	}
+}
+
+// jobPlacementScore returns the GPU-weighted mean placement score of an
+// app's per-job allocations (falling back to the app-level allocation when
+// job splits are unavailable) and the weight (GPUs) it carries.
+func (r *Result) jobPlacementScore(st *AppState, held cluster.Alloc) (score, weight float64) {
+	if st != nil {
+		var sum, gpus float64
+		for _, j := range st.App.ActiveJobs() {
+			alloc := st.jobAllocs[j.ID]
+			g := float64(alloc.Total())
+			if g == 0 {
+				continue
+			}
+			sum += cluster.PlacementScore(r.topo, alloc) * g
+			gpus += g
+		}
+		if gpus > 0 {
+			return sum / gpus, gpus
+		}
+	}
+	return cluster.PlacementScore(r.topo, held), float64(held.Total())
+}
+
+// finalize converts accumulators into AppRecords at the end of the run.
+func (r *Result) finalize(now float64, apps []*AppState) {
+	r.Makespan = now
+	r.Apps = r.Apps[:0]
+	for _, st := range apps {
+		acc := r.acc(st)
+		rec := AppRecord{
+			App:        st.App.ID,
+			Model:      st.App.Profile.Name,
+			Network:    st.App.Profile.NetworkIntensive,
+			SubmitTime: st.App.SubmitTime,
+			FinishTime: st.App.FinishedAt,
+			TIdeal:     st.TIdealAtArrival,
+			JobsTotal:  len(st.App.Jobs),
+		}
+		for _, j := range st.App.Jobs {
+			if j.Killed {
+				rec.JobsKilled++
+			}
+		}
+		rec.BusyGPUTime = st.App.GPUTime()
+		rec.HeldGPUTime = acc.heldGPUTime
+		if acc.scoreWeight > 0 {
+			rec.PlacementScore = acc.scoreSum / acc.scoreWeight
+		}
+		elapsed := now - st.App.SubmitTime
+		if st.App.Finished() {
+			rec.CompletionTime = st.App.CompletionTime()
+			elapsed = rec.CompletionTime
+		} else {
+			rec.CompletionTime = workload.NotFinished
+		}
+		if st.TIdealAtArrival > 0 && elapsed > 0 {
+			rec.FinishTimeFairness = elapsed / st.TIdealAtArrival
+		}
+		r.Apps = append(r.Apps, rec)
+	}
+	sort.Slice(r.Apps, func(i, j int) bool { return r.Apps[i].App < r.Apps[j].App })
+	sort.Slice(r.Timeline, func(i, j int) bool {
+		if r.Timeline[i].Time != r.Timeline[j].Time {
+			return r.Timeline[i].Time < r.Timeline[j].Time
+		}
+		return r.Timeline[i].App < r.Timeline[j].App
+	})
+}
+
+// Finished returns the records of apps that completed within the run.
+func (r *Result) Finished() []AppRecord {
+	var out []AppRecord
+	for _, a := range r.Apps {
+		if a.FinishTime != workload.NotFinished {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// TimelineFor returns the allocation timeline of one app, in time order.
+func (r *Result) TimelineFor(id workload.AppID) []AllocationEvent {
+	var out []AllocationEvent
+	for _, e := range r.Timeline {
+		if e.App == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,390 @@
+// Package sim is the event-driven cluster simulator used by the paper's
+// evaluation (§8.1): it replays a trace of ML apps against a GPU cluster
+// topology under a pluggable cross-app scheduling policy, modelling gang
+// placement sensitivity, GPU leases, hyperparameter-tuner kill decisions and
+// checkpoint/restart overheads, and records the fairness and efficiency
+// metrics the paper's figures report.
+//
+// The simulator advances between decision points — app arrivals, lease
+// expiries and job completions — integrating every running job's progress
+// exactly between events (progress rate G·S is constant while allocations
+// are unchanged).
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"themis/internal/cluster"
+	"themis/internal/hyperparam"
+	"themis/internal/workload"
+)
+
+// Policy is a cross-app scheduling discipline: given the GPUs currently free
+// it decides which apps receive them. Implementations include the Themis
+// auction policy and the Gandiva/Tiresias/SLAQ baselines.
+type Policy interface {
+	// Name identifies the policy in results and logs.
+	Name() string
+	// Allocate returns the GPUs to grant to each app. Grants must be
+	// disjoint, lie within free, and only name apps present in the view.
+	Allocate(now float64, free cluster.Alloc, view *View) map[workload.AppID]cluster.Alloc
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Topology *cluster.Topology
+	Apps     []*workload.App
+	Policy   Policy
+	// TunerFor builds the app-level scheduler for an app; nil uses
+	// hyperparam.ForApp.
+	TunerFor func(*workload.App) hyperparam.Tuner
+	// LeaseDuration is the GPU lease length in minutes (paper default 20).
+	LeaseDuration float64
+	// RestartOverhead is the wall-clock pause (minutes) an app's jobs suffer
+	// whenever its allocation changes, modelling checkpoint + container
+	// churn (§8.3.2 reports 35–50 s plus 5–10 s; 0.75 min by default).
+	RestartOverhead float64
+	// Horizon caps simulated time (minutes); 0 means no cap.
+	Horizon float64
+	// MaxIdleRounds aborts the run if this many consecutive scheduling
+	// rounds make no progress (safety net against policy bugs); 0 uses a
+	// generous default.
+	MaxIdleRounds int
+	// Failures optionally injects machine failures (§6 of the paper leaves
+	// failure-aware scheduling to future work; the injector lets schedulers
+	// be studied under failures anyway).
+	Failures []Failure
+}
+
+// Defaults for Config fields.
+const (
+	DefaultLeaseDuration   = 20.0
+	DefaultRestartOverhead = 0.75
+	defaultMaxIdleRounds   = 10000
+)
+
+// Validate reports whether the configuration is runnable.
+func (c Config) Validate() error {
+	if c.Topology == nil {
+		return fmt.Errorf("sim: nil topology")
+	}
+	if len(c.Apps) == 0 {
+		return fmt.Errorf("sim: no apps")
+	}
+	if c.Policy == nil {
+		return fmt.Errorf("sim: nil policy")
+	}
+	if c.LeaseDuration < 0 || c.RestartOverhead < 0 || c.Horizon < 0 {
+		return fmt.Errorf("sim: negative durations")
+	}
+	for _, a := range c.Apps {
+		if err := a.Validate(); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+	}
+	return nil
+}
+
+// lease is one outstanding GPU lease inside the simulator.
+type lease struct {
+	app    workload.AppID
+	alloc  cluster.Alloc
+	expiry float64
+}
+
+// Simulator runs one configured simulation.
+type Simulator struct {
+	cfg        Config
+	cs         *cluster.State
+	apps       []*AppState // all apps in arrival order
+	active     map[workload.AppID]*AppState
+	pending    []*AppState // not yet arrived, in arrival order
+	leases     []lease
+	failures   []Failure
+	recoveries []recovery
+	now        float64
+	result     *Result
+}
+
+// New constructs a Simulator. The apps in cfg are used directly (their
+// runtime state is mutated); callers wanting to reuse a trace across runs
+// should regenerate or deep-copy it.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.LeaseDuration == 0 {
+		cfg.LeaseDuration = DefaultLeaseDuration
+	}
+	if cfg.MaxIdleRounds == 0 {
+		cfg.MaxIdleRounds = defaultMaxIdleRounds
+	}
+	tunerFor := cfg.TunerFor
+	if tunerFor == nil {
+		tunerFor = hyperparam.ForApp
+	}
+	s := &Simulator{
+		cfg:    cfg,
+		cs:     cluster.NewState(cfg.Topology),
+		active: make(map[workload.AppID]*AppState),
+		result: newResult(cfg),
+	}
+	apps := make([]*workload.App, len(cfg.Apps))
+	copy(apps, cfg.Apps)
+	sort.SliceStable(apps, func(i, j int) bool { return apps[i].SubmitTime < apps[j].SubmitTime })
+	for _, a := range apps {
+		st := newAppState(a, tunerFor(a), cfg.Topology)
+		s.apps = append(s.apps, st)
+		s.pending = append(s.pending, st)
+	}
+	s.initFailures()
+	return s, nil
+}
+
+// Run executes the simulation to completion (all apps finished, the horizon
+// reached, or no further events) and returns the collected results.
+func (s *Simulator) Run() (*Result, error) {
+	idleRounds := 0
+	for {
+		if s.cfg.Horizon > 0 && s.now >= s.cfg.Horizon {
+			break
+		}
+		s.processArrivals()
+		s.processFailures()
+		s.expireLeases()
+		s.runTuners()
+		s.finishApps()
+		changed := s.schedule()
+
+		if s.done() {
+			break
+		}
+		next, ok := s.nextEventTime()
+		if !ok {
+			// Nothing will ever happen again (no arrivals, no running jobs,
+			// no leases): avoid spinning forever.
+			break
+		}
+		if next <= s.now {
+			idleRounds++
+			if idleRounds > s.cfg.MaxIdleRounds {
+				return nil, fmt.Errorf("sim: no progress after %d rounds at t=%.2f under policy %s", idleRounds, s.now, s.cfg.Policy.Name())
+			}
+			// Re-run the loop at the same instant (e.g. a kill freed GPUs
+			// that can immediately be re-scheduled).
+			if !changed {
+				// Force time forward to the next real event to avoid a
+				// zero-length busy loop.
+				if t, ok := s.nextStrictEventTime(); ok {
+					s.advanceTo(t)
+				} else {
+					break
+				}
+			}
+			continue
+		}
+		idleRounds = 0
+		s.advanceTo(next)
+	}
+	s.finalize()
+	return s.result, nil
+}
+
+// done reports whether every app has finished.
+func (s *Simulator) done() bool {
+	if len(s.pending) > 0 {
+		return false
+	}
+	return len(s.active) == 0
+}
+
+// processArrivals registers apps whose submit time has been reached.
+func (s *Simulator) processArrivals() {
+	for len(s.pending) > 0 && s.pending[0].App.SubmitTime <= s.now+timeEps {
+		st := s.pending[0]
+		s.pending = s.pending[1:]
+		s.active[st.App.ID] = st
+		s.result.noteArrival(s.now, st)
+	}
+}
+
+// expireLeases returns GPUs whose leases have lapsed to the free pool.
+func (s *Simulator) expireLeases() {
+	var live []lease
+	for _, l := range s.leases {
+		if l.expiry <= s.now+timeEps {
+			st, ok := s.active[l.app]
+			if !ok {
+				// The app already finished; its GPUs were released then.
+				continue
+			}
+			if err := s.cs.Release(string(l.app), l.alloc); err != nil {
+				panic("sim: lease release inconsistency: " + err.Error())
+			}
+			st.onAllocationChange(s.now, s.cs.Held(string(l.app)), s.cfg.RestartOverhead)
+			s.result.noteAllocation(s.now, st, s.cs.Held(string(l.app)))
+		} else {
+			live = append(live, l)
+		}
+	}
+	s.leases = live
+}
+
+// runTuners lets every active app's tuner observe progress and kill trials.
+func (s *Simulator) runTuners() {
+	for _, st := range s.active {
+		before := len(st.App.ActiveJobs())
+		st.Tuner.Update(s.now, st.App)
+		if len(st.App.ActiveJobs()) != before {
+			// Killed trials vacate their share; re-split the app's GPUs.
+			st.onAllocationChange(s.now, s.cs.Held(string(st.App.ID)), 0)
+		}
+	}
+}
+
+// finishApps completes apps whose tuner declares them done, releasing GPUs.
+func (s *Simulator) finishApps() {
+	for id, st := range s.active {
+		if !st.Tuner.Done(st.App) {
+			continue
+		}
+		st.App.FinishedAt = s.now
+		released := s.cs.ReleaseAll(string(id))
+		if released.Total() > 0 {
+			s.dropLeasesFor(id)
+		}
+		s.result.noteFinish(s.now, st)
+		delete(s.active, id)
+	}
+}
+
+func (s *Simulator) dropLeasesFor(id workload.AppID) {
+	var live []lease
+	for _, l := range s.leases {
+		if l.app != id {
+			live = append(live, l)
+		}
+	}
+	s.leases = live
+}
+
+// schedule invokes the policy over the free pool and applies its decisions.
+// It reports whether any allocation changed.
+func (s *Simulator) schedule() bool {
+	free := s.cs.FreeVector()
+	if free.Total() == 0 || len(s.active) == 0 {
+		return false
+	}
+	view := s.view()
+	if !view.anyDemand() {
+		return false
+	}
+	grants := s.cfg.Policy.Allocate(s.now, free, view)
+	changed := false
+	ids := make([]workload.AppID, 0, len(grants))
+	for id := range grants {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		alloc := grants[id]
+		if alloc.Total() == 0 {
+			continue
+		}
+		st, ok := s.active[id]
+		if !ok {
+			panic(fmt.Sprintf("sim: policy %s allocated to unknown app %s", s.cfg.Policy.Name(), id))
+		}
+		if err := s.cs.Grant(string(id), alloc); err != nil {
+			panic(fmt.Sprintf("sim: policy %s produced an infeasible allocation for %s: %v", s.cfg.Policy.Name(), id, err))
+		}
+		s.leases = append(s.leases, lease{app: id, alloc: alloc.Clone(), expiry: s.now + s.cfg.LeaseDuration})
+		st.onAllocationChange(s.now, s.cs.Held(string(id)), s.cfg.RestartOverhead)
+		s.result.noteAllocation(s.now, st, s.cs.Held(string(id)))
+		changed = true
+	}
+	return changed
+}
+
+// nextEventTime returns the earliest upcoming event: arrival, lease expiry
+// or projected job completion.
+func (s *Simulator) nextEventTime() (float64, bool) {
+	t, ok := s.nextStrictEventTime()
+	return t, ok
+}
+
+func (s *Simulator) nextStrictEventTime() (float64, bool) {
+	best := math.Inf(1)
+	if len(s.pending) > 0 {
+		best = math.Min(best, s.pending[0].App.SubmitTime)
+	}
+	if t, ok := s.nextFailureEvent(); ok && t > s.now {
+		best = math.Min(best, t)
+	}
+	for _, l := range s.leases {
+		if l.expiry > s.now {
+			best = math.Min(best, l.expiry)
+		}
+	}
+	for _, st := range s.active {
+		if t, ok := st.nextCompletion(s.now); ok {
+			best = math.Min(best, t)
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, false
+	}
+	// Events that project to "now" (e.g. a completion whose remaining work
+	// has rounded to zero) must still move time forward, or the run would
+	// spin without ever re-integrating job progress.
+	if best < s.now+minTimeStep {
+		best = s.now + minTimeStep
+	}
+	if s.cfg.Horizon > 0 && best > s.cfg.Horizon {
+		best = s.cfg.Horizon
+	}
+	return best, true
+}
+
+// advanceTo integrates every running job's progress up to time t.
+func (s *Simulator) advanceTo(t float64) {
+	if t <= s.now {
+		return
+	}
+	for _, st := range s.active {
+		st.advance(s.now, t)
+	}
+	s.result.noteInterval(s.now, t, s.cs, s.active)
+	s.now = t
+}
+
+// view builds the policy-facing view of the current state.
+func (s *Simulator) view() *View {
+	v := &View{Topo: s.cfg.Topology, Cluster: s.cs, Now: s.now}
+	ids := make([]workload.AppID, 0, len(s.active))
+	for id := range s.active {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		st := s.active[id]
+		st.Held = s.cs.Held(string(id))
+		v.Apps = append(v.Apps, st)
+	}
+	return v
+}
+
+// finalize closes out per-app records for apps still unfinished at the end
+// of the run (horizon reached).
+func (s *Simulator) finalize() {
+	s.result.finalize(s.now, s.apps)
+}
+
+// timeEps is the tolerance used when comparing event times; minTimeStep is
+// the smallest amount the clock moves between decision points.
+const (
+	timeEps     = 1e-9
+	minTimeStep = 1e-6
+)

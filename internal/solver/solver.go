@@ -1,0 +1,357 @@
+// Package solver computes the proportionally fair winner determination at
+// the heart of the partial allocation mechanism (§5.1, Pseudocode 2 line 6):
+// given each bidding app's valuation for a set of candidate GPU bundles,
+// pick one bundle per app — subject to per-machine capacity — maximising the
+// product of valuations (equivalently the sum of log valuations).
+//
+// The paper solves this with Gurobi; this package substitutes an exact
+// branch-and-bound search for small instances and a greedy + local-search
+// heuristic for large ones. Auction instances are small (the offer is the
+// currently free GPUs and only the worst 1−f fraction of apps bid), so the
+// exact path covers the common case.
+package solver
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"themis/internal/cluster"
+)
+
+// Bundle is one row of a bidder's valuation table: an allocation and the
+// bidder's value for receiving it (higher is better, must be positive).
+type Bundle struct {
+	Alloc cluster.Alloc
+	Value float64
+}
+
+// Bidder is one participating app with its candidate bundles. Bundles must
+// include a zero-allocation row describing the bidder's value if it wins
+// nothing; Normalize adds one if missing.
+type Bidder struct {
+	ID      string
+	Bundles []Bundle
+}
+
+// Normalize ensures the bidder has an empty-allocation bundle and that all
+// values are positive; non-positive values are clamped to a tiny epsilon so
+// the log-objective stays finite.
+func (b *Bidder) Normalize() {
+	const eps = 1e-12
+	hasEmpty := false
+	for i := range b.Bundles {
+		if b.Bundles[i].Value < eps {
+			b.Bundles[i].Value = eps
+		}
+		if b.Bundles[i].Alloc.Total() == 0 {
+			hasEmpty = true
+		}
+	}
+	if !hasEmpty {
+		b.Bundles = append(b.Bundles, Bundle{Alloc: cluster.NewAlloc(), Value: eps})
+	}
+}
+
+// Assignment maps bidder ID to the chosen bundle.
+type Assignment map[string]Bundle
+
+// Objective returns the sum of log valuations of an assignment.
+func (a Assignment) Objective() float64 {
+	var sum float64
+	for _, b := range a {
+		sum += math.Log(b.Value)
+	}
+	return sum
+}
+
+// TotalAlloc returns the union of allocations in the assignment.
+func (a Assignment) TotalAlloc() cluster.Alloc {
+	out := cluster.NewAlloc()
+	for _, b := range a {
+		out = out.Add(b.Alloc)
+	}
+	return out
+}
+
+// Options tunes the solver.
+type Options struct {
+	// ExactLimit is the largest search-space size (product of per-bidder
+	// bundle counts) for which the exact branch-and-bound runs; larger
+	// instances use the heuristic. Zero uses DefaultExactLimit.
+	ExactLimit int
+	// LocalSearchRounds bounds the improvement rounds of the heuristic.
+	// Zero uses DefaultLocalSearchRounds.
+	LocalSearchRounds int
+}
+
+// Defaults for Options.
+const (
+	DefaultExactLimit        = 200000
+	DefaultLocalSearchRounds = 64
+)
+
+func (o Options) withDefaults() Options {
+	if o.ExactLimit <= 0 {
+		o.ExactLimit = DefaultExactLimit
+	}
+	if o.LocalSearchRounds <= 0 {
+		o.LocalSearchRounds = DefaultLocalSearchRounds
+	}
+	return o
+}
+
+// Solve picks one bundle per bidder maximising Σ log(value) subject to the
+// per-machine capacity. Every bidder appears in the result (possibly with
+// its empty bundle). The second return value is the achieved objective.
+func Solve(capacity cluster.Alloc, bidders []Bidder, opts Options) (Assignment, float64, error) {
+	opts = opts.withDefaults()
+	if err := validate(capacity, bidders); err != nil {
+		return nil, 0, err
+	}
+	norm := make([]Bidder, len(bidders))
+	copy(norm, bidders)
+	for i := range norm {
+		norm[i].Normalize()
+	}
+	space := 1
+	exact := true
+	for _, b := range norm {
+		if space > opts.ExactLimit/len(b.Bundles) {
+			exact = false
+			break
+		}
+		space *= len(b.Bundles)
+	}
+	var asg Assignment
+	if exact && space <= opts.ExactLimit {
+		asg = solveExact(capacity, norm)
+	} else {
+		asg = solveGreedy(capacity, norm, opts.LocalSearchRounds)
+	}
+	return asg, asg.Objective(), nil
+}
+
+func validate(capacity cluster.Alloc, bidders []Bidder) error {
+	seen := make(map[string]bool, len(bidders))
+	for _, b := range bidders {
+		if b.ID == "" {
+			return fmt.Errorf("solver: bidder with empty ID")
+		}
+		if seen[b.ID] {
+			return fmt.Errorf("solver: duplicate bidder %q", b.ID)
+		}
+		seen[b.ID] = true
+		for _, bun := range b.Bundles {
+			for m, n := range bun.Alloc {
+				if n < 0 {
+					return fmt.Errorf("solver: bidder %q bundle with negative GPUs on machine %d", b.ID, m)
+				}
+				if n > capacity[m] {
+					return fmt.Errorf("solver: bidder %q bundle wants %d GPUs on machine %d, capacity %d", b.ID, n, m, capacity[m])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// solveExact runs depth-first branch and bound over bundle choices.
+func solveExact(capacity cluster.Alloc, bidders []Bidder) Assignment {
+	// Order bidders by decreasing best-value spread to tighten pruning.
+	order := make([]int, len(bidders))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return bundleSpread(bidders[order[a]]) > bundleSpread(bidders[order[b]])
+	})
+	// maxLog[i] is the best achievable log-value from bidder order[i] onward.
+	maxLog := make([]float64, len(order)+1)
+	for i := len(order) - 1; i >= 0; i-- {
+		best := math.Inf(-1)
+		for _, bun := range bidders[order[i]].Bundles {
+			if l := math.Log(bun.Value); l > best {
+				best = l
+			}
+		}
+		maxLog[i] = maxLog[i+1] + best
+	}
+
+	bestObj := math.Inf(-1)
+	var bestChoice []int
+	choice := make([]int, len(order))
+	used := cluster.NewAlloc()
+
+	var dfs func(depth int, obj float64)
+	dfs = func(depth int, obj float64) {
+		if obj+maxLog[depth] <= bestObj {
+			return // cannot beat the incumbent
+		}
+		if depth == len(order) {
+			bestObj = obj
+			bestChoice = append([]int(nil), choice...)
+			return
+		}
+		b := bidders[order[depth]]
+		// Try higher-value bundles first so good incumbents appear early.
+		idx := make([]int, len(b.Bundles))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(x, y int) bool { return b.Bundles[idx[x]].Value > b.Bundles[idx[y]].Value })
+		for _, bi := range idx {
+			bun := b.Bundles[bi]
+			if !fits(used, bun.Alloc, capacity) {
+				continue
+			}
+			for m, n := range bun.Alloc {
+				used[m] += n
+			}
+			choice[depth] = bi
+			dfs(depth+1, obj+math.Log(bun.Value))
+			for m, n := range bun.Alloc {
+				used[m] -= n
+				if used[m] == 0 {
+					delete(used, m)
+				}
+			}
+		}
+	}
+	dfs(0, 0)
+
+	asg := make(Assignment, len(bidders))
+	if bestChoice == nil {
+		// Only possible if even all-empty is infeasible, which cannot happen;
+		// fall back to empty bundles defensively.
+		for _, b := range bidders {
+			asg[b.ID] = emptyBundle(b)
+		}
+		return asg
+	}
+	for d, oi := range order {
+		asg[bidders[oi].ID] = bidders[oi].Bundles[bestChoice[d]]
+	}
+	return asg
+}
+
+func bundleSpread(b Bidder) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, bun := range b.Bundles {
+		if bun.Value < lo {
+			lo = bun.Value
+		}
+		if bun.Value > hi {
+			hi = bun.Value
+		}
+	}
+	return math.Log(hi) - math.Log(lo)
+}
+
+func emptyBundle(b Bidder) Bundle {
+	for _, bun := range b.Bundles {
+		if bun.Alloc.Total() == 0 {
+			return bun
+		}
+	}
+	return Bundle{Alloc: cluster.NewAlloc(), Value: 1e-12}
+}
+
+// solveGreedy starts every bidder at its empty bundle and repeatedly applies
+// the single-bidder bundle change with the largest feasible objective gain,
+// followed by local-search passes that also consider reverting other bidders
+// to their empty bundles to make room.
+func solveGreedy(capacity cluster.Alloc, bidders []Bidder, rounds int) Assignment {
+	asg := make(Assignment, len(bidders))
+	for _, b := range bidders {
+		asg[b.ID] = emptyBundle(b)
+	}
+	byID := make(map[string]Bidder, len(bidders))
+	for _, b := range bidders {
+		byID[b.ID] = b
+	}
+	for r := 0; r < rounds; r++ {
+		improved := false
+		// Single-bidder improvement.
+		used := asg.TotalAlloc()
+		bestGain := 1e-12
+		var bestID string
+		var bestBundle Bundle
+		for id, cur := range asg {
+			without, err := used.Sub(cur.Alloc)
+			if err != nil {
+				continue
+			}
+			for _, bun := range byID[id].Bundles {
+				if bun.Value <= cur.Value {
+					continue
+				}
+				if !fits(without, bun.Alloc, capacity) {
+					continue
+				}
+				gain := math.Log(bun.Value) - math.Log(cur.Value)
+				if gain > bestGain {
+					bestGain, bestID, bestBundle = gain, id, bun
+				}
+			}
+		}
+		if bestID != "" {
+			asg[bestID] = bestBundle
+			improved = true
+		}
+		// Pairwise move: let bidder A take a better bundle while bidder B
+		// falls back to its empty bundle, if the pair improves the objective.
+		if !improved {
+			if id, bun, victim, ok := findPairMove(capacity, byID, asg); ok {
+				asg[victim] = emptyBundle(byID[victim])
+				asg[id] = bun
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return asg
+}
+
+func findPairMove(capacity cluster.Alloc, byID map[string]Bidder, asg Assignment) (id string, bundle Bundle, victim string, ok bool) {
+	used := asg.TotalAlloc()
+	bestGain := 1e-12
+	for a, curA := range asg {
+		for v, curV := range asg {
+			if a == v || curV.Alloc.Total() == 0 {
+				continue
+			}
+			freed, err := used.Sub(curA.Alloc)
+			if err != nil {
+				continue
+			}
+			freed, err = freed.Sub(curV.Alloc)
+			if err != nil {
+				continue
+			}
+			lossV := math.Log(curV.Value) - math.Log(emptyBundle(byID[v]).Value)
+			for _, bun := range byID[a].Bundles {
+				if !fits(freed, bun.Alloc, capacity) {
+					continue
+				}
+				gain := math.Log(bun.Value) - math.Log(curA.Value) - lossV
+				if gain > bestGain {
+					bestGain, id, bundle, victim, ok = gain, a, bun, v, true
+				}
+			}
+		}
+	}
+	return id, bundle, victim, ok
+}
+
+// fits reports whether adding alloc to used stays within capacity.
+func fits(used, alloc, capacity cluster.Alloc) bool {
+	for m, n := range alloc {
+		if used[m]+n > capacity[m] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,148 @@
+// Package trace persists and replays workload traces. A Trace is the
+// serialisable description of the apps submitted to a cluster — the
+// stand-in for the production trace the paper replays — so experiments can
+// be re-run bit-for-bit from a file instead of regenerating workloads.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"themis/internal/placement"
+	"themis/internal/workload"
+)
+
+// FormatVersion identifies the on-disk trace format.
+const FormatVersion = 1
+
+// Trace is the on-disk form of a workload.
+type Trace struct {
+	Version int       `json:"version"`
+	Name    string    `json:"name,omitempty"`
+	Apps    []AppSpec `json:"apps"`
+}
+
+// AppSpec describes one application in a trace.
+type AppSpec struct {
+	ID         string    `json:"id"`
+	SubmitTime float64   `json:"submit_time"`
+	Model      string    `json:"model"`
+	Jobs       []JobSpec `json:"jobs"`
+}
+
+// JobSpec describes one hyperparameter trial.
+type JobSpec struct {
+	TotalWork         float64 `json:"total_work"`
+	GangSize          int     `json:"gang_size"`
+	MaxParallelism    int     `json:"max_parallelism,omitempty"`
+	MinGPUsPerMachine int     `json:"min_gpus_per_machine,omitempty"`
+	TotalIterations   int     `json:"total_iterations,omitempty"`
+	Quality           float64 `json:"quality"`
+	Seed              int64   `json:"seed"`
+}
+
+// FromApps converts in-memory apps into a serialisable trace.
+func FromApps(name string, apps []*workload.App) Trace {
+	t := Trace{Version: FormatVersion, Name: name}
+	for _, a := range apps {
+		spec := AppSpec{ID: string(a.ID), SubmitTime: a.SubmitTime, Model: a.Profile.Name}
+		for _, j := range a.Jobs {
+			spec.Jobs = append(spec.Jobs, JobSpec{
+				TotalWork:         j.TotalWork,
+				GangSize:          j.GangSize,
+				MaxParallelism:    j.MaxParallelism,
+				MinGPUsPerMachine: j.MinGPUsPerMachine,
+				TotalIterations:   j.TotalIterations,
+				Quality:           j.Quality,
+				Seed:              j.Seed,
+			})
+		}
+		t.Apps = append(t.Apps, spec)
+	}
+	return t
+}
+
+// ToApps materialises the trace back into runnable apps with fresh runtime
+// state. Unknown model names fall back to the generic compute-intensive
+// profile.
+func (t Trace) ToApps() ([]*workload.App, error) {
+	if t.Version != FormatVersion {
+		return nil, fmt.Errorf("trace: unsupported format version %d (want %d)", t.Version, FormatVersion)
+	}
+	var apps []*workload.App
+	for _, spec := range t.Apps {
+		if spec.ID == "" {
+			return nil, fmt.Errorf("trace: app with empty ID")
+		}
+		profile, ok := placement.ByName(spec.Model)
+		if !ok {
+			profile = placement.GenericComputeIntensive
+		}
+		var jobs []*workload.Job
+		for i, js := range spec.Jobs {
+			if js.TotalWork <= 0 || js.GangSize <= 0 {
+				return nil, fmt.Errorf("trace: app %s job %d has invalid work/gang", spec.ID, i)
+			}
+			j := workload.NewJob(workload.AppID(spec.ID), i, js.TotalWork, js.GangSize)
+			if js.MaxParallelism > 0 {
+				j.MaxParallelism = js.MaxParallelism
+			}
+			if js.MinGPUsPerMachine > 0 {
+				j.MinGPUsPerMachine = js.MinGPUsPerMachine
+			}
+			if js.TotalIterations > 0 {
+				j.TotalIterations = js.TotalIterations
+			}
+			j.Quality = js.Quality
+			j.Seed = js.Seed
+			jobs = append(jobs, j)
+		}
+		app := workload.NewApp(workload.AppID(spec.ID), spec.SubmitTime, profile, jobs)
+		if err := app.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		apps = append(apps, app)
+	}
+	return apps, nil
+}
+
+// Write serialises the trace as indented JSON.
+func (t Trace) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// Read parses a trace from JSON.
+func Read(r io.Reader) (Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return Trace{}, fmt.Errorf("trace: decoding: %w", err)
+	}
+	return t, nil
+}
+
+// Save writes the trace to a file.
+func Save(path string, t Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	if err := t.Write(f); err != nil {
+		return fmt.Errorf("trace: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Load reads a trace from a file.
+func Load(path string) (Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Trace{}, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"themis/internal/workload"
+)
+
+func genApps(t *testing.T, n int) []*workload.App {
+	t.Helper()
+	cfg := workload.DefaultGeneratorConfig()
+	cfg.NumApps = n
+	cfg.Seed = 21
+	apps, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return apps
+}
+
+func TestRoundTrip(t *testing.T) {
+	apps := genApps(t, 10)
+	tr := FromApps("unit", apps)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "unit" || back.Version != FormatVersion {
+		t.Errorf("header lost: %+v", back)
+	}
+	apps2, err := back.ToApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps2) != len(apps) {
+		t.Fatalf("app count %d != %d", len(apps2), len(apps))
+	}
+	for i := range apps {
+		a, b := apps[i], apps2[i]
+		if a.ID != b.ID || a.SubmitTime != b.SubmitTime || a.Profile.Name != b.Profile.Name {
+			t.Fatalf("app %d header mismatch", i)
+		}
+		if len(a.Jobs) != len(b.Jobs) {
+			t.Fatalf("app %d job count mismatch", i)
+		}
+		for k := range a.Jobs {
+			if a.Jobs[k].TotalWork != b.Jobs[k].TotalWork ||
+				a.Jobs[k].GangSize != b.Jobs[k].GangSize ||
+				a.Jobs[k].Quality != b.Jobs[k].Quality ||
+				a.Jobs[k].Seed != b.Jobs[k].Seed {
+				t.Fatalf("app %d job %d mismatch", i, k)
+			}
+		}
+		// Runtime state must be fresh.
+		for _, j := range b.Jobs {
+			if j.DoneWork != 0 || j.Killed || j.DoneAt != workload.NotFinished {
+				t.Fatalf("replayed job has stale runtime state: %+v", j)
+			}
+		}
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	apps := genApps(t, 5)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := Save(path, FromApps("disk", apps)); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Apps) != 5 {
+		t.Errorf("loaded %d apps, want 5", len(back.Apps))
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("loading a missing file should fail")
+	}
+}
+
+func TestToAppsValidation(t *testing.T) {
+	bad := Trace{Version: 99}
+	if _, err := bad.ToApps(); err == nil {
+		t.Error("unsupported version should fail")
+	}
+	bad = Trace{Version: FormatVersion, Apps: []AppSpec{{ID: "", Jobs: []JobSpec{{TotalWork: 1, GangSize: 1}}}}}
+	if _, err := bad.ToApps(); err == nil {
+		t.Error("empty app ID should fail")
+	}
+	bad = Trace{Version: FormatVersion, Apps: []AppSpec{{ID: "a", Model: "VGG16", Jobs: []JobSpec{{TotalWork: 0, GangSize: 4}}}}}
+	if _, err := bad.ToApps(); err == nil {
+		t.Error("zero work should fail")
+	}
+	// Unknown model falls back to a generic profile rather than failing.
+	ok := Trace{Version: FormatVersion, Apps: []AppSpec{{ID: "a", Model: "UnknownNet", Jobs: []JobSpec{{TotalWork: 10, GangSize: 2}}}}}
+	apps, err := ok.ToApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(apps[0].Profile.Name, "generic") {
+		t.Errorf("unknown model mapped to %q", apps[0].Profile.Name)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage input should fail")
+	}
+}

@@ -1,0 +1,301 @@
+// Package workload models the ML applications a Themis cluster schedules: an
+// App is one user's hyperparameter-exploration activity, consisting of one or
+// more Jobs (trials) that each train a model with a different hyperparameter
+// configuration using a gang of GPUs (§2.1).
+//
+// The package also generates synthetic traces matching the distributional
+// properties the paper reports for its production trace (§8.1): jobs per app
+// between 1 and 98 with median 23, gang sizes of mostly 4 (some 2) GPUs,
+// short task durations with median 59 minutes and long tasks with median 123
+// minutes, Poisson app arrivals with a mean inter-arrival of 20 minutes, and
+// a 60:40 mix of compute- vs network-intensive model families.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"themis/internal/placement"
+)
+
+// AppID identifies an application (one user's training activity).
+type AppID string
+
+// JobID identifies a single hyperparameter trial within an app.
+type JobID string
+
+// NotFinished is the sentinel completion time for jobs and apps that have
+// not finished yet.
+const NotFinished = -1
+
+// Job is one hyperparameter trial: a gang-scheduled set of tasks that
+// collectively process minibatches using synchronous SGD. Work is measured
+// in serial GPU-minutes: the time the job would take on a single GPU with
+// ideal placement.
+type Job struct {
+	ID    JobID
+	App   AppID
+	Index int
+
+	// TotalWork is the serial work (GPU-minutes) needed to train this trial
+	// to its target accuracy, assuming it is not killed early by the tuner.
+	TotalWork float64
+	// GangSize is the number of GPUs the job's tasks need simultaneously
+	// (all-or-nothing gang scheduling). From the trace this is mostly 4,
+	// sometimes 2.
+	GangSize int
+	// MaxParallelism is the largest number of GPUs the job can exploit
+	// (G_ideal in §5.2). The tuner may lower it to deprioritise a job.
+	MaxParallelism int
+	// MinGPUsPerMachine is an optional placement constraint (§6): every
+	// machine in the job's allocation must contribute at least this many
+	// GPUs (e.g. a large model that must fit across co-located GPUs).
+	// Allocations violating the constraint cannot make progress, so bids on
+	// them value out at an unbounded ρ. Zero means unconstrained.
+	MinGPUsPerMachine int
+	// TotalIterations is the number of SGD iterations TotalWork corresponds
+	// to; used by the tuners' rung boundaries and the loss-curve estimator.
+	TotalIterations int
+	// Quality is the latent goodness of this trial's hyperparameters; lower
+	// is better. The trial with the lowest Quality among an app's jobs is
+	// the one that ultimately trains the best model.
+	Quality float64
+	// Seed derives this job's synthetic loss curve deterministically.
+	Seed int64
+
+	// Runtime state, owned by the simulator.
+
+	// DoneWork is the serial-equivalent work completed so far.
+	DoneWork float64
+	// GPUTime is the GPU-minutes actually consumed so far (G × wall time),
+	// which exceeds DoneWork when placement is sub-ideal.
+	GPUTime float64
+	// Killed marks trials terminated early by the app's tuner.
+	Killed bool
+	// KilledAt is the simulation time the trial was killed, or NotFinished.
+	KilledAt float64
+	// DoneAt is the simulation time the trial finished, or NotFinished.
+	DoneAt float64
+}
+
+// NewJob returns a Job with runtime fields initialised.
+func NewJob(app AppID, index int, totalWork float64, gangSize int) *Job {
+	return &Job{
+		ID:              JobID(fmt.Sprintf("%s/j%d", app, index)),
+		App:             app,
+		Index:           index,
+		TotalWork:       totalWork,
+		GangSize:        gangSize,
+		MaxParallelism:  gangSize,
+		TotalIterations: defaultIterations,
+		KilledAt:        NotFinished,
+		DoneAt:          NotFinished,
+	}
+}
+
+// defaultIterations is the iteration count assigned to synthetic jobs when a
+// trace does not specify one.
+const defaultIterations = 1000
+
+// RemainingWork returns the serial work left before the trial completes.
+func (j *Job) RemainingWork() float64 {
+	r := j.TotalWork - j.DoneWork
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Active reports whether the job still needs GPUs (not done, not killed).
+func (j *Job) Active() bool { return !j.Killed && j.DoneAt == NotFinished }
+
+// Progress returns the fraction of the trial's work completed, in [0, 1].
+func (j *Job) Progress() float64 {
+	if j.TotalWork <= 0 {
+		return 1
+	}
+	p := j.DoneWork / j.TotalWork
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// IterationsDone returns the number of SGD iterations completed, derived
+// from work progress.
+func (j *Job) IterationsDone() int {
+	return int(j.Progress() * float64(j.TotalIterations))
+}
+
+// Advance accrues work for running dt minutes on g GPUs with placement
+// slowdown s, marking the job done at time now+dt' if it finishes within the
+// interval. It returns the wall-clock minutes actually consumed (≤ dt) and
+// whether the job completed.
+func (j *Job) Advance(now, dt float64, g int, s float64) (elapsed float64, done bool) {
+	if !j.Active() || g <= 0 || dt <= 0 {
+		return 0, false
+	}
+	rate := float64(g) * s // serial work per minute
+	if rate <= 0 {
+		return 0, false
+	}
+	needed := j.RemainingWork() / rate
+	elapsed = dt
+	if needed <= dt {
+		elapsed = needed
+		done = true
+	}
+	j.DoneWork += rate * elapsed
+	j.GPUTime += float64(g) * elapsed
+	if done {
+		j.DoneWork = j.TotalWork
+		j.DoneAt = now + elapsed
+	}
+	return elapsed, done
+}
+
+// Kill marks the trial as terminated early by its tuner at time now.
+func (j *Job) Kill(now float64) {
+	if !j.Active() {
+		return
+	}
+	j.Killed = true
+	j.KilledAt = now
+}
+
+// TimeToCompletion estimates the wall-clock minutes to finish the trial on g
+// GPUs with slowdown s. It returns +Inf when g is zero.
+func (j *Job) TimeToCompletion(g int, s float64) float64 {
+	if g <= 0 || s <= 0 {
+		return inf
+	}
+	return j.RemainingWork() / (float64(g) * s)
+}
+
+const inf = float64(1 << 62)
+
+// App is one ML application: a set of trials plus the model family whose
+// placement sensitivity they share (§5.2 notes all jobs in an app have
+// correlated placement sensitivity, so a single S_i per app suffices).
+type App struct {
+	ID         AppID
+	SubmitTime float64
+	Profile    placement.Profile
+	Jobs       []*Job
+
+	// FinishedAt is the simulation time the app identified and finished
+	// training its best model, or NotFinished while running.
+	FinishedAt float64
+
+	// TIdeal caches the app's ideal (dedicated-cluster) running time in
+	// minutes, computed by IdealRunningTime against a topology.
+	TIdeal float64
+}
+
+// NewApp constructs an app with the given trials.
+func NewApp(id AppID, submit float64, profile placement.Profile, jobs []*Job) *App {
+	return &App{ID: id, SubmitTime: submit, Profile: profile, Jobs: jobs, FinishedAt: NotFinished}
+}
+
+// ActiveJobs returns the trials still needing GPUs, in index order.
+func (a *App) ActiveJobs() []*Job {
+	var out []*Job
+	for _, j := range a.Jobs {
+		if j.Active() {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Finished reports whether the app has completed.
+func (a *App) Finished() bool { return a.FinishedAt != NotFinished }
+
+// RemainingWork returns the total serial work left across active trials.
+func (a *App) RemainingWork() float64 {
+	var w float64
+	for _, j := range a.ActiveJobs() {
+		w += j.RemainingWork()
+	}
+	return w
+}
+
+// TotalWork returns the total serial work across all trials (including
+// already-killed ones' completed portions).
+func (a *App) TotalWork() float64 {
+	var w float64
+	for _, j := range a.Jobs {
+		w += j.TotalWork
+	}
+	return w
+}
+
+// GPUTime returns the GPU-minutes consumed by all trials so far.
+func (a *App) GPUTime() float64 {
+	var g float64
+	for _, j := range a.Jobs {
+		g += j.GPUTime
+	}
+	return g
+}
+
+// MaxParallelism returns the total GPUs the app can use at once: the sum of
+// its active trials' per-trial limits.
+func (a *App) MaxParallelism() int {
+	p := 0
+	for _, j := range a.ActiveJobs() {
+		p += j.MaxParallelism
+	}
+	return p
+}
+
+// CompletionTime returns the app's completion time (finish − submit), or
+// NotFinished if still running.
+func (a *App) CompletionTime() float64 {
+	if !a.Finished() {
+		return NotFinished
+	}
+	return a.FinishedAt - a.SubmitTime
+}
+
+// BestJob returns the trial with the lowest Quality (the one that trains the
+// best model), or nil if the app has no jobs.
+func (a *App) BestJob() *Job {
+	var best *Job
+	for _, j := range a.Jobs {
+		if best == nil || j.Quality < best.Quality {
+			best = j
+		}
+	}
+	return best
+}
+
+// JobsByQuality returns the app's jobs sorted best (lowest Quality) first.
+func (a *App) JobsByQuality() []*Job {
+	out := make([]*Job, len(a.Jobs))
+	copy(out, a.Jobs)
+	sort.Slice(out, func(i, j int) bool { return out[i].Quality < out[j].Quality })
+	return out
+}
+
+// Validate checks structural invariants of the app description.
+func (a *App) Validate() error {
+	if len(a.Jobs) == 0 {
+		return fmt.Errorf("app %s has no jobs", a.ID)
+	}
+	for _, j := range a.Jobs {
+		if j.App != a.ID {
+			return fmt.Errorf("app %s contains job %s belonging to %s", a.ID, j.ID, j.App)
+		}
+		if j.TotalWork <= 0 {
+			return fmt.Errorf("job %s has non-positive work %v", j.ID, j.TotalWork)
+		}
+		if j.GangSize <= 0 {
+			return fmt.Errorf("job %s has non-positive gang size %d", j.ID, j.GangSize)
+		}
+		if j.MaxParallelism < 0 {
+			return fmt.Errorf("job %s has negative max parallelism", j.ID)
+		}
+	}
+	return nil
+}

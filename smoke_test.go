@@ -1,0 +1,35 @@
+package themis
+
+import (
+	"testing"
+
+	"themis/internal/experiments"
+)
+
+// TestExperimentOptions sanity-checks the two experiment scales the
+// repository ships (benchmarks use Quick, cmd/expdriver defaults to
+// Default).
+func TestExperimentOptions(t *testing.T) {
+	for name, opts := range map[string]experiments.Options{
+		"default": experiments.Default(),
+		"quick":   experiments.Quick(),
+	} {
+		if err := opts.Validate(); err != nil {
+			t.Errorf("%s options invalid: %v", name, err)
+		}
+	}
+}
+
+// TestFigure2Smoke runs the cheapest figure end-to-end from the root package
+// so `go test` exercises the experiment harness even without -bench.
+func TestFigure2Smoke(t *testing.T) {
+	rows := experiments.Figure2()
+	if len(rows) != 5 {
+		t.Fatalf("Figure 2 produced %d rows, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.Slowdown <= 0 || r.Slowdown > 1 {
+			t.Errorf("%s slowdown %v outside (0,1]", r.Model, r.Slowdown)
+		}
+	}
+}
