@@ -13,6 +13,7 @@ package themis
 // recorded in EXPERIMENTS.md.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -328,7 +329,11 @@ func BenchmarkAblationNoHiddenPayments(b *testing.B) {
 		cfg := core.DefaultConfig()
 		cfg.Auction.DisableHiddenPayments = disable
 		apps := benchWorkload(b, opts, seed, 0.4)
-		res, err := runBenchSim(topo, apps, schedulers.NewThemis(cfg), opts)
+		policy, err := schedulers.NewThemis(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := runBenchSim(topo, apps, policy, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -350,7 +355,10 @@ func BenchmarkAblationValuationModes(b *testing.B) {
 	topo := cluster.TestbedCluster()
 	run := func(blind bool) (float64, float64) {
 		apps := benchWorkload(b, opts, opts.Seed, 0.6)
-		policy := schedulers.NewThemis(core.DefaultConfig())
+		policy, err := schedulers.NewThemis(core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
 		policy.PlacementBlind = blind
 		res, err := runBenchSim(topo, apps, policy, opts)
 		if err != nil {
@@ -414,7 +422,7 @@ func runBenchSim(topo *cluster.Topology, apps []*workload.App, policy sim.Policy
 	if err != nil {
 		return nil, err
 	}
-	return s.Run()
+	return s.Run(context.Background())
 }
 
 // benchWorkload builds a testbed-scale workload for the ablation benchmarks.

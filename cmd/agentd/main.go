@@ -18,13 +18,8 @@ import (
 	"os"
 	"time"
 
-	"themis/internal/cluster"
-	"themis/internal/core"
-	"themis/internal/hyperparam"
-	"themis/internal/placement"
-	"themis/internal/rpc"
-	"themis/internal/trace"
-	"themis/internal/workload"
+	"themis"
+	"themis/daemon"
 )
 
 func main() {
@@ -42,14 +37,9 @@ func main() {
 	)
 	flag.Parse()
 
-	var topo *cluster.Topology
-	switch *clusterKnd {
-	case "sim":
-		topo = cluster.SimulationCluster()
-	case "testbed":
-		topo = cluster.TestbedCluster()
-	default:
-		fmt.Fprintf(os.Stderr, "agentd: unknown cluster %q\n", *clusterKnd)
+	topo, err := themis.Cluster(*clusterKnd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "agentd:", err)
 		os.Exit(1)
 	}
 
@@ -57,8 +47,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("agentd: %v", err)
 	}
-	agent := core.NewAgent(topo, app, hyperparam.ForApp(app), nil)
-	server := rpc.NewAgentServer(agent)
+	server, err := daemon.NewAgentServer(topo, app)
+	if err != nil {
+		log.Fatalf("agentd: %v", err)
+	}
 
 	callback := *advertise
 	if callback == "" {
@@ -67,7 +59,7 @@ func main() {
 	if *arbiterURL != "" {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		resp, err := rpc.NewArbiterClient(*arbiterURL).Register(ctx, string(app.ID), callback, app.MaxParallelism())
+		resp, err := daemon.NewArbiterClient(*arbiterURL).Register(ctx, string(app.ID), callback, app.MaxParallelism())
 		if err != nil {
 			log.Fatalf("agentd: registering with %s: %v", *arbiterURL, err)
 		}
@@ -82,9 +74,9 @@ func main() {
 }
 
 // buildApp loads the first app from a trace or synthesises one.
-func buildApp(tracePath, id, model string, jobs int, work float64, gang int) (*workload.App, error) {
+func buildApp(tracePath, id, model string, jobs int, work float64, gang int) (*themis.App, error) {
 	if tracePath != "" {
-		tr, err := trace.Load(tracePath)
+		tr, err := themis.LoadTrace(tracePath)
 		if err != nil {
 			return nil, err
 		}
@@ -97,17 +89,16 @@ func buildApp(tracePath, id, model string, jobs int, work float64, gang int) (*w
 		}
 		return apps[0], nil
 	}
-	profile, ok := placement.ByName(model)
-	if !ok {
-		return nil, fmt.Errorf("unknown model %q (catalog: VGG16, VGG19, AlexNet, Inceptionv3, ResNet50, ...)", model)
+	profile, err := themis.Model(model)
+	if err != nil {
+		return nil, err
 	}
-	var trials []*workload.Job
+	var trials []*themis.Job
 	for i := 0; i < jobs; i++ {
-		j := workload.NewJob(workload.AppID(id), i, work, gang)
+		j := themis.NewJob(themis.AppID(id), i, work, gang)
 		j.Quality = float64(i) / float64(jobs+1)
 		j.Seed = int64(i + 1)
 		trials = append(trials, j)
 	}
-	app := workload.NewApp(workload.AppID(id), 0, profile, trials)
-	return app, app.Validate()
+	return themis.NewApp(themis.AppID(id), 0, profile, trials)
 }

@@ -16,9 +16,8 @@ import (
 	"os"
 	"time"
 
-	"themis/internal/cluster"
-	"themis/internal/core"
-	"themis/internal/rpc"
+	"themis"
+	"themis/daemon"
 )
 
 func main() {
@@ -32,21 +31,18 @@ func main() {
 	)
 	flag.Parse()
 
-	var topo *cluster.Topology
-	switch *clusterKind {
-	case "sim":
-		topo = cluster.SimulationCluster()
-	case "testbed":
-		topo = cluster.TestbedCluster()
-	default:
-		fmt.Fprintf(os.Stderr, "arbiterd: unknown cluster %q\n", *clusterKind)
+	topo, err := themis.Cluster(*clusterKind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arbiterd:", err)
 		os.Exit(1)
 	}
-	arb, err := core.NewArbiter(topo, core.Config{FairnessKnob: *fairness, LeaseDuration: *lease})
+	server, err := daemon.NewArbiterServer(topo, daemon.ArbiterConfig{
+		FairnessKnob:  *fairness,
+		LeaseDuration: *lease,
+	})
 	if err != nil {
 		log.Fatalf("arbiterd: %v", err)
 	}
-	server := rpc.NewArbiterServer(arb)
 	start := time.Now()
 	server.Clock = func() float64 { return time.Since(start).Minutes() * *timeScale }
 

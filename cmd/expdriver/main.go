@@ -15,7 +15,7 @@ import (
 	"os"
 	"strings"
 
-	"themis/internal/experiments"
+	"themis/experiments"
 )
 
 func main() {

@@ -11,23 +11,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"themis/internal/cluster"
-	"themis/internal/core"
-	"themis/internal/metrics"
-	"themis/internal/schedulers"
-	"themis/internal/sim"
-	"themis/internal/trace"
-	"themis/internal/workload"
+	"themis"
 )
 
 func main() {
 	var (
 		clusterKind = flag.String("cluster", "sim", "cluster topology: 'sim' (256 GPUs) or 'testbed' (50 GPUs)")
-		policyName  = flag.String("policy", "themis", "scheduling policy: themis, gandiva, tiresias, slaq, resource-fair, strawman")
+		policyName  = flag.String("policy", "themis", "scheduling policy: "+strings.Join(themis.Policies(), ", "))
 		numApps     = flag.Int("apps", 30, "number of apps to generate (ignored with -trace)")
 		seed        = flag.Int64("seed", 1, "workload generation seed")
 		scale       = flag.Float64("scale", 1.0, "job duration scale factor")
@@ -42,84 +38,44 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*clusterKind, *policyName, *tracePath, *numApps, *seed, *scale, *interArr, *contention, *lease, *fairness, *bidError, *horizon, *perApp); err != nil {
+	opts := []themis.Option{
+		themis.WithCluster(*clusterKind),
+		themis.WithPolicy(*policyName),
+		themis.WithSeed(*seed),
+		themis.WithLeaseDuration(*lease),
+		themis.WithFairnessKnob(*fairness),
+		themis.WithBidError(*bidError),
+		themis.WithHorizon(*horizon),
+	}
+	if *tracePath != "" {
+		opts = append(opts, themis.WithTraceFile(*tracePath))
+	} else {
+		spec := themis.DefaultWorkloadSpec()
+		spec.NumApps = *numApps
+		spec.Seed = *seed
+		spec.DurationScale = *scale
+		spec.MeanInterArrival = *interArr
+		spec.ContentionFactor = *contention
+		opts = append(opts, themis.WithWorkload(spec))
+	}
+
+	if err := run(*clusterKind, *perApp, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "themis-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(clusterKind, policyName, tracePath string, numApps int, seed int64, scale, interArr, contention, lease, fairness, bidError, horizon float64, perApp bool) error {
-	var topo *cluster.Topology
-	switch clusterKind {
-	case "sim":
-		topo = cluster.SimulationCluster()
-	case "testbed":
-		topo = cluster.TestbedCluster()
-	default:
-		return fmt.Errorf("unknown cluster %q (want sim or testbed)", clusterKind)
-	}
-
-	var apps []*workload.App
-	var err error
-	if tracePath != "" {
-		tr, err := trace.Load(tracePath)
-		if err != nil {
-			return err
-		}
-		apps, err = tr.ToApps()
-		if err != nil {
-			return err
-		}
-	} else {
-		cfg := workload.DefaultGeneratorConfig()
-		cfg.Seed = seed
-		cfg.NumApps = numApps
-		cfg.DurationScale = scale
-		cfg.MeanInterArrival = interArr
-		cfg.ContentionFactor = contention
-		apps, err = workload.Generate(cfg)
-		if err != nil {
-			return err
-		}
-	}
-
-	var policy sim.Policy
-	switch policyName {
-	case "themis":
-		p := schedulers.NewThemis(core.Config{FairnessKnob: fairness, LeaseDuration: lease})
-		p.BidErrorTheta = bidError
-		p.ErrorSeed = seed
-		policy = p
-	case "gandiva":
-		policy = schedulers.NewGandiva()
-	case "tiresias":
-		policy = schedulers.NewTiresias()
-	case "slaq":
-		policy = schedulers.NewSLAQ()
-	case "resource-fair":
-		policy = schedulers.NewResourceFair()
-	case "strawman":
-		policy = schedulers.NewStrawman()
-	default:
-		return fmt.Errorf("unknown policy %q", policyName)
-	}
-
-	s, err := sim.New(sim.Config{
-		Topology:        topo,
-		Apps:            apps,
-		Policy:          policy,
-		LeaseDuration:   lease,
-		RestartOverhead: sim.DefaultRestartOverhead,
-		Horizon:         horizon,
-	})
+func run(clusterKind string, perApp bool, opts []themis.Option) error {
+	s, err := themis.NewSimulation(opts...)
 	if err != nil {
 		return err
 	}
-	res, err := s.Run()
+	rep, err := s.Run(context.Background())
 	if err != nil {
 		return err
 	}
-	sum := metrics.Summarize(res)
+	sum := rep.Summary
+	topo := s.Topology()
 
 	fmt.Printf("policy               %s\n", sum.Policy)
 	fmt.Printf("cluster              %s (%d GPUs, %d machines, %d racks)\n", clusterKind, topo.TotalGPUs(), topo.NumMachines(), topo.NumRacks())
@@ -133,8 +89,7 @@ func run(clusterKind, policyName, tracePath string, numApps int, seed int64, sca
 	fmt.Printf("mean placement score %.3f\n", sum.MeanPlacementScore)
 	fmt.Printf("cluster GPU time     %.0f GPU-min\n", sum.GPUTime)
 
-	if t, ok := policy.(*schedulers.Themis); ok && t.Arbiter() != nil {
-		st := t.Arbiter().Stats
+	if st := rep.Auction; st != nil {
 		fmt.Printf("auctions             %d (offers %d, GPUs auctioned %d, leftover %d)\n",
 			st.Auctions, st.OffersMade, st.GPUsAuctioned, st.GPUsLeftOver)
 		if st.Auctions > 0 {
@@ -146,7 +101,7 @@ func run(clusterKind, policyName, tracePath string, numApps int, seed int64, sca
 	if perApp {
 		fmt.Println()
 		fmt.Println("app\tmodel\tsubmit\tcompletion\trho\tplacement\tjobs\tkilled")
-		for _, rec := range res.Apps {
+		for _, rec := range rep.Apps {
 			fmt.Printf("%s\t%s\t%.1f\t%.1f\t%.3f\t%.2f\t%d\t%d\n",
 				rec.App, rec.Model, rec.SubmitTime, rec.CompletionTime, rec.FinishTimeFairness, rec.PlacementScore, rec.JobsTotal, rec.JobsKilled)
 		}

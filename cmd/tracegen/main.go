@@ -14,8 +14,7 @@ import (
 	"fmt"
 	"os"
 
-	"themis/internal/trace"
-	"themis/internal/workload"
+	"themis"
 )
 
 func main() {
@@ -32,23 +31,23 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := workload.DefaultGeneratorConfig()
-	cfg.NumApps = *numApps
-	cfg.Seed = *seed
-	cfg.FractionNetworkIntensive = *network
-	cfg.ContentionFactor = *contention
-	cfg.DurationScale = *scale
-	cfg.MeanInterArrival = *interArr
+	spec := themis.DefaultWorkloadSpec()
+	spec.NumApps = *numApps
+	spec.Seed = *seed
+	spec.FractionNetworkIntensive = *network
+	spec.ContentionFactor = *contention
+	spec.DurationScale = *scale
+	spec.MeanInterArrival = *interArr
 
-	apps, err := workload.Generate(cfg)
+	apps, err := themis.GenerateWorkload(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
-	tr := trace.FromApps(*name, apps)
+	tr := themis.NewTrace(*name, apps)
 
 	if *summary {
-		st := workload.Summarize(apps)
+		st := themis.SummarizeWorkload(apps)
 		fmt.Fprintf(os.Stderr, "apps                 %d\n", st.NumApps)
 		fmt.Fprintf(os.Stderr, "jobs                 %d\n", st.NumJobs)
 		fmt.Fprintf(os.Stderr, "jobs/app             min %d, median %.0f, max %d\n", st.JobsPerAppMin, st.JobsPerAppMedian, st.JobsPerAppMax)
@@ -66,7 +65,7 @@ func main() {
 		}
 		return
 	}
-	if err := trace.Save(*out, tr); err != nil {
+	if err := themis.SaveTrace(*out, tr); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}

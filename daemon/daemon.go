@@ -1,0 +1,96 @@
+// Package daemon is the public face of Themis's distributed deployment: the
+// cross-app Arbiter and per-app Agents running as HTTP services, speaking
+// the probe → offer → bid → allocate protocol of §6. cmd/arbiterd and
+// cmd/agentd are thin wrappers over this package, and examples/distributed
+// drives the full loop in-process.
+package daemon
+
+import (
+	"fmt"
+
+	"themis"
+	"themis/internal/core"
+	"themis/internal/hyperparam"
+	"themis/internal/rpc"
+)
+
+// Servers and clients of the HTTP protocol. ArbiterServer exposes Handler
+// (the http.Handler to serve), RunAuction (one auction round) and a
+// pluggable Clock; AgentServer exposes Handler and the agent's current
+// allocation.
+type (
+	ArbiterServer = rpc.ArbiterServer
+	AgentServer   = rpc.AgentServer
+	ArbiterClient = rpc.ArbiterClient
+	AgentClient   = rpc.AgentClient
+)
+
+// Wire types crossing the protocol boundary.
+type (
+	// RegisterResponse acknowledges an agent registration.
+	RegisterResponse = rpc.RegisterResponse
+	// StatusResponse reports the arbiter's cluster and auction state.
+	StatusResponse = rpc.StatusResponse
+	// AuctionResponse reports one auction round's decisions.
+	AuctionResponse = rpc.AuctionResponse
+	// WireAlloc is the serialised form of a GPU allocation; ToAlloc converts
+	// it back to a themis.Alloc.
+	WireAlloc = rpc.WireAlloc
+)
+
+// ArbiterConfig carries the arbiter's tunables. Values are used verbatim —
+// FairnessKnob 0 really means f = 0 (every app receives offers) — so start
+// from DefaultArbiterConfig to get the paper's settings; a zero-valued
+// LeaseDuration is rejected as invalid.
+type ArbiterConfig struct {
+	// FairnessKnob is f ∈ [0,1] (§5).
+	FairnessKnob float64
+	// LeaseDuration is the GPU lease length in scheduling minutes.
+	LeaseDuration float64
+}
+
+// DefaultArbiterConfig returns the configuration the paper converges on
+// (§8.2): f = 0.8 and a 20-minute lease.
+func DefaultArbiterConfig() ArbiterConfig {
+	def := core.DefaultConfig()
+	return ArbiterConfig{FairnessKnob: def.FairnessKnob, LeaseDuration: def.LeaseDuration}
+}
+
+// NewArbiterServer builds the Themis cross-app Arbiter for a cluster and
+// wraps it in its HTTP server. Invalid configurations return errors.
+func NewArbiterServer(topo *themis.Topology, cfg ArbiterConfig) (*ArbiterServer, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("daemon: nil topology")
+	}
+	arb, err := core.NewArbiter(topo, core.Config{
+		FairnessKnob:  cfg.FairnessKnob,
+		LeaseDuration: cfg.LeaseDuration,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("daemon: %w", err)
+	}
+	return rpc.NewArbiterServer(arb), nil
+}
+
+// NewAgentServer builds one app's Themis Agent — answering fairness probes
+// and preparing bids with the app-appropriate hyperparameter tuner — and
+// wraps it in its HTTP server.
+func NewAgentServer(topo *themis.Topology, app *themis.App) (*AgentServer, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("daemon: nil topology")
+	}
+	if app == nil {
+		return nil, fmt.Errorf("daemon: nil app")
+	}
+	if err := app.Validate(); err != nil {
+		return nil, fmt.Errorf("daemon: invalid app %s: %w", app.ID, err)
+	}
+	agent := core.NewAgent(topo, app, hyperparam.ForApp(app), nil)
+	return rpc.NewAgentServer(agent), nil
+}
+
+// NewArbiterClient returns a client for an arbiter daemon's base URL.
+func NewArbiterClient(baseURL string) *ArbiterClient { return rpc.NewArbiterClient(baseURL) }
+
+// NewAgentClient returns a client for an agent daemon's base URL.
+func NewAgentClient(baseURL string) *AgentClient { return rpc.NewAgentClient(baseURL) }

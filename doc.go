@@ -1,15 +1,29 @@
 // Package themis is a from-scratch Go reproduction of "Themis: Fair and
 // Efficient GPU Cluster Scheduling for Machine Learning Workloads"
-// (Mahajan et al., NSDI 2020).
+// (Mahajan et al., NSDI 2020), exposed behind a stable public API.
 //
-// The library lives under internal/ (see DESIGN.md for the module map):
-// finish-time-fair partial-allocation auctions (internal/core), the GPU
-// cluster and placement-sensitivity models (internal/cluster,
-// internal/placement), the workload and trace machinery
-// (internal/workload, internal/trace), the hyperparameter tuners
-// (internal/hyperparam), the event-driven simulator (internal/sim), the
-// baseline schedulers the paper compares against (internal/schedulers), and
-// the per-figure experiment harness (internal/experiments).
+// This root package is the facade: it assembles simulations with functional
+// options and runs them under the paper's schedulers,
+//
+//	s, err := themis.NewSimulation(
+//		themis.WithCluster(themis.ClusterTestbed),
+//		themis.WithWorkload(themis.DefaultWorkloadSpec()),
+//		themis.WithPolicy("themis"),
+//		themis.WithFairnessKnob(0.8),
+//	)
+//	if err != nil { ... }
+//	report, err := s.Run(ctx)
+//
+// returning a typed Report (fairness CDFs, JCT, GPU time, auction
+// telemetry). Policies are constructed by name through a registry —
+// Policy("themis"|"gandiva"|"tiresias"|"slaq"|"resource-fair"|"strawman") —
+// extensible via RegisterPolicy. Misconfiguration surfaces as errors at
+// construction time, and Run honors context cancellation.
+//
+// The companion public packages are themis/experiments (one constructor per
+// figure of the paper's evaluation) and themis/daemon (the distributed
+// Arbiter/Agent HTTP services). The implementation lives under internal/ —
+// see DESIGN.md for the module map and the public-API layering.
 //
 // The benchmarks in this root package regenerate every table and figure of
 // the paper's evaluation; run them with

@@ -7,54 +7,41 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"themis/internal/cluster"
-	"themis/internal/core"
-	"themis/internal/metrics"
-	"themis/internal/schedulers"
-	"themis/internal/sim"
-	"themis/internal/workload"
+	"themis"
 )
 
 func main() {
-	topo := cluster.TestbedCluster() // the paper's 50-GPU testbed topology
-
 	fmt.Println("contention  scheme     max_rho  median_rho  jains  mean_jct_min")
 	for _, contention := range []float64{1, 2, 4} {
-		for _, mk := range []func() sim.Policy{
-			func() sim.Policy { return schedulers.NewThemis(core.DefaultConfig()) },
-			func() sim.Policy { return schedulers.NewTiresias() },
-		} {
-			policy := mk()
-			cfg := workload.DefaultGeneratorConfig()
-			cfg.NumApps = 16
-			cfg.Seed = 11
-			cfg.JobsPerAppMedian = 5
-			cfg.MaxJobsPerApp = 10
-			cfg.DurationScale = 0.2
-			cfg.MeanInterArrival = 10
-			cfg.ContentionFactor = contention
-			apps, err := workload.Generate(cfg)
+		for _, policy := range []string{"themis", "tiresias"} {
+			spec := themis.DefaultWorkloadSpec()
+			spec.NumApps = 16
+			spec.Seed = 11
+			spec.JobsPerAppMedian = 5
+			spec.MaxJobsPerApp = 10
+			spec.DurationScale = 0.2
+			spec.MeanInterArrival = 10
+			spec.ContentionFactor = contention
+
+			s, err := themis.NewSimulation(
+				themis.WithCluster(themis.ClusterTestbed), // the paper's 50-GPU testbed
+				themis.WithPolicy(policy),
+				themis.WithWorkload(spec),
+				themis.WithLeaseDuration(15),
+				themis.WithRestartOverhead(0.5),
+			)
 			if err != nil {
 				log.Fatal(err)
 			}
-			s, err := sim.New(sim.Config{
-				Topology:        topo,
-				Apps:            apps,
-				Policy:          policy,
-				LeaseDuration:   15,
-				RestartOverhead: 0.5,
-			})
+			rep, err := s.Run(context.Background())
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := s.Run()
-			if err != nil {
-				log.Fatal(err)
-			}
-			sum := metrics.Summarize(res)
+			sum := rep.Summary
 			fmt.Printf("%9.0fx  %-9s  %7.2f  %10.2f  %5.3f  %12.1f\n",
 				contention, sum.Policy, sum.MaxFairness, sum.MedianFairness, sum.JainsIndex, sum.MeanCompletionTime)
 		}

@@ -14,12 +14,8 @@ import (
 	"net/http"
 	"time"
 
-	"themis/internal/cluster"
-	"themis/internal/core"
-	"themis/internal/hyperparam"
-	"themis/internal/placement"
-	"themis/internal/rpc"
-	"themis/internal/workload"
+	"themis"
+	"themis/daemon"
 )
 
 // serve starts an HTTP handler on a free localhost port and returns its URL.
@@ -34,27 +30,33 @@ func serve(handler http.Handler) (string, error) {
 	return "http://" + ln.Addr().String(), nil
 }
 
-func makeApp(id string, profile placement.Profile, trials int, work float64) *workload.App {
-	var jobs []*workload.Job
+func makeApp(id string, model string, trials int, work float64) (*themis.App, error) {
+	profile, err := themis.Model(model)
+	if err != nil {
+		return nil, err
+	}
+	var jobs []*themis.Job
 	for i := 0; i < trials; i++ {
-		j := workload.NewJob(workload.AppID(id), i, work, 4)
+		j := themis.NewJob(themis.AppID(id), i, work, 4)
 		j.Quality = float64(i) / float64(trials+1)
 		j.Seed = int64(i + 17)
 		jobs = append(jobs, j)
 	}
-	return workload.NewApp(workload.AppID(id), 0, profile, jobs)
+	return themis.NewApp(themis.AppID(id), 0, profile, jobs)
 }
 
 func main() {
-	topo := cluster.TestbedCluster()
-
-	// The Arbiter daemon. The clock is accelerated so each wall-clock second
-	// is one scheduling minute and leases visibly expire during the demo.
-	arb, err := core.NewArbiter(topo, core.Config{FairnessKnob: 0.6, LeaseDuration: 3})
+	topo, err := themis.Cluster(themis.ClusterTestbed)
 	if err != nil {
 		log.Fatal(err)
 	}
-	arbServer := rpc.NewArbiterServer(arb)
+
+	// The Arbiter daemon. The clock is accelerated so each wall-clock second
+	// is one scheduling minute and leases visibly expire during the demo.
+	arbServer, err := daemon.NewArbiterServer(topo, daemon.ArbiterConfig{FairnessKnob: 0.6, LeaseDuration: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
 	start := time.Now()
 	arbServer.Clock = func() float64 { return time.Since(start).Seconds() }
 	arbiterURL, err := serve(arbServer.Handler())
@@ -64,16 +66,29 @@ func main() {
 	fmt.Println("arbiter listening on", arbiterURL)
 
 	// Three app Agents with different placement sensitivities and demands.
-	apps := []*workload.App{
-		makeApp("speech-team", placement.DeepSpeech, 6, 300),
-		makeApp("vision-team", placement.VGG16, 8, 400),
-		makeApp("ranking-team", placement.ResNet50, 4, 200),
+	type appSpec struct {
+		id     string
+		model  string
+		trials int
+		work   float64
+	}
+	specs := []appSpec{
+		{"speech-team", "DeepSpeech", 6, 300},
+		{"vision-team", "VGG16", 8, 400},
+		{"ranking-team", "ResNet50", 4, 200},
 	}
 	ctx := context.Background()
-	arbClient := rpc.NewArbiterClient(arbiterURL)
-	for _, app := range apps {
-		agent := core.NewAgent(topo, app, hyperparam.ForApp(app), nil)
-		url, err := serve(rpc.NewAgentServer(agent).Handler())
+	arbClient := daemon.NewArbiterClient(arbiterURL)
+	for _, spec := range specs {
+		app, err := makeApp(spec.id, spec.model, spec.trials, spec.work)
+		if err != nil {
+			log.Fatal(err)
+		}
+		agent, err := daemon.NewAgentServer(topo, app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		url, err := serve(agent.Handler())
 		if err != nil {
 			log.Fatal(err)
 		}

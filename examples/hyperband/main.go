@@ -8,88 +8,106 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"themis/internal/cluster"
-	"themis/internal/core"
-	"themis/internal/metrics"
-	"themis/internal/placement"
-	"themis/internal/schedulers"
-	"themis/internal/sim"
-	"themis/internal/workload"
+	"themis"
 )
 
 // buildWorkload creates the hyperparameter-exploration app plus background
 // load. It is called once per scheduler so each run gets fresh state.
-func buildWorkload() []*workload.App {
-	var apps []*workload.App
+func buildWorkload() ([]*themis.App, error) {
+	var apps []*themis.App
+
+	vgg16, err := themis.Model("VGG16")
+	if err != nil {
+		return nil, err
+	}
+	resnet50, err := themis.Model("ResNet50")
+	if err != nil {
+		return nil, err
+	}
+	inception, err := themis.Model("Inceptionv3")
+	if err != nil {
+		return nil, err
+	}
 
 	// The app under study: 16 VGG16 trials, 4 GPUs each, exploring learning
 	// rates; HyperBand will keep halving until one survivor trains fully.
-	var trials []*workload.Job
+	var trials []*themis.Job
 	for i := 0; i < 16; i++ {
-		j := workload.NewJob("hyperband-app", i, 360, 4) // 360 serial GPU-minutes per trial
+		j := themis.NewJob("hyperband-app", i, 360, 4) // 360 serial GPU-minutes per trial
 		j.Quality = float64(i) / 16
 		j.Seed = int64(100 + i)
 		j.TotalIterations = 1000
 		trials = append(trials, j)
 	}
-	apps = append(apps, workload.NewApp("hyperband-app", 10, placement.VGG16, trials))
+	study, err := themis.NewApp("hyperband-app", 10, vgg16, trials)
+	if err != nil {
+		return nil, err
+	}
+	apps = append(apps, study)
 
 	// Background apps that keep the cluster contended.
 	for b := 0; b < 5; b++ {
-		var jobs []*workload.Job
+		id := themis.AppID(fmt.Sprintf("bg-%d", b))
+		var jobs []*themis.Job
 		for i := 0; i < 4; i++ {
-			j := workload.NewJob(workload.AppID(fmt.Sprintf("bg-%d", b)), i, 240, 4)
+			j := themis.NewJob(id, i, 240, 4)
 			j.Quality = float64(i) / 4
 			j.Seed = int64(200 + b*10 + i)
 			jobs = append(jobs, j)
 		}
-		profile := placement.ResNet50
+		profile := resnet50
 		if b%2 == 0 {
-			profile = placement.InceptionV3
+			profile = inception
 		}
-		apps = append(apps, workload.NewApp(workload.AppID(fmt.Sprintf("bg-%d", b)), float64(b*8), profile, jobs))
+		bg, err := themis.NewApp(id, float64(b*8), profile, jobs)
+		if err != nil {
+			return nil, err
+		}
+		apps = append(apps, bg)
 	}
-	return apps
+	return apps, nil
 }
 
-func run(policy sim.Policy) (*sim.Result, error) {
-	topo, err := cluster.Config{
-		MachineSpecs:    []cluster.MachineSpec{{Count: 10, GPUs: 4, SlotSize: 2, GPU: cluster.GPUTypeP100}},
+func run(policy string) (*themis.Report, error) {
+	topo, err := themis.ClusterConfig{
+		MachineSpecs:    []themis.MachineSpec{{Count: 10, GPUs: 4, SlotSize: 2, GPU: themis.GPUTypeP100}},
 		MachinesPerRack: 5,
 	}.Build()
 	if err != nil {
 		return nil, err
 	}
-	s, err := sim.New(sim.Config{
-		Topology:        topo,
-		Apps:            buildWorkload(),
-		Policy:          policy,
-		LeaseDuration:   15,
-		RestartOverhead: 0.75,
-	})
+	apps, err := buildWorkload()
 	if err != nil {
 		return nil, err
 	}
-	return s.Run()
+	s, err := themis.NewSimulation(
+		themis.WithTopology(topo),
+		themis.WithApps(apps...),
+		themis.WithPolicy(policy),
+		themis.WithLeaseDuration(15),
+		themis.WithRestartOverhead(0.75),
+	)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(context.Background())
 }
 
 func main() {
-	for _, policy := range []sim.Policy{
-		schedulers.NewThemis(core.DefaultConfig()),
-		schedulers.NewTiresias(),
-	} {
-		res, err := run(policy)
+	for _, policy := range []string{"themis", "tiresias"} {
+		rep, err := run(policy)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("=== %s ===\n", policy.Name())
-		var study *sim.AppRecord
-		for i := range res.Apps {
-			if res.Apps[i].App == "hyperband-app" {
-				study = &res.Apps[i]
+		fmt.Printf("=== %s ===\n", rep.Summary.Policy)
+		var study *themis.AppRecord
+		for i := range rep.Apps {
+			if rep.Apps[i].App == "hyperband-app" {
+				study = &rep.Apps[i]
 			}
 		}
 		if study == nil {
@@ -98,10 +116,10 @@ func main() {
 		fmt.Printf("hyperband app: completion %.0f min, rho %.2f, %d/%d trials terminated early, placement %.2f\n",
 			study.CompletionTime, study.FinishTimeFairness, study.JobsKilled, study.JobsTotal, study.PlacementScore)
 		fmt.Printf("cluster:       worst rho %.2f, Jain's index %.3f, GPU time %.0f GPU-min\n",
-			metrics.MaxFairness(res), metrics.JainsIndexOf(res), metrics.GPUTime(res))
+			rep.Summary.MaxFairness, rep.Summary.JainsIndex, rep.Summary.GPUTime)
 
 		fmt.Println("allocation timeline of the hyperband app (time → GPUs):")
-		events := res.TimelineFor("hyperband-app")
+		events := rep.TimelineFor("hyperband-app")
 		for i, e := range events {
 			if i > 0 && e.GPUs == events[i-1].GPUs {
 				continue // only print changes

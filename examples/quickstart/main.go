@@ -6,21 +6,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"themis/internal/cluster"
-	"themis/internal/core"
-	"themis/internal/metrics"
-	"themis/internal/schedulers"
-	"themis/internal/sim"
-	"themis/internal/workload"
+	"themis"
 )
 
 func main() {
 	// A small cluster: 8 machines with 4 GPUs each, two racks.
-	topo, err := cluster.Config{
-		MachineSpecs:    []cluster.MachineSpec{{Count: 8, GPUs: 4, SlotSize: 2, GPU: cluster.GPUTypeP100}},
+	topo, err := themis.ClusterConfig{
+		MachineSpecs:    []themis.MachineSpec{{Count: 8, GPUs: 4, SlotSize: 2, GPU: themis.GPUTypeP100}},
 		MachinesPerRack: 4,
 	}.Build()
 	if err != nil {
@@ -30,37 +26,29 @@ func main() {
 	// A synthetic workload: 10 hyperparameter-exploration apps, a 60:40 mix
 	// of compute- and network-intensive model families, arriving every ~5
 	// minutes on average.
-	cfg := workload.DefaultGeneratorConfig()
-	cfg.NumApps = 10
-	cfg.MeanInterArrival = 5
-	cfg.JobsPerAppMedian = 4
-	cfg.MaxJobsPerApp = 8
-	cfg.DurationScale = 0.25
-	apps, err := workload.Generate(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
+	spec := themis.DefaultWorkloadSpec()
+	spec.NumApps = 10
+	spec.MeanInterArrival = 5
+	spec.JobsPerAppMedian = 4
+	spec.MaxJobsPerApp = 8
+	spec.DurationScale = 0.25
 
 	// Themis with the paper's defaults: fairness knob f = 0.8, 20-minute
 	// GPU leases, truthful partial-allocation auctions.
-	policy := schedulers.NewThemis(core.DefaultConfig())
-
-	s, err := sim.New(sim.Config{
-		Topology:        topo,
-		Apps:            apps,
-		Policy:          policy,
-		LeaseDuration:   20,
-		RestartOverhead: sim.DefaultRestartOverhead,
-	})
+	s, err := themis.NewSimulation(
+		themis.WithTopology(topo),
+		themis.WithWorkload(spec),
+		themis.WithPolicy("themis"),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := s.Run()
+	rep, err := s.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	sum := metrics.Summarize(res)
+	sum := rep.Summary
 	fmt.Printf("Scheduled %d apps on %d GPUs with %s\n", sum.AppsTotal, topo.TotalGPUs(), sum.Policy)
 	fmt.Printf("  makespan:               %.1f minutes\n", sum.Makespan)
 	fmt.Printf("  worst finish-time ρ:    %.2f\n", sum.MaxFairness)
@@ -71,14 +59,14 @@ func main() {
 	fmt.Printf("  cluster GPU time:       %.0f GPU-minutes\n", sum.GPUTime)
 
 	fmt.Println("\nPer-app finish-time fairness (ρ = shared / ideal running time):")
-	for _, rec := range res.Finished() {
+	for _, rec := range rep.Finished() {
 		fmt.Printf("  %-8s %-12s rho=%.2f completion=%.0f min placement=%.2f\n",
 			rec.App, rec.Model, rec.FinishTimeFairness, rec.CompletionTime, rec.PlacementScore)
 	}
 
-	if arb := policy.Arbiter(); arb != nil {
+	if st := rep.Auction; st != nil && st.Auctions > 0 {
 		fmt.Printf("\nArbiter ran %d auctions over %d offered GPUs (%.1f ms mean).\n",
-			arb.Stats.Auctions, arb.Stats.GPUsAuctioned,
-			float64(arb.Stats.TotalAuctionTime.Milliseconds())/float64(arb.Stats.Auctions))
+			st.Auctions, st.GPUsAuctioned,
+			float64(st.TotalAuctionTime.Milliseconds())/float64(st.Auctions))
 	}
 }

@@ -1,0 +1,3 @@
+module themis
+
+go 1.24

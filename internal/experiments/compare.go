@@ -42,7 +42,11 @@ func RunComparison(opts Options) (*Comparison, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := opts.runSim(topo, apps, newPolicy())
+		policy, err := newPolicy()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: comparison policy %s: %w", scheme, err)
+		}
+		res, err := opts.runSim(topo, apps, policy)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: comparison run %s: %w", scheme, err)
 		}

@@ -93,7 +93,11 @@ func Figure4a(opts Options) ([]Figure4aRow, error) {
 			}
 			cfg := opts.themisConfig()
 			cfg.FairnessKnob = f
-			res, err := opts.runSim(topo, apps, schedulers.NewThemis(cfg))
+			policy, err := schedulers.NewThemis(cfg)
+			if err != nil {
+				return nil, err
+			}
+			res, err := opts.runSim(topo, apps, policy)
 			if err != nil {
 				return nil, err
 			}
@@ -129,7 +133,11 @@ func Figure4b(opts Options) ([]Figure4bRow, error) {
 			}
 			cfg := opts.themisConfig()
 			cfg.FairnessKnob = f
-			res, err := opts.runSim(topo, apps, schedulers.NewThemis(cfg))
+			policy, err := schedulers.NewThemis(cfg)
+			if err != nil {
+				return nil, err
+			}
+			res, err := opts.runSim(topo, apps, policy)
 			if err != nil {
 				return nil, err
 			}
@@ -170,7 +178,11 @@ func Figure4c(opts Options) ([]Figure4cRow, error) {
 			cfg.LeaseDuration = lease
 			runOpts := opts
 			runOpts.LeaseDuration = lease
-			res, err := runOpts.runSim(topo, apps, schedulers.NewThemis(cfg))
+			policy, err := schedulers.NewThemis(cfg)
+			if err != nil {
+				return nil, err
+			}
+			res, err := runOpts.runSim(topo, apps, policy)
 			if err != nil {
 				return nil, err
 			}
@@ -225,7 +237,10 @@ func Figure8(opts Options) (Figure8Result, error) {
 		mkApp("short", 40, 160, 1),
 		mkApp("long", 40, 480, 1),
 	}
-	policy := schedulers.NewThemis(opts.themisConfig())
+	policy, err := schedulers.NewThemis(opts.themisConfig())
+	if err != nil {
+		return Figure8Result{}, err
+	}
 	runOpts := opts
 	runOpts.LeaseDuration = 20
 	res, err := runOpts.runSim(topo, apps, policy)
@@ -250,13 +265,14 @@ func maxIntE(a, b int) int {
 }
 
 // SchedulerSet returns the comparison policies of §8.3 keyed by the paper's
-// names, constructed fresh (policies hold per-run agent state).
-func SchedulerSet(themisCfg core.Config) map[string]func() sim.Policy {
-	return map[string]func() sim.Policy{
-		"themis":   func() sim.Policy { return schedulers.NewThemis(themisCfg) },
-		"gandiva":  func() sim.Policy { return schedulers.NewGandiva() },
-		"slaq":     func() sim.Policy { return schedulers.NewSLAQ() },
-		"tiresias": func() sim.Policy { return schedulers.NewTiresias() },
+// names, constructed fresh (policies hold per-run agent state). Factories
+// return an error when the Themis configuration is invalid.
+func SchedulerSet(themisCfg core.Config) map[string]func() (sim.Policy, error) {
+	return map[string]func() (sim.Policy, error){
+		"themis":   func() (sim.Policy, error) { return schedulers.NewThemis(themisCfg) },
+		"gandiva":  func() (sim.Policy, error) { return schedulers.NewGandiva(), nil },
+		"slaq":     func() (sim.Policy, error) { return schedulers.NewSLAQ(), nil },
+		"tiresias": func() (sim.Policy, error) { return schedulers.NewTiresias(), nil },
 	}
 }
 

@@ -34,7 +34,11 @@ func Figure9a(opts Options) ([]Figure9aRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			themisRes, err := opts.runSim(topo, themisApps, schedulers.NewThemis(opts.themisConfig()))
+			themisPolicy, err := schedulers.NewThemis(opts.themisConfig())
+			if err != nil {
+				return nil, err
+			}
+			themisRes, err := opts.runSim(topo, themisApps, themisPolicy)
 			if err != nil {
 				return nil, err
 			}
@@ -85,7 +89,11 @@ func Figure9b(opts Options) ([]Figure9bRow, error) {
 				if err != nil {
 					return nil, err
 				}
-				res, err := opts.runSim(topo, apps, set[scheme]())
+				policy, err := set[scheme]()
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", scheme, err)
+				}
+				res, err := opts.runSim(topo, apps, policy)
 				if err != nil {
 					return nil, fmt.Errorf("%s: %w", scheme, err)
 				}
@@ -129,7 +137,11 @@ func Figure10(opts Options) ([]Figure10Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			themisRes, err := opts.runSim(topo, themisApps, schedulers.NewThemis(opts.themisConfig()))
+			themisPolicy, err := schedulers.NewThemis(opts.themisConfig())
+			if err != nil {
+				return nil, err
+			}
+			themisRes, err := opts.runSim(topo, themisApps, themisPolicy)
 			if err != nil {
 				return nil, err
 			}
@@ -176,7 +188,10 @@ func Figure11(opts Options) ([]Figure11Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			policy := schedulers.NewThemis(opts.themisConfig())
+			policy, err := schedulers.NewThemis(opts.themisConfig())
+			if err != nil {
+				return nil, err
+			}
 			policy.BidErrorTheta = theta
 			policy.ErrorSeed = seed + int64(theta*1000)
 			res, err := opts.runSim(topo, apps, policy)

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"themis/internal/cluster"
@@ -239,5 +240,5 @@ func (o Options) runSim(topo *cluster.Topology, apps []*workload.App, policy sim
 	if err != nil {
 		return nil, err
 	}
-	return s.Run()
+	return s.Run(context.Background())
 }

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -83,7 +84,7 @@ func TestIdealMaxFairness(t *testing.T) {
 type fullPolicy struct{}
 
 func (fullPolicy) Name() string { return "full-test" }
-func (fullPolicy) Allocate(now float64, free cluster.Alloc, view *sim.View) map[workload.AppID]cluster.Alloc {
+func (fullPolicy) Allocate(now float64, free cluster.Alloc, view *sim.View) (map[workload.AppID]cluster.Alloc, error) {
 	out := make(map[workload.AppID]cluster.Alloc)
 	remaining := free.Clone()
 	for _, st := range view.Apps {
@@ -95,7 +96,7 @@ func (fullPolicy) Allocate(now float64, free cluster.Alloc, view *sim.View) map[
 		out[st.App.ID] = alloc
 		remaining, _ = remaining.Sub(alloc)
 	}
-	return out
+	return out, nil
 }
 
 func TestSummarizeOnSimulation(t *testing.T) {
@@ -114,7 +115,7 @@ func TestSummarizeOnSimulation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run()
+	res, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package schedulers
 
 import (
+	"fmt"
 	"sort"
 
 	"themis/internal/cluster"
@@ -26,7 +27,7 @@ func (*Gandiva) Name() string { return "gandiva" }
 
 // Allocate greedily hands gang-sized chunks to whichever app places them
 // best, repeating until demand or supply is exhausted.
-func (*Gandiva) Allocate(now float64, free cluster.Alloc, view *sim.View) map[workload.AppID]cluster.Alloc {
+func (*Gandiva) Allocate(now float64, free cluster.Alloc, view *sim.View) (map[workload.AppID]cluster.Alloc, error) {
 	out := make(map[workload.AppID]cluster.Alloc)
 	remaining := free.Clone()
 	demand := demandOf(view)
@@ -62,10 +63,10 @@ func (*Gandiva) Allocate(now float64, free cluster.Alloc, view *sim.View) map[wo
 		var err error
 		remaining, err = remaining.Sub(best.alloc)
 		if err != nil {
-			panic("schedulers: gandiva over-allocated: " + err.Error())
+			return nil, fmt.Errorf("gandiva over-allocated: %w", err)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Tiresias models Gu et al.'s least-attained-service (LAS) discipline as the
@@ -82,7 +83,7 @@ func (*Tiresias) Name() string { return "tiresias" }
 
 // Allocate assigns gang-sized chunks to apps in ascending order of attained
 // GPU service until supply or demand runs out.
-func (*Tiresias) Allocate(now float64, free cluster.Alloc, view *sim.View) map[workload.AppID]cluster.Alloc {
+func (*Tiresias) Allocate(now float64, free cluster.Alloc, view *sim.View) (map[workload.AppID]cluster.Alloc, error) {
 	out := make(map[workload.AppID]cluster.Alloc)
 	remaining := free.Clone()
 	demand := demandOf(view)
@@ -120,10 +121,10 @@ func (*Tiresias) Allocate(now float64, free cluster.Alloc, view *sim.View) map[w
 		var err error
 		remaining, err = remaining.Sub(alloc)
 		if err != nil {
-			panic("schedulers: tiresias over-allocated: " + err.Error())
+			return nil, fmt.Errorf("tiresias over-allocated: %w", err)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // SLAQ models Zhang et al.'s quality-driven scheduler as the paper does
@@ -149,7 +150,7 @@ func (*SLAQ) Name() string { return "slaq" }
 // Allocate repeatedly grants a gang-sized chunk to the app whose best active
 // trial would reduce its loss the most over the next window given that
 // chunk.
-func (s *SLAQ) Allocate(now float64, free cluster.Alloc, view *sim.View) map[workload.AppID]cluster.Alloc {
+func (s *SLAQ) Allocate(now float64, free cluster.Alloc, view *sim.View) (map[workload.AppID]cluster.Alloc, error) {
 	out := make(map[workload.AppID]cluster.Alloc)
 	remaining := free.Clone()
 	demand := demandOf(view)
@@ -183,10 +184,10 @@ func (s *SLAQ) Allocate(now float64, free cluster.Alloc, view *sim.View) map[wor
 		var err error
 		remaining, err = remaining.Sub(alloc)
 		if err != nil {
-			panic("schedulers: slaq over-allocated: " + err.Error())
+			return nil, fmt.Errorf("slaq over-allocated: %w", err)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // lossReduction estimates the loss decrease the app's best-progressing trial
@@ -230,7 +231,7 @@ func (*ResourceFair) Name() string { return "resource-fair" }
 
 // Allocate gives one gang-sized chunk at a time to the app currently holding
 // the fewest GPUs.
-func (*ResourceFair) Allocate(now float64, free cluster.Alloc, view *sim.View) map[workload.AppID]cluster.Alloc {
+func (*ResourceFair) Allocate(now float64, free cluster.Alloc, view *sim.View) (map[workload.AppID]cluster.Alloc, error) {
 	out := make(map[workload.AppID]cluster.Alloc)
 	remaining := free.Clone()
 	demand := demandOf(view)
@@ -267,10 +268,10 @@ func (*ResourceFair) Allocate(now float64, free cluster.Alloc, view *sim.View) m
 		var err error
 		remaining, err = remaining.Sub(alloc)
 		if err != nil {
-			panic("schedulers: resource-fair over-allocated: " + err.Error())
+			return nil, fmt.Errorf("resource-fair over-allocated: %w", err)
 		}
 	}
-	return out
+	return out, nil
 }
 
 func maxInt(a, b int) int {

@@ -1,6 +1,7 @@
 package schedulers
 
 import (
+	"context"
 	"testing"
 
 	"themis/internal/cluster"
@@ -9,6 +10,15 @@ import (
 	"themis/internal/sim"
 	"themis/internal/workload"
 )
+
+func mustThemis(t *testing.T, cfg core.Config) *Themis {
+	t.Helper()
+	p, err := NewThemis(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
 
 func benchTopo(t *testing.T) *cluster.Topology {
 	t.Helper()
@@ -54,16 +64,16 @@ func runPolicy(t *testing.T, policy sim.Policy, seed int64, numApps int) *sim.Re
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run()
+	res, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	return res
 }
 
-func allPolicies() []sim.Policy {
+func allPolicies(t *testing.T) []sim.Policy {
 	return []sim.Policy{
-		NewThemis(core.DefaultConfig()),
+		mustThemis(t, core.DefaultConfig()),
 		NewGandiva(),
 		NewTiresias(),
 		NewSLAQ(),
@@ -73,7 +83,7 @@ func allPolicies() []sim.Policy {
 
 func TestPolicyNames(t *testing.T) {
 	want := map[string]bool{"themis": true, "gandiva": true, "tiresias": true, "slaq": true, "resource-fair": true}
-	for _, p := range allPolicies() {
+	for _, p := range allPolicies(t) {
 		if !want[p.Name()] {
 			t.Errorf("unexpected policy name %q", p.Name())
 		}
@@ -81,7 +91,7 @@ func TestPolicyNames(t *testing.T) {
 }
 
 func TestAllPoliciesCompleteWorkload(t *testing.T) {
-	for _, p := range allPolicies() {
+	for _, p := range allPolicies(t) {
 		p := p
 		t.Run(p.Name(), func(t *testing.T) {
 			res := runPolicy(t, p, 3, 8)
@@ -162,7 +172,7 @@ func TestThemisImprovesWorstCaseFairness(t *testing.T) {
 		}
 		return worst
 	}
-	themis := runPolicy(t, NewThemis(core.DefaultConfig()), 11, 10)
+	themis := runPolicy(t, mustThemis(t, core.DefaultConfig()), 11, 10)
 	tiresias := runPolicy(t, NewTiresias(), 11, 10)
 	if maxRho(themis) > maxRho(tiresias)*1.3 {
 		t.Errorf("Themis max rho %v much worse than Tiresias %v", maxRho(themis), maxRho(tiresias))
@@ -172,14 +182,14 @@ func TestThemisImprovesWorstCaseFairness(t *testing.T) {
 func TestThemisAllocationsRespectFreePool(t *testing.T) {
 	topo := benchTopo(t)
 	apps := smallTrace(t, 5, 6)
-	policy := NewThemis(core.DefaultConfig())
+	policy := mustThemis(t, core.DefaultConfig())
 	s, err := sim.New(sim.Config{Topology: topo, Apps: apps, Policy: policy, LeaseDuration: 10, Horizon: 3000})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The simulator panics if a policy over-allocates or conflicts, so a
 	// clean run is the assertion.
-	if _, err := s.Run(); err != nil {
+	if _, err := s.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if policy.Arbiter() == nil {
@@ -192,7 +202,7 @@ func TestThemisAllocationsRespectFreePool(t *testing.T) {
 }
 
 func TestThemisWithBidError(t *testing.T) {
-	p := NewThemis(core.DefaultConfig())
+	p := mustThemis(t, core.DefaultConfig())
 	p.BidErrorTheta = 0.2
 	p.ErrorSeed = 99
 	res := runPolicy(t, p, 13, 6)

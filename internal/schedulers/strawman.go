@@ -1,6 +1,7 @@
 package schedulers
 
 import (
+	"fmt"
 	"math"
 
 	"themis/internal/cluster"
@@ -36,7 +37,7 @@ func (*Strawman) Name() string { return "strawman-ftf" }
 
 // Allocate gives every free GPU (up to its demand) to the app with the
 // worst current ρ, then repeats with the next-worst app while GPUs remain.
-func (s *Strawman) Allocate(now float64, free cluster.Alloc, view *sim.View) map[workload.AppID]cluster.Alloc {
+func (s *Strawman) Allocate(now float64, free cluster.Alloc, view *sim.View) (map[workload.AppID]cluster.Alloc, error) {
 	out := make(map[workload.AppID]cluster.Alloc)
 	remaining := free.Clone()
 	demand := demandOf(view)
@@ -66,10 +67,10 @@ func (s *Strawman) Allocate(now float64, free cluster.Alloc, view *sim.View) map
 		var err error
 		remaining, err = remaining.Sub(alloc)
 		if err != nil {
-			panic("schedulers: strawman over-allocated: " + err.Error())
+			return nil, fmt.Errorf("strawman over-allocated: %w", err)
 		}
 	}
-	return out
+	return out, nil
 }
 
 func (s *Strawman) estimatorFor(view *sim.View, st *sim.AppState) *core.RhoEstimator {

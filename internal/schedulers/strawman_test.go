@@ -24,7 +24,7 @@ func TestStrawmanCompletesWorkload(t *testing.T) {
 // (GPU time) on a placement-sensitive workload while staying comparable on
 // worst-case fairness.
 func TestStrawmanVsThemisEfficiency(t *testing.T) {
-	themis := runPolicy(t, NewThemis(core.DefaultConfig()), 17, 10)
+	themis := runPolicy(t, mustThemis(t, core.DefaultConfig()), 17, 10)
 	straw := runPolicy(t, NewStrawman(), 17, 10)
 	if metrics.GPUTime(themis) > metrics.GPUTime(straw)*1.15 {
 		t.Errorf("Themis GPU time %v much worse than strawman %v", metrics.GPUTime(themis), metrics.GPUTime(straw))

@@ -8,6 +8,8 @@
 package schedulers
 
 import (
+	"fmt"
+
 	"themis/internal/cluster"
 	"themis/internal/core"
 	"themis/internal/estimator"
@@ -36,8 +38,14 @@ type Themis struct {
 }
 
 // NewThemis returns a Themis policy with the given arbiter configuration.
-func NewThemis(cfg core.Config) *Themis {
-	return &Themis{cfg: cfg, agents: make(map[workload.AppID]*core.Agent)}
+// The configuration is validated here, at construction time, so an invalid
+// fairness knob or lease duration surfaces as an error before any simulation
+// starts instead of aborting the first auction round.
+func NewThemis(cfg core.Config) (*Themis, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("schedulers: invalid Themis configuration: %w", err)
+	}
+	return &Themis{cfg: cfg, agents: make(map[workload.AppID]*core.Agent)}, nil
 }
 
 // Name implements sim.Policy.
@@ -48,11 +56,11 @@ func (t *Themis) Name() string { return "themis" }
 func (t *Themis) Arbiter() *core.Arbiter { return t.arbiter }
 
 // Allocate implements sim.Policy by running one Themis auction round.
-func (t *Themis) Allocate(now float64, free cluster.Alloc, view *sim.View) map[workload.AppID]cluster.Alloc {
+func (t *Themis) Allocate(now float64, free cluster.Alloc, view *sim.View) (map[workload.AppID]cluster.Alloc, error) {
 	if t.arbiter == nil {
 		arb, err := core.NewArbiter(view.Topo, t.cfg)
 		if err != nil {
-			panic("schedulers: invalid Themis configuration: " + err.Error())
+			return nil, fmt.Errorf("schedulers: building arbiter: %w", err)
 		}
 		t.arbiter = arb
 	}
@@ -62,13 +70,13 @@ func (t *Themis) Allocate(now float64, free cluster.Alloc, view *sim.View) map[w
 	}
 	decisions, err := t.arbiter.OfferResources(now, free, states)
 	if err != nil {
-		panic("schedulers: Themis auction failed: " + err.Error())
+		return nil, fmt.Errorf("schedulers: Themis auction failed: %w", err)
 	}
 	out := make(map[workload.AppID]cluster.Alloc)
 	for _, d := range decisions {
 		out[d.App] = out[d.App].Add(d.Alloc)
 	}
-	return out
+	return out, nil
 }
 
 func (t *Themis) agentFor(view *sim.View, st *sim.AppState) *core.Agent {

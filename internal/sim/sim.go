@@ -12,6 +12,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -29,7 +30,8 @@ type Policy interface {
 	Name() string
 	// Allocate returns the GPUs to grant to each app. Grants must be
 	// disjoint, lie within free, and only name apps present in the view.
-	Allocate(now float64, free cluster.Alloc, view *View) map[workload.AppID]cluster.Alloc
+	// A non-nil error aborts the simulation run.
+	Allocate(now float64, free cluster.Alloc, view *View) (map[workload.AppID]cluster.Alloc, error)
 }
 
 // Config describes one simulation run.
@@ -144,19 +146,29 @@ func New(cfg Config) (*Simulator, error) {
 }
 
 // Run executes the simulation to completion (all apps finished, the horizon
-// reached, or no further events) and returns the collected results.
-func (s *Simulator) Run() (*Result, error) {
+// reached, or no further events) and returns the collected results. The
+// context is checked between decision points, so cancelling it aborts the
+// run promptly with the context's error.
+func (s *Simulator) Run(ctx context.Context) (*Result, error) {
 	idleRounds := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if s.cfg.Horizon > 0 && s.now >= s.cfg.Horizon {
 			break
 		}
 		s.processArrivals()
 		s.processFailures()
-		s.expireLeases()
+		if err := s.expireLeases(); err != nil {
+			return nil, err
+		}
 		s.runTuners()
 		s.finishApps()
-		changed := s.schedule()
+		changed, err := s.schedule()
+		if err != nil {
+			return nil, err
+		}
 
 		if s.done() {
 			break
@@ -211,7 +223,7 @@ func (s *Simulator) processArrivals() {
 }
 
 // expireLeases returns GPUs whose leases have lapsed to the free pool.
-func (s *Simulator) expireLeases() {
+func (s *Simulator) expireLeases() error {
 	var live []lease
 	for _, l := range s.leases {
 		if l.expiry <= s.now+timeEps {
@@ -221,7 +233,7 @@ func (s *Simulator) expireLeases() {
 				continue
 			}
 			if err := s.cs.Release(string(l.app), l.alloc); err != nil {
-				panic("sim: lease release inconsistency: " + err.Error())
+				return fmt.Errorf("sim: lease release inconsistency: %w", err)
 			}
 			st.onAllocationChange(s.now, s.cs.Held(string(l.app)), s.cfg.RestartOverhead)
 			s.result.noteAllocation(s.now, st, s.cs.Held(string(l.app)))
@@ -230,6 +242,7 @@ func (s *Simulator) expireLeases() {
 		}
 	}
 	s.leases = live
+	return nil
 }
 
 // runTuners lets every active app's tuner observe progress and kill trials.
@@ -272,16 +285,19 @@ func (s *Simulator) dropLeasesFor(id workload.AppID) {
 
 // schedule invokes the policy over the free pool and applies its decisions.
 // It reports whether any allocation changed.
-func (s *Simulator) schedule() bool {
+func (s *Simulator) schedule() (bool, error) {
 	free := s.cs.FreeVector()
 	if free.Total() == 0 || len(s.active) == 0 {
-		return false
+		return false, nil
 	}
 	view := s.view()
 	if !view.anyDemand() {
-		return false
+		return false, nil
 	}
-	grants := s.cfg.Policy.Allocate(s.now, free, view)
+	grants, err := s.cfg.Policy.Allocate(s.now, free, view)
+	if err != nil {
+		return false, fmt.Errorf("sim: policy %s at t=%.2f: %w", s.cfg.Policy.Name(), s.now, err)
+	}
 	changed := false
 	ids := make([]workload.AppID, 0, len(grants))
 	for id := range grants {
@@ -295,17 +311,17 @@ func (s *Simulator) schedule() bool {
 		}
 		st, ok := s.active[id]
 		if !ok {
-			panic(fmt.Sprintf("sim: policy %s allocated to unknown app %s", s.cfg.Policy.Name(), id))
+			return changed, fmt.Errorf("sim: policy %s allocated to unknown app %s", s.cfg.Policy.Name(), id)
 		}
 		if err := s.cs.Grant(string(id), alloc); err != nil {
-			panic(fmt.Sprintf("sim: policy %s produced an infeasible allocation for %s: %v", s.cfg.Policy.Name(), id, err))
+			return changed, fmt.Errorf("sim: policy %s produced an infeasible allocation for %s: %w", s.cfg.Policy.Name(), id, err)
 		}
 		s.leases = append(s.leases, lease{app: id, alloc: alloc.Clone(), expiry: s.now + s.cfg.LeaseDuration})
 		st.onAllocationChange(s.now, s.cs.Held(string(id)), s.cfg.RestartOverhead)
 		s.result.noteAllocation(s.now, st, s.cs.Held(string(id)))
 		changed = true
 	}
-	return changed
+	return changed, nil
 }
 
 // nextEventTime returns the earliest upcoming event: arrival, lease expiry

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"sort"
 	"testing"
@@ -16,7 +17,7 @@ type fifoPolicy struct{}
 
 func (fifoPolicy) Name() string { return "fifo-test" }
 
-func (fifoPolicy) Allocate(now float64, free cluster.Alloc, view *View) map[workload.AppID]cluster.Alloc {
+func (fifoPolicy) Allocate(now float64, free cluster.Alloc, view *View) (map[workload.AppID]cluster.Alloc, error) {
 	out := make(map[workload.AppID]cluster.Alloc)
 	remaining := free.Clone()
 	apps := make([]*AppState, len(view.Apps))
@@ -35,18 +36,18 @@ func (fifoPolicy) Allocate(now float64, free cluster.Alloc, view *View) map[work
 		var err error
 		remaining, err = remaining.Sub(alloc)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 	}
-	return out
+	return out, nil
 }
 
 // starvePolicy never allocates anything; used to exercise the no-progress path.
 type starvePolicy struct{}
 
 func (starvePolicy) Name() string { return "starve-test" }
-func (starvePolicy) Allocate(float64, cluster.Alloc, *View) map[workload.AppID]cluster.Alloc {
-	return nil
+func (starvePolicy) Allocate(float64, cluster.Alloc, *View) (map[workload.AppID]cluster.Alloc, error) {
+	return nil, nil
 }
 
 func simTopo(t *testing.T, machines, gpus, perRack int) *cluster.Topology {
@@ -106,7 +107,7 @@ func TestSingleAppRunsToCompletion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run()
+	res, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestRestartOverheadDelaysCompletion(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := s.Run()
+		res, err := s.Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -170,7 +171,7 @@ func TestMultipleAppsShareCluster(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run()
+	res, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestHorizonCapsSimulation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run()
+	res, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,7 @@ func TestStarvationPolicyDoesNotHang(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run()
+	res, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestLeaseExpiryReassignsGPUs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run()
+	res, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +291,7 @@ func TestTunerKillsReduceWork(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.Run()
+	res, err := s.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

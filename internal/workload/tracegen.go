@@ -80,6 +80,61 @@ func DefaultGeneratorConfig() GeneratorConfig {
 	}
 }
 
+// WithDefaults returns the configuration with every zero-valued field whose
+// zero value would be invalid replaced by its DefaultGeneratorConfig value.
+// Fields where zero is meaningful (the fraction knobs) are kept verbatim.
+// Keep this next to DefaultGeneratorConfig: a new field with an invalid zero
+// value must be added to both.
+func (c GeneratorConfig) WithDefaults() GeneratorConfig {
+	def := DefaultGeneratorConfig()
+	if c.Seed == 0 {
+		c.Seed = def.Seed
+	}
+	if c.NumApps == 0 {
+		c.NumApps = def.NumApps
+	}
+	if c.MeanInterArrival == 0 {
+		c.MeanInterArrival = def.MeanInterArrival
+	}
+	if c.ContentionFactor == 0 {
+		c.ContentionFactor = def.ContentionFactor
+	}
+	if c.JobsPerAppMedian == 0 {
+		c.JobsPerAppMedian = def.JobsPerAppMedian
+	}
+	if c.JobsPerAppSigma == 0 {
+		c.JobsPerAppSigma = def.JobsPerAppSigma
+	}
+	if c.MinJobsPerApp == 0 {
+		c.MinJobsPerApp = def.MinJobsPerApp
+	}
+	if c.MaxJobsPerApp == 0 {
+		c.MaxJobsPerApp = def.MaxJobsPerApp
+	}
+	if c.ShortTaskMedian == 0 {
+		c.ShortTaskMedian = def.ShortTaskMedian
+	}
+	if c.LongTaskMedian == 0 {
+		c.LongTaskMedian = def.LongTaskMedian
+	}
+	if c.TaskSigma == 0 {
+		c.TaskSigma = def.TaskSigma
+	}
+	if c.MaxTaskDuration == 0 {
+		c.MaxTaskDuration = def.MaxTaskDuration
+	}
+	if c.DurationScale == 0 {
+		c.DurationScale = def.DurationScale
+	}
+	if c.NetworkProfiles == nil {
+		c.NetworkProfiles = def.NetworkProfiles
+	}
+	if c.ComputeProfiles == nil {
+		c.ComputeProfiles = def.ComputeProfiles
+	}
+	return c
+}
+
 // Validate reports whether the configuration is usable.
 func (c GeneratorConfig) Validate() error {
 	switch {

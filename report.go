@@ -1,0 +1,64 @@
+package themis
+
+import (
+	"themis/internal/metrics"
+	"themis/internal/schedulers"
+	"themis/internal/sim"
+)
+
+// Report is the typed outcome of one simulation run: the headline Summary
+// the paper's tables report, per-app records, the GPU-allocation timeline,
+// and — when the Themis policy ran — the arbiter's auction telemetry.
+type Report struct {
+	// Summary holds the run's fairness (max/median ρ, Jain's index), JCT and
+	// GPU-time metrics.
+	Summary Summary
+	// Apps holds one record per app, in AppID order.
+	Apps []AppRecord
+	// Timeline is every allocation change of the run, in time order.
+	Timeline []AllocationEvent
+	// Auction carries the Themis arbiter's statistics; nil under baselines.
+	Auction *AuctionStats
+
+	result *sim.Result
+}
+
+// newReport wraps a simulator result into the public Report.
+func newReport(res *sim.Result, policy SchedulerPolicy) *Report {
+	r := &Report{
+		Summary:  metrics.Summarize(res),
+		Apps:     res.Apps,
+		Timeline: res.Timeline,
+		result:   res,
+	}
+	if t, ok := policy.(*schedulers.Themis); ok && t.Arbiter() != nil {
+		stats := t.Arbiter().Stats
+		r.Auction = &stats
+	}
+	return r
+}
+
+// Finished returns the records of apps that completed within the run.
+func (r *Report) Finished() []AppRecord { return r.result.Finished() }
+
+// TimelineFor returns one app's allocation timeline, in time order
+// (Figure 8's series).
+func (r *Report) TimelineFor(id AppID) []AllocationEvent { return r.result.TimelineFor(id) }
+
+// FairnessCDF is the empirical CDF of finish-time fairness ρ across finished
+// apps (Figure 5's distribution).
+func (r *Report) FairnessCDF(points int) CDF {
+	return metrics.NewCDF(metrics.FairnessValues(r.result), points)
+}
+
+// CompletionTimeCDF is the empirical CDF of app completion times in minutes
+// (Figure 6's distribution).
+func (r *Report) CompletionTimeCDF(points int) CDF {
+	return metrics.NewCDF(metrics.CompletionTimes(r.result), points)
+}
+
+// PlacementScoreCDF is the empirical CDF of time-weighted placement scores
+// (Figure 7's distribution).
+func (r *Report) PlacementScoreCDF(points int) CDF {
+	return metrics.NewCDF(metrics.PlacementScores(r.result), points)
+}

@@ -1,0 +1,29 @@
+package themis
+
+import (
+	"fmt"
+
+	"themis/internal/cluster"
+)
+
+// Built-in cluster names accepted by Cluster and WithCluster.
+const (
+	// ClusterSim is the paper's 256-GPU heterogeneous simulated cluster.
+	ClusterSim = "sim"
+	// ClusterTestbed is the paper's 50-GPU Azure testbed topology.
+	ClusterTestbed = "testbed"
+)
+
+// Cluster returns one of the built-in topologies the paper evaluates on:
+// ClusterSim ("sim") or ClusterTestbed ("testbed"). Custom topologies are
+// built with ClusterConfig.Build.
+func Cluster(name string) (*Topology, error) {
+	switch name {
+	case ClusterSim:
+		return cluster.SimulationCluster(), nil
+	case ClusterTestbed:
+		return cluster.TestbedCluster(), nil
+	default:
+		return nil, fmt.Errorf("themis: unknown cluster %q (want %q or %q)", name, ClusterSim, ClusterTestbed)
+	}
+}

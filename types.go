@@ -1,0 +1,94 @@
+package themis
+
+import (
+	"themis/internal/cluster"
+	"themis/internal/core"
+	"themis/internal/hyperparam"
+	"themis/internal/metrics"
+	"themis/internal/placement"
+	"themis/internal/sim"
+	"themis/internal/trace"
+	"themis/internal/workload"
+)
+
+// The themis package is a facade: the implementation lives under internal/
+// (see DESIGN.md for the module map) and the names below re-export the data
+// types that cross the public API boundary. Aliasing rather than wrapping
+// keeps the facade zero-cost — a *themis.Topology IS a cluster topology, a
+// Report's AppRecord IS the simulator's record — while keeping the internal
+// packages free to evolve behind it.
+type (
+	// Topology is an immutable description of a GPU cluster: machines with
+	// GPU counts and slot sizes, grouped into racks.
+	Topology = cluster.Topology
+	// ClusterConfig declaratively describes a topology to build; call its
+	// Build method to obtain a *Topology.
+	ClusterConfig = cluster.Config
+	// MachineSpec is one homogeneous group of machines in a ClusterConfig.
+	MachineSpec = cluster.MachineSpec
+	// GPUType names a GPU model in a MachineSpec.
+	GPUType = cluster.GPUType
+	// Alloc is a set of GPUs, keyed by machine, as granted to an app.
+	Alloc = cluster.Alloc
+
+	// App is one ML application: a hyperparameter exploration of one or more
+	// gang-scheduled jobs (trials) sharing a placement-sensitivity profile.
+	App = workload.App
+	// Job is a single trial of an App.
+	Job = workload.Job
+	// AppID identifies an App.
+	AppID = workload.AppID
+	// JobID identifies a Job.
+	JobID = workload.JobID
+	// Profile is a model family's placement-sensitivity profile (how much
+	// throughput it loses when its gang is spread across machines or racks).
+	Profile = placement.Profile
+	// WorkloadSpec parameterises the synthetic workload generator whose
+	// distributions match the enterprise trace the paper replays.
+	WorkloadSpec = workload.GeneratorConfig
+	// WorkloadStats summarises a generated workload's distributions.
+	WorkloadStats = workload.Stats
+	// Trace is the serialisable form of a workload, loadable across runs.
+	Trace = trace.Trace
+
+	// SchedulerPolicy is the cross-app scheduling discipline the simulator
+	// invokes at every decision point. Use Policy to construct a registered
+	// implementation by name, or implement it directly — Allocate receives
+	// the free GPUs as an Alloc and the cluster/app snapshot as a *View —
+	// and plug it in with RegisterPolicy or WithPolicyInstance.
+	SchedulerPolicy = sim.Policy
+	// View is the policy-facing snapshot a SchedulerPolicy allocates
+	// against: the topology, cluster occupancy and every active app's state.
+	View = sim.View
+	// AppState is one active app's scheduling state inside a View: the app,
+	// its tuner, its current allocation and its unmet demand.
+	AppState = sim.AppState
+	// Tuner is the app-level hyperparameter scheduler (HyperBand etc.) that
+	// kills and promotes an app's trials.
+	Tuner = hyperparam.Tuner
+	// Failure injects a machine failure into a simulation run.
+	Failure = sim.Failure
+
+	// Summary is the headline metrics of one run (fairness, JCT, GPU time).
+	Summary = metrics.Summary
+	// CDF is an empirical cumulative distribution over a run's metric.
+	CDF = metrics.CDF
+	// AppRecord is the per-app outcome of a run.
+	AppRecord = sim.AppRecord
+	// AllocationEvent is one point of an app's GPU-allocation timeline.
+	AllocationEvent = sim.AllocationEvent
+	// AuctionStats is the Themis arbiter's auction telemetry (§8.3.2).
+	AuctionStats = core.ArbiterStats
+)
+
+// GPU models used by the built-in cluster topologies.
+const (
+	GPUTypeK80  = cluster.GPUTypeK80
+	GPUTypeM60  = cluster.GPUTypeM60
+	GPUTypeP100 = cluster.GPUTypeP100
+	GPUTypeV100 = cluster.GPUTypeV100
+)
+
+// NotFinished marks an app or job that did not complete within a run's
+// horizon (AppRecord.FinishTime and CompletionTime use it).
+const NotFinished = workload.NotFinished

@@ -1,0 +1,77 @@
+package themis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"themis/internal/placement"
+	"themis/internal/trace"
+	"themis/internal/workload"
+)
+
+// DefaultWorkloadSpec returns the generator parameters matching the
+// enterprise trace the paper replays (§8.1): lognormal trials-per-app with
+// median 23, mostly 4-GPU gangs, Poisson arrivals every 20 minutes, 40% of
+// apps network-intensive.
+func DefaultWorkloadSpec() WorkloadSpec { return workload.DefaultGeneratorConfig() }
+
+// GenerateWorkload synthesises a workload from the spec. Zero-valued fields
+// whose zero value would be invalid (counts, durations, scales) are filled
+// from DefaultWorkloadSpec, so callers only set what they sweep; fraction
+// fields keep their zero value because zero is meaningful there — start from
+// DefaultWorkloadSpec to get the paper's 40% network-intensive mix.
+func GenerateWorkload(spec WorkloadSpec) ([]*App, error) {
+	return workload.Generate(spec.WithDefaults())
+}
+
+// SummarizeWorkload computes distribution statistics over a workload.
+func SummarizeWorkload(apps []*App) WorkloadStats { return workload.Summarize(apps) }
+
+// Model returns the placement-sensitivity profile of a model family by name
+// (e.g. "VGG16", "ResNet50").
+func Model(name string) (Profile, error) {
+	p, ok := placement.ByName(name)
+	if !ok {
+		return Profile{}, fmt.Errorf("themis: unknown model %q (catalog: %s)", name, strings.Join(ModelNames(), ", "))
+	}
+	return p, nil
+}
+
+// ModelNames lists the model families in the placement catalog.
+func ModelNames() []string {
+	var names []string
+	for _, p := range placement.Catalog() {
+		names = append(names, p.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewJob creates one trial of an app: serialWork GPU-minutes of training on
+// a gang of gangSize GPUs.
+func NewJob(app AppID, index int, serialWork float64, gangSize int) *Job {
+	return workload.NewJob(app, index, serialWork, gangSize)
+}
+
+// NewApp creates an app from its trials and validates it.
+func NewApp(id AppID, submitTime float64, profile Profile, jobs []*Job) (*App, error) {
+	app := workload.NewApp(id, submitTime, profile, jobs)
+	if err := app.Validate(); err != nil {
+		return nil, fmt.Errorf("themis: invalid app %s: %w", id, err)
+	}
+	return app, nil
+}
+
+// NewTrace captures a workload as a serialisable trace.
+func NewTrace(name string, apps []*App) Trace { return trace.FromApps(name, apps) }
+
+// LoadTrace reads a trace from a file written by SaveTrace or Trace.Write.
+func LoadTrace(path string) (Trace, error) { return trace.Load(path) }
+
+// SaveTrace writes a trace to a file.
+func SaveTrace(path string, tr Trace) error { return trace.Save(path, tr) }
+
+// ReadTrace parses a trace from a stream.
+func ReadTrace(r io.Reader) (Trace, error) { return trace.Read(r) }
