@@ -7,6 +7,7 @@
 //	expdriver -fig all            # every figure at paper-fidelity scale
 //	expdriver -fig 5a -quick      # one figure at benchmark scale
 //	expdriver -fig 9a -seed 7
+//	expdriver -fig all -workers 4 # bound the sweep engine's worker pool
 package main
 
 import (
@@ -20,9 +21,10 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate: 1,2,4a,4b,4c,5a,5b,6,7,8,9a,9b,10,11 or 'all'")
-		quick = flag.Bool("quick", false, "use the scaled-down benchmark configuration instead of paper-fidelity scale")
-		seed  = flag.Int64("seed", 0, "override the workload seed (0 keeps the default)")
+		fig     = flag.String("fig", "all", "figure to regenerate: 1,2,4a,4b,4c,5a,5b,6,7,8,9a,9b,10,11 or 'all'")
+		quick   = flag.Bool("quick", false, "use the scaled-down benchmark configuration instead of paper-fidelity scale")
+		seed    = flag.Int64("seed", 0, "override the workload seed (0 keeps the default)")
+		workers = flag.Int("workers", 0, "worker pool size for the sweep engine (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -33,6 +35,11 @@ func main() {
 	if *seed != 0 {
 		opts.Seed = *seed
 	}
+	if *workers < 0 {
+		fmt.Fprintln(os.Stderr, "expdriver: -workers must be non-negative")
+		os.Exit(2)
+	}
+	opts.Workers = *workers
 
 	figs := strings.Split(*fig, ",")
 	if *fig == "all" {

@@ -20,6 +20,21 @@
 // extensible via RegisterPolicy. Misconfiguration surfaces as errors at
 // construction time, and Run honors context cancellation.
 //
+// Parameter studies — many policies, seeds and workloads, as in the paper's
+// §8 sweeps — run through RunSweep, which fans a grid of SweepSpecs (each a
+// NewSimulation option list) across a bounded worker pool:
+//
+//	results, err := themis.RunSweep(ctx, 0, []themis.SweepSpec{
+//		{Name: "themis", Options: []themis.Option{themis.WithPolicy("themis"), themis.WithWorkload(spec)}},
+//		{Name: "tiresias", Options: []themis.Option{themis.WithPolicy("tiresias"), themis.WithWorkload(spec)}},
+//	})
+//
+// Results align with the specs regardless of worker count, each run
+// constructs its simulation inside its own worker, and the first failure
+// cancels the rest. The sweep engine also powers themis/experiments: every
+// figure constructor fans its {parameter, seed, scheme} grid across
+// Options.Workers goroutines with results identical to a sequential run.
+//
 // The companion public packages are themis/experiments (one constructor per
 // figure of the paper's evaluation) and themis/daemon (the distributed
 // Arbiter/Agent HTTP services). The implementation lives under internal/ —

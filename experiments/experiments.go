@@ -6,11 +6,30 @@
 package experiments
 
 import (
+	"context"
+
 	"themis/internal/experiments"
+	"themis/internal/sim"
 )
 
-// Options control the scale and parameters of the experiment runs.
+// Options control the scale and parameters of the experiment runs,
+// including the sweep engine's worker-pool size (Options.Workers).
 type Options = experiments.Options
+
+// RunSpec describes one simulation run within a Sweep grid.
+type RunSpec = experiments.RunSpec
+
+// Sweep fans a grid of simulation runs across a bounded worker pool
+// (workers <= 0 uses GOMAXPROCS) with deterministic, spec-aligned results.
+// Every figure constructor in this package runs its grid through Sweep.
+// RunSpec's fields are spelled in internal types, but they are the same
+// types the root facade aliases (themis.Topology, themis.SchedulerPolicy,
+// themis.App, themis.Tuner), so downstream code builds specs from the
+// public names. Most studies over the public Report type are simpler with
+// themis.RunSweep.
+func Sweep(ctx context.Context, workers int, specs []RunSpec) ([]*sim.Result, error) {
+	return experiments.Sweep(ctx, workers, specs)
+}
 
 // Result row/series types, one per figure.
 type (

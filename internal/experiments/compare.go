@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"themis/internal/cluster"
@@ -24,32 +25,34 @@ type Comparison struct {
 
 // RunComparison replays the testbed workload (50-GPU cluster, durations
 // scaled down 5× as in the paper's §8.3 footnote) under Themis, Gandiva,
-// SLAQ and Tiresias.
+// SLAQ and Tiresias, running the four schemes concurrently through the
+// sweep engine.
 func RunComparison(opts Options) (*Comparison, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	topo := cluster.TestbedCluster()
 	set := SchedulerSet(opts.themisConfig())
-	cmp := &Comparison{Results: make(map[string]*sim.Result, len(set))}
-	peak := 0.0
+	specs := make([]RunSpec, 0, len(SchemeOrder))
 	for _, scheme := range SchemeOrder {
 		newPolicy, ok := set[scheme]
 		if !ok {
 			return nil, fmt.Errorf("experiments: unknown scheme %q", scheme)
 		}
-		apps, err := opts.testbedWorkload(opts.Seed)
-		if err != nil {
-			return nil, err
-		}
-		policy, err := newPolicy()
-		if err != nil {
-			return nil, fmt.Errorf("experiments: comparison policy %s: %w", scheme, err)
-		}
-		res, err := opts.runSim(topo, apps, policy)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: comparison run %s: %w", scheme, err)
-		}
+		specs = append(specs, opts.spec(
+			fmt.Sprintf("comparison run %s", scheme), topo,
+			func() ([]*workload.App, error) { return opts.testbedWorkload(opts.Seed) },
+			newPolicy,
+		))
+	}
+	results, err := Sweep(context.Background(), opts.Workers, specs)
+	if err != nil {
+		return nil, err
+	}
+	cmp := &Comparison{Results: make(map[string]*sim.Result, len(set))}
+	peak := 0.0
+	for i, scheme := range SchemeOrder {
+		res := results[i]
 		cmp.Results[scheme] = res
 		cmp.Summaries = append(cmp.Summaries, metrics.Summarize(res))
 		if res.PeakContention > peak {

@@ -78,35 +78,34 @@ type Figure4aRow struct {
 var Figure4aKnobs = []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
 
 // Figure4a sweeps the fairness knob on the 256-GPU simulated cluster and
-// reports the max/median/min finish-time fairness across apps.
+// reports the max/median/min finish-time fairness across apps. The knob ×
+// seed grid runs through the parallel sweep engine.
 func Figure4a(opts Options) ([]Figure4aRow, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	topo := opts.simTopology()
-	var rows []Figure4aRow
-	for _, f := range Figure4aKnobs {
-		vals, err := opts.averageOver(func(seed int64) ([]float64, error) {
-			apps, err := opts.simWorkload(seed)
-			if err != nil {
-				return nil, err
-			}
+	avgs, err := opts.sweepAverage(len(Figure4aKnobs),
+		func(p int, seed int64) []RunSpec {
+			f := Figure4aKnobs[p]
 			cfg := opts.themisConfig()
 			cfg.FairnessKnob = f
-			policy, err := schedulers.NewThemis(cfg)
-			if err != nil {
-				return nil, err
-			}
-			res, err := opts.runSim(topo, apps, policy)
-			if err != nil {
-				return nil, err
-			}
+			return []RunSpec{opts.spec(
+				fmt.Sprintf("figure 4a at f=%v seed=%d", f, seed), topo,
+				func() ([]*workload.App, error) { return opts.simWorkload(seed) },
+				func() (sim.Policy, error) { return schedulers.NewThemis(cfg) },
+			)}
+		},
+		func(p int, cell []*sim.Result) ([]float64, error) {
+			res := cell[0]
 			return []float64{metrics.MaxFairness(res), metrics.MedianFairness(res), metrics.MinFairness(res)}, nil
 		})
-		if err != nil {
-			return nil, fmt.Errorf("figure 4a at f=%v: %w", f, err)
-		}
-		rows = append(rows, Figure4aRow{F: f, MaxFairness: vals[0], MedianFairness: vals[1], MinFairness: vals[2]})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Figure4aRow
+	for p, f := range Figure4aKnobs {
+		rows = append(rows, Figure4aRow{F: f, MaxFairness: avgs[p][0], MedianFairness: avgs[p][1], MinFairness: avgs[p][2]})
 	}
 	return rows, nil
 }
@@ -124,29 +123,26 @@ func Figure4b(opts Options) ([]Figure4bRow, error) {
 		return nil, err
 	}
 	topo := opts.simTopology()
-	var rows []Figure4bRow
-	for _, f := range Figure4aKnobs {
-		vals, err := opts.averageOver(func(seed int64) ([]float64, error) {
-			apps, err := opts.simWorkload(seed)
-			if err != nil {
-				return nil, err
-			}
+	avgs, err := opts.sweepAverage(len(Figure4aKnobs),
+		func(p int, seed int64) []RunSpec {
+			f := Figure4aKnobs[p]
 			cfg := opts.themisConfig()
 			cfg.FairnessKnob = f
-			policy, err := schedulers.NewThemis(cfg)
-			if err != nil {
-				return nil, err
-			}
-			res, err := opts.runSim(topo, apps, policy)
-			if err != nil {
-				return nil, err
-			}
-			return []float64{metrics.GPUTime(res)}, nil
+			return []RunSpec{opts.spec(
+				fmt.Sprintf("figure 4b at f=%v seed=%d", f, seed), topo,
+				func() ([]*workload.App, error) { return opts.simWorkload(seed) },
+				func() (sim.Policy, error) { return schedulers.NewThemis(cfg) },
+			)}
+		},
+		func(p int, cell []*sim.Result) ([]float64, error) {
+			return []float64{metrics.GPUTime(cell[0])}, nil
 		})
-		if err != nil {
-			return nil, fmt.Errorf("figure 4b at f=%v: %w", f, err)
-		}
-		rows = append(rows, Figure4bRow{F: f, GPUTime: vals[0]})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Figure4bRow
+	for p, f := range Figure4aKnobs {
+		rows = append(rows, Figure4bRow{F: f, GPUTime: avgs[p][0]})
 	}
 	return rows, nil
 }
@@ -167,31 +163,28 @@ func Figure4c(opts Options) ([]Figure4cRow, error) {
 		return nil, err
 	}
 	topo := opts.simTopology()
-	var rows []Figure4cRow
-	for _, lease := range Figure4cLeases {
-		vals, err := opts.averageOver(func(seed int64) ([]float64, error) {
-			apps, err := opts.simWorkload(seed)
-			if err != nil {
-				return nil, err
-			}
+	avgs, err := opts.sweepAverage(len(Figure4cLeases),
+		func(p int, seed int64) []RunSpec {
+			lease := Figure4cLeases[p]
 			cfg := opts.themisConfig()
 			cfg.LeaseDuration = lease
 			runOpts := opts
 			runOpts.LeaseDuration = lease
-			policy, err := schedulers.NewThemis(cfg)
-			if err != nil {
-				return nil, err
-			}
-			res, err := runOpts.runSim(topo, apps, policy)
-			if err != nil {
-				return nil, err
-			}
-			return []float64{metrics.MaxFairness(res)}, nil
+			return []RunSpec{runOpts.spec(
+				fmt.Sprintf("figure 4c at lease=%v seed=%d", lease, seed), topo,
+				func() ([]*workload.App, error) { return opts.simWorkload(seed) },
+				func() (sim.Policy, error) { return schedulers.NewThemis(cfg) },
+			)}
+		},
+		func(p int, cell []*sim.Result) ([]float64, error) {
+			return []float64{metrics.MaxFairness(cell[0])}, nil
 		})
-		if err != nil {
-			return nil, fmt.Errorf("figure 4c at lease=%v: %w", lease, err)
-		}
-		rows = append(rows, Figure4cRow{LeaseMinutes: lease, MaxFairness: vals[0]})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Figure4cRow
+	for p, lease := range Figure4cLeases {
+		rows = append(rows, Figure4cRow{LeaseMinutes: lease, MaxFairness: avgs[p][0]})
 	}
 	return rows, nil
 }

@@ -5,6 +5,8 @@ import (
 
 	"themis/internal/metrics"
 	"themis/internal/schedulers"
+	"themis/internal/sim"
+	"themis/internal/workload"
 )
 
 // Figure9Fractions is the sweep of the percentage of network-intensive apps
@@ -21,41 +23,33 @@ type Figure9aRow struct {
 }
 
 // Figure9a sweeps the fraction of network-intensive apps on the simulated
-// cluster and compares Themis and Tiresias on max fairness.
+// cluster and compares Themis and Tiresias on max fairness. Each (fraction,
+// seed) cell runs both schemes; the whole grid fans across the sweep engine.
 func Figure9a(opts Options) ([]Figure9aRow, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	topo := opts.simTopology()
-	var rows []Figure9aRow
-	for _, frac := range Figure9Fractions {
-		vals, err := opts.averageOver(func(seed int64) ([]float64, error) {
-			themisApps, err := opts.simWorkloadWith(seed, frac, 1)
-			if err != nil {
-				return nil, err
+	avgs, err := opts.sweepAverage(len(Figure9Fractions),
+		func(p int, seed int64) []RunSpec {
+			frac := Figure9Fractions[p]
+			apps := func() ([]*workload.App, error) { return opts.simWorkloadWith(seed, frac, 1) }
+			return []RunSpec{
+				opts.spec(fmt.Sprintf("figure 9a at %v%% network-intensive seed=%d themis", frac*100, seed), topo, apps,
+					func() (sim.Policy, error) { return schedulers.NewThemis(opts.themisConfig()) }),
+				opts.spec(fmt.Sprintf("figure 9a at %v%% network-intensive seed=%d tiresias", frac*100, seed), topo, apps,
+					func() (sim.Policy, error) { return schedulers.NewTiresias(), nil }),
 			}
-			themisPolicy, err := schedulers.NewThemis(opts.themisConfig())
-			if err != nil {
-				return nil, err
-			}
-			themisRes, err := opts.runSim(topo, themisApps, themisPolicy)
-			if err != nil {
-				return nil, err
-			}
-			tirApps, err := opts.simWorkloadWith(seed, frac, 1)
-			if err != nil {
-				return nil, err
-			}
-			tirRes, err := opts.runSim(topo, tirApps, schedulers.NewTiresias())
-			if err != nil {
-				return nil, err
-			}
-			return []float64{metrics.MaxFairness(themisRes), metrics.MaxFairness(tirRes)}, nil
+		},
+		func(p int, cell []*sim.Result) ([]float64, error) {
+			return []float64{metrics.MaxFairness(cell[0]), metrics.MaxFairness(cell[1])}, nil
 		})
-		if err != nil {
-			return nil, fmt.Errorf("figure 9a at %v%% network-intensive: %w", frac*100, err)
-		}
-		row := Figure9aRow{NetworkFraction: frac, ThemisMaxFairness: vals[0], TiresiasMaxFairness: vals[1]}
+	if err != nil {
+		return nil, err
+	}
+	var rows []Figure9aRow
+	for p, frac := range Figure9Fractions {
+		row := Figure9aRow{NetworkFraction: frac, ThemisMaxFairness: avgs[p][0], TiresiasMaxFairness: avgs[p][1]}
 		if row.ThemisMaxFairness > 0 {
 			row.FactorOfImprovement = row.TiresiasMaxFairness / row.ThemisMaxFairness
 		}
@@ -72,40 +66,41 @@ type Figure9bRow struct {
 }
 
 // Figure9b sweeps the fraction of network-intensive apps and reports every
-// scheme's total GPU time.
+// scheme's total GPU time. Each (fraction, seed) cell runs all four schemes.
 func Figure9b(opts Options) ([]Figure9bRow, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	topo := opts.simTopology()
 	set := SchedulerSet(opts.themisConfig())
-	var rows []Figure9bRow
-	for _, frac := range Figure9Fractions {
-		row := Figure9bRow{NetworkFraction: frac, GPUTime: make(map[string]float64, len(set))}
-		vals, err := opts.averageOver(func(seed int64) ([]float64, error) {
-			out := make([]float64, 0, len(SchemeOrder))
+	avgs, err := opts.sweepAverage(len(Figure9Fractions),
+		func(p int, seed int64) []RunSpec {
+			frac := Figure9Fractions[p]
+			apps := func() ([]*workload.App, error) { return opts.simWorkloadWith(seed, frac, 1) }
+			specs := make([]RunSpec, 0, len(SchemeOrder))
 			for _, scheme := range SchemeOrder {
-				apps, err := opts.simWorkloadWith(seed, frac, 1)
-				if err != nil {
-					return nil, err
-				}
-				policy, err := set[scheme]()
-				if err != nil {
-					return nil, fmt.Errorf("%s: %w", scheme, err)
-				}
-				res, err := opts.runSim(topo, apps, policy)
-				if err != nil {
-					return nil, fmt.Errorf("%s: %w", scheme, err)
-				}
-				out = append(out, metrics.GPUTime(res))
+				newPolicy := set[scheme]
+				specs = append(specs, opts.spec(
+					fmt.Sprintf("figure 9b at %v%% network-intensive seed=%d %s", frac*100, seed, scheme),
+					topo, apps, newPolicy))
+			}
+			return specs
+		},
+		func(p int, cell []*sim.Result) ([]float64, error) {
+			out := make([]float64, len(cell))
+			for i, res := range cell {
+				out[i] = metrics.GPUTime(res)
 			}
 			return out, nil
 		})
-		if err != nil {
-			return nil, fmt.Errorf("figure 9b at %v%% network-intensive: %w", frac*100, err)
-		}
+	if err != nil {
+		return nil, err
+	}
+	var rows []Figure9bRow
+	for p, frac := range Figure9Fractions {
+		row := Figure9bRow{NetworkFraction: frac, GPUTime: make(map[string]float64, len(SchemeOrder))}
 		for i, scheme := range SchemeOrder {
-			row.GPUTime[scheme] = vals[i]
+			row.GPUTime[scheme] = avgs[p][i]
 		}
 		rows = append(rows, row)
 	}
@@ -130,35 +125,26 @@ func Figure10(opts Options) ([]Figure10Row, error) {
 		return nil, err
 	}
 	topo := opts.simTopology()
-	var rows []Figure10Row
-	for _, c := range Figure10Factors {
-		vals, err := opts.averageOver(func(seed int64) ([]float64, error) {
-			themisApps, err := opts.simWorkloadWith(seed, 0.4, c)
-			if err != nil {
-				return nil, err
+	avgs, err := opts.sweepAverage(len(Figure10Factors),
+		func(p int, seed int64) []RunSpec {
+			c := Figure10Factors[p]
+			apps := func() ([]*workload.App, error) { return opts.simWorkloadWith(seed, 0.4, c) }
+			return []RunSpec{
+				opts.spec(fmt.Sprintf("figure 10 at %vx contention seed=%d themis", c, seed), topo, apps,
+					func() (sim.Policy, error) { return schedulers.NewThemis(opts.themisConfig()) }),
+				opts.spec(fmt.Sprintf("figure 10 at %vx contention seed=%d tiresias", c, seed), topo, apps,
+					func() (sim.Policy, error) { return schedulers.NewTiresias(), nil }),
 			}
-			themisPolicy, err := schedulers.NewThemis(opts.themisConfig())
-			if err != nil {
-				return nil, err
-			}
-			themisRes, err := opts.runSim(topo, themisApps, themisPolicy)
-			if err != nil {
-				return nil, err
-			}
-			tirApps, err := opts.simWorkloadWith(seed, 0.4, c)
-			if err != nil {
-				return nil, err
-			}
-			tirRes, err := opts.runSim(topo, tirApps, schedulers.NewTiresias())
-			if err != nil {
-				return nil, err
-			}
-			return []float64{metrics.JainsIndexOf(themisRes), metrics.JainsIndexOf(tirRes)}, nil
+		},
+		func(p int, cell []*sim.Result) ([]float64, error) {
+			return []float64{metrics.JainsIndexOf(cell[0]), metrics.JainsIndexOf(cell[1])}, nil
 		})
-		if err != nil {
-			return nil, fmt.Errorf("figure 10 at %vx contention: %w", c, err)
-		}
-		rows = append(rows, Figure10Row{ContentionFactor: c, ThemisJains: vals[0], TiresiasJains: vals[1]})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Figure10Row
+	for p, c := range Figure10Factors {
+		rows = append(rows, Figure10Row{ContentionFactor: c, ThemisJains: avgs[p][0], TiresiasJains: avgs[p][1]})
 	}
 	return rows, nil
 }
@@ -181,29 +167,32 @@ func Figure11(opts Options) ([]Figure11Row, error) {
 		return nil, err
 	}
 	topo := opts.simTopology()
-	var rows []Figure11Row
-	for _, theta := range Figure11Thetas {
-		vals, err := opts.averageOver(func(seed int64) ([]float64, error) {
-			apps, err := opts.simWorkload(seed)
-			if err != nil {
-				return nil, err
-			}
-			policy, err := schedulers.NewThemis(opts.themisConfig())
-			if err != nil {
-				return nil, err
-			}
-			policy.BidErrorTheta = theta
-			policy.ErrorSeed = seed + int64(theta*1000)
-			res, err := opts.runSim(topo, apps, policy)
-			if err != nil {
-				return nil, err
-			}
-			return []float64{metrics.MaxFairness(res)}, nil
+	avgs, err := opts.sweepAverage(len(Figure11Thetas),
+		func(p int, seed int64) []RunSpec {
+			theta := Figure11Thetas[p]
+			return []RunSpec{opts.spec(
+				fmt.Sprintf("figure 11 at theta=%v seed=%d", theta, seed), topo,
+				func() ([]*workload.App, error) { return opts.simWorkload(seed) },
+				func() (sim.Policy, error) {
+					policy, err := schedulers.NewThemis(opts.themisConfig())
+					if err != nil {
+						return nil, err
+					}
+					policy.BidErrorTheta = theta
+					policy.ErrorSeed = seed + int64(theta*1000)
+					return policy, nil
+				},
+			)}
+		},
+		func(p int, cell []*sim.Result) ([]float64, error) {
+			return []float64{metrics.MaxFairness(cell[0])}, nil
 		})
-		if err != nil {
-			return nil, fmt.Errorf("figure 11 at theta=%v: %w", theta, err)
-		}
-		rows = append(rows, Figure11Row{Theta: theta, MaxFairness: vals[0]})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Figure11Row
+	for p, theta := range Figure11Thetas {
+		rows = append(rows, Figure11Row{Theta: theta, MaxFairness: avgs[p][0]})
 	}
 	return rows, nil
 }

@@ -59,6 +59,11 @@ type Options struct {
 	// The paper replays a single trace; averaging over a few seeds keeps the
 	// scaled-down configurations' trends stable. Zero means 1.
 	Repeats int
+	// Workers bounds the sweep engine's worker pool: every figure's grid of
+	// {policy, seed, parameter} simulation runs is fanned across this many
+	// goroutines. Zero (the default) uses GOMAXPROCS; 1 forces sequential
+	// execution. Results are deterministic regardless of the setting.
+	Workers int
 }
 
 // Default returns the paper-fidelity options (§8.1): 256-GPU cluster
@@ -119,6 +124,9 @@ func (o Options) Validate() error {
 	if o.FairnessKnob < 0 || o.FairnessKnob > 1 {
 		return fmt.Errorf("experiments: fairness knob outside [0,1]")
 	}
+	if o.Workers < 0 {
+		return fmt.Errorf("experiments: negative worker count")
+	}
 	return nil
 }
 
@@ -135,31 +143,68 @@ func (o Options) repeatSeeds() []int64 {
 	return seeds
 }
 
-// averageOver runs fn once per repeat seed and averages the metric vectors
-// it returns element-wise. All invocations must return vectors of the same
-// length.
-func (o Options) averageOver(fn func(seed int64) ([]float64, error)) ([]float64, error) {
+// spec builds a RunSpec carrying the options' simulation knobs.
+func (o Options) spec(name string, topo *cluster.Topology, apps func() ([]*workload.App, error), policy func() (sim.Policy, error)) RunSpec {
+	return RunSpec{
+		Name:            name,
+		Topology:        topo,
+		Workload:        apps,
+		Policy:          policy,
+		TunerFor:        hyperparam.ForApp,
+		LeaseDuration:   o.LeaseDuration,
+		RestartOverhead: o.RestartOverhead,
+		Horizon:         o.Horizon,
+	}
+}
+
+// sweepAverage evaluates a figure's sweep: for every (point, repeat-seed)
+// cell, build returns the cell's simulation runs; the whole grid is fanned
+// across the sweep engine's worker pool; and extract reduces each cell's
+// results to a metric vector, which is then averaged element-wise over the
+// point's repeat seeds. The run set, the extraction and the seed-order
+// averaging arithmetic are identical to the old sequential driver, so every
+// figure's numbers are unchanged — only the wall-clock time shrinks.
+func (o Options) sweepAverage(points int, build func(point int, seed int64) []RunSpec, extract func(point int, cell []*sim.Result) ([]float64, error)) ([][]float64, error) {
 	seeds := o.repeatSeeds()
-	var sum []float64
-	for _, seed := range seeds {
-		vals, err := fn(seed)
-		if err != nil {
-			return nil, err
-		}
-		if sum == nil {
-			sum = make([]float64, len(vals))
-		}
-		if len(vals) != len(sum) {
-			return nil, fmt.Errorf("experiments: inconsistent metric vector lengths (%d vs %d)", len(vals), len(sum))
-		}
-		for i, v := range vals {
-			sum[i] += v
+	type cellRef struct{ off, n int }
+	cells := make([]cellRef, points*len(seeds))
+	var specs []RunSpec
+	for p := 0; p < points; p++ {
+		for si, seed := range seeds {
+			cs := build(p, seed)
+			cells[p*len(seeds)+si] = cellRef{off: len(specs), n: len(cs)}
+			specs = append(specs, cs...)
 		}
 	}
-	for i := range sum {
-		sum[i] /= float64(len(seeds))
+	results, err := Sweep(context.Background(), o.Workers, specs)
+	if err != nil {
+		return nil, err
 	}
-	return sum, nil
+	out := make([][]float64, points)
+	for p := 0; p < points; p++ {
+		var sum []float64
+		for si := range seeds {
+			ref := cells[p*len(seeds)+si]
+			vals, err := extract(p, results[ref.off:ref.off+ref.n])
+			if err != nil {
+				return nil, err
+			}
+			if sum == nil {
+				sum = make([]float64, len(vals))
+			}
+			if len(vals) != len(sum) {
+				return nil, fmt.Errorf("experiments: inconsistent metric vector lengths (%d vs %d)", len(vals), len(sum))
+			}
+			for i, v := range vals {
+				sum[i] += v
+			}
+		}
+		for i := range sum {
+			sum[i] /= float64(len(seeds))
+		}
+		out[p] = sum
+	}
+	return out, nil
 }
 
 // simTopology returns the simulated cluster for these options: the paper's

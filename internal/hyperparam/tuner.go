@@ -26,6 +26,13 @@ type Tuner interface {
 	Name() string
 	// Update lets the tuner observe progress at simulation time now: it may
 	// kill trials and adjust per-trial MaxParallelism.
+	//
+	// Contract: Update and Done must be pure functions of the app's job
+	// progress — now may stamp decisions (e.g. Job.Kill times) but must not
+	// drive them. The simulator relies on this to skip observations of apps
+	// that have neither progressed nor changed allocation since the last
+	// call; a tuner whose decisions depend on wall-clock time alone may be
+	// observed arbitrarily late.
 	Update(now float64, app *workload.App)
 	// WorkLeft returns the tuner's estimate of the serial GPU-minutes
 	// remaining for trial j (the paper's W′ per job).

@@ -15,7 +15,8 @@ import (
 type AppState struct {
 	App   *workload.App
 	Tuner hyperparam.Tuner
-	// Held is the app's current allocation; refreshed when a View is built.
+	// Held is the app's current allocation, maintained on every allocation
+	// change. Policies must treat it as read-only.
 	Held cluster.Alloc
 	// TIdealAtArrival is the app's dedicated-cluster running time estimate
 	// frozen at submission (min over jobs of work / gang size), used for the
@@ -25,16 +26,71 @@ type AppState struct {
 	topo        *cluster.Topology
 	jobAllocs   map[workload.JobID]cluster.Alloc
 	pausedUntil float64
+
+	// runnable caches the jobs that can make progress under the current job
+	// split, with their GPU counts and placement slowdowns. Allocation,
+	// placement and the min-GPUs-per-machine check are all constant between
+	// allocation changes, so per-event integration and completion projection
+	// touch only these entries instead of rescanning every job.
+	runnable []runnableJob
+	// proj is the incrementally maintained projection of the app's next job
+	// completion time (+Inf when no job is runnable). It is recomputed from
+	// the runnable cache on every allocation change and after every progress
+	// integration, with the same floating-point expression the legacy
+	// per-round scan evaluated, so cached and rescanned projections are
+	// bit-identical.
+	proj float64
+
+	// heldTotal caches Held.Total(), refreshed on every allocation change.
+	heldTotal int
+	// scoreVal/scoreWeight cache the app's GPU-weighted placement score
+	// (Figure 7's per-interval sample), which is constant while the job
+	// split is unchanged; scoreDirty forces recomputation after a job
+	// completes mid-split.
+	scoreVal    float64
+	scoreWeight float64
+	scoreDirty  bool
+
+	// Heap entries owned by this app (see events.go).
+	arrivalEv    event
+	completionEv event
+	// leases are the app's outstanding GPU leases, in grant order.
+	leases []*lease
+	// activeIdx/runningIdx/holdingIdx are the app's positions in the
+	// simulator's active, running and holding lists, or -1 when absent.
+	activeIdx  int
+	runningIdx int
+	holdingIdx int
+	// tunerDirty marks that the app progressed, changed allocation or had
+	// trials killed since its tuner last observed it. Tuner decisions are
+	// pure functions of job progress, so Update/Done on a clean app is a
+	// no-op and is skipped.
+	tunerDirty bool
+}
+
+// runnableJob is one cached (job, GPUs, slowdown) triple of the runnable set.
+type runnableJob struct {
+	job *workload.Job
+	g   int
+	s   float64
 }
 
 func newAppState(app *workload.App, tuner hyperparam.Tuner, topo *cluster.Topology) *AppState {
 	st := &AppState{
-		App:       app,
-		Tuner:     tuner,
-		Held:      cluster.NewAlloc(),
-		topo:      topo,
-		jobAllocs: make(map[workload.JobID]cluster.Alloc),
+		App:        app,
+		Tuner:      tuner,
+		Held:       cluster.NewAlloc(),
+		topo:       topo,
+		jobAllocs:  make(map[workload.JobID]cluster.Alloc),
+		proj:       math.Inf(1),
+		activeIdx:  -1,
+		runningIdx: -1,
+		holdingIdx: -1,
+		scoreDirty: true,
+		tunerDirty: true,
 	}
+	st.arrivalEv = event{kind: evArrival, time: app.SubmitTime, app: st, index: -1}
+	st.completionEv = event{kind: evCompletion, app: st, index: -1}
 	st.TIdealAtArrival = idealRunningTime(app)
 	app.TIdeal = st.TIdealAtArrival
 	return st
@@ -70,14 +126,17 @@ func (st *AppState) AttainedService() float64 { return st.App.GPUTime() }
 // UnmetDemand returns how many additional GPUs the app can still use.
 func (st *AppState) UnmetDemand() int {
 	want := 0
-	for _, j := range st.App.ActiveJobs() {
+	for _, j := range st.App.Jobs {
+		if !j.Active() {
+			continue
+		}
 		p := j.MaxParallelism
 		if p <= 0 {
 			p = j.GangSize
 		}
 		want += p
 	}
-	unmet := want - st.Held.Total()
+	unmet := want - st.heldTotal
 	if unmet < 0 {
 		return 0
 	}
@@ -97,9 +156,12 @@ func (st *AppState) JobAlloc(id workload.JobID) cluster.Alloc {
 }
 
 // onAllocationChange re-splits the app's (new) total allocation across its
-// active jobs and applies the checkpoint/restart pause.
+// active jobs, applies the checkpoint/restart pause, and rebuilds the
+// runnable cache and completion projection.
 func (st *AppState) onAllocationChange(now float64, held cluster.Alloc, overhead float64) {
 	st.Held = held
+	st.heldTotal = held.Total()
+	st.scoreDirty = true
 	st.resplit()
 	if overhead > 0 {
 		until := now + overhead
@@ -107,6 +169,72 @@ func (st *AppState) onAllocationChange(now float64, held cluster.Alloc, overhead
 			st.pausedUntil = until
 		}
 	}
+	st.refreshRunnable(now)
+}
+
+// placementScore returns the app's GPU-weighted mean placement score and its
+// weight (GPUs), recomputing the cached value only when the job split or a
+// job completion invalidated it. Scoring is per job (the paper's Figure 7
+// metric), falling back to the app-level allocation when no job currently
+// holds GPUs.
+func (st *AppState) placementScore() (score, weight float64) {
+	if st.scoreDirty {
+		st.scoreDirty = false
+		var sum, gpus float64
+		for _, j := range st.App.Jobs {
+			if !j.Active() {
+				continue
+			}
+			alloc := st.jobAllocs[j.ID]
+			g := float64(alloc.Total())
+			if g == 0 {
+				continue
+			}
+			sum += cluster.PlacementScore(st.topo, alloc) * g
+			gpus += g
+		}
+		if gpus > 0 {
+			st.scoreVal, st.scoreWeight = sum/gpus, gpus
+		} else {
+			st.scoreVal, st.scoreWeight = cluster.PlacementScore(st.topo, st.Held), float64(st.heldTotal)
+		}
+	}
+	return st.scoreVal, st.scoreWeight
+}
+
+// refreshRunnable rebuilds the cached runnable-job set from the current job
+// split and re-projects the app's completion time at now.
+func (st *AppState) refreshRunnable(now float64) {
+	st.runnable = st.runnable[:0]
+	for _, j := range st.App.ActiveJobs() {
+		alloc := st.jobAllocs[j.ID]
+		g := alloc.Total()
+		if g == 0 || !placement.SatisfiesMinPerMachine(alloc, j.MinGPUsPerMachine) {
+			continue
+		}
+		st.runnable = append(st.runnable, runnableJob{job: j, g: g, s: st.App.Profile.SOf(st.topo, alloc)})
+	}
+	st.project(now)
+}
+
+// project recomputes the cached completion projection at time now from the
+// runnable cache. The expression mirrors nextCompletion's per-job term
+// exactly, so the cached projection is bit-identical to a full rescan.
+func (st *AppState) project(now float64) {
+	start := now
+	if st.pausedUntil > start {
+		start = st.pausedUntil
+	}
+	best := math.Inf(1)
+	for _, r := range st.runnable {
+		if !r.job.Active() {
+			continue
+		}
+		if t := start + r.job.RemainingWork()/(float64(r.g)*r.s); t < best {
+			best = t
+		}
+	}
+	st.proj = best
 }
 
 // resplit assigns the app's held GPUs to its active jobs greedily and
@@ -146,29 +274,36 @@ func (st *AppState) resplit() {
 	}
 }
 
-// advance integrates all running jobs' progress over [from, to].
-func (st *AppState) advance(from, to float64) {
+// advance integrates all runnable jobs' progress over [from, to] and, when
+// any integration occurred, re-projects the app's completion time. It
+// reports whether the app made progress (and therefore whether its
+// completion event needs re-aiming).
+func (st *AppState) advance(from, to float64) bool {
 	start := from
 	if st.pausedUntil > start {
 		start = st.pausedUntil
 	}
-	if start >= to {
-		return
+	if start >= to || len(st.runnable) == 0 {
+		return false
 	}
 	dt := to - start
-	for _, j := range st.App.ActiveJobs() {
-		alloc := st.jobAllocs[j.ID]
-		g := alloc.Total()
-		if g == 0 || !placement.SatisfiesMinPerMachine(alloc, j.MinGPUsPerMachine) {
-			continue
+	for _, r := range st.runnable {
+		if _, done := r.job.Advance(start, dt, r.g, r.s); done {
+			// A completed job leaves the active set, changing the app's
+			// placement-score sample.
+			st.scoreDirty = true
 		}
-		s := st.App.Profile.SOf(st.topo, alloc)
-		j.Advance(start, dt, g, s)
 	}
+	st.tunerDirty = true
+	st.project(to)
+	return true
 }
 
 // nextCompletion returns the projected completion time of the app's
-// fastest-finishing running job, if any job is running.
+// fastest-finishing running job, if any job is running. It recomputes the
+// projection from scratch — the legacy per-round scan the heap core's cached
+// projection replaces — and is retained for the legacy event core and as a
+// cross-check oracle for tests.
 func (st *AppState) nextCompletion(now float64) (float64, bool) {
 	start := now
 	if st.pausedUntil > start {
@@ -200,7 +335,9 @@ type View struct {
 	Cluster *cluster.State
 	Now     float64
 	// Apps lists the active (arrived, unfinished) apps in ID order, with
-	// Held already refreshed.
+	// Held current. The slice's backing array is reused between scheduling
+	// rounds: it is only valid for the duration of the Allocate call, so
+	// policies that need to retain an app list must copy it.
 	Apps []*AppState
 }
 

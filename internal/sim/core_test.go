@@ -1,0 +1,212 @@
+package sim
+
+// Tests pinning the heap event core to the legacy scan core: both must
+// produce bit-identical results, and the forced-step (spin-guard) clamp must
+// never jump over a real event.
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"themis/internal/cluster"
+	"themis/internal/placement"
+	"themis/internal/workload"
+)
+
+// equivalenceWorkload builds a moderately contended randomized trace.
+func equivalenceWorkload(t *testing.T, seed int64, apps int) []*workload.App {
+	t.Helper()
+	cfg := workload.DefaultGeneratorConfig()
+	cfg.Seed = seed
+	cfg.NumApps = apps
+	cfg.MeanInterArrival = 4
+	cfg.JobsPerAppMedian = 4
+	cfg.MaxJobsPerApp = 10
+	cfg.DurationScale = 0.2
+	out, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestHeapCoreMatchesScanCoreExactly replays identical seeded traces under
+// both event cores and requires the full Results — per-app records, the
+// complete allocation timeline and the aggregate metrics — to be equal to
+// the last bit. The completion projections the heap caches are recomputed
+// with the same floating-point expressions the scan evaluates, so any
+// divergence, even one ulp, is a bookkeeping bug in the heap core.
+func TestHeapCoreMatchesScanCoreExactly(t *testing.T) {
+	topo := simTopo(t, 6, 4, 3)
+	for _, seed := range []int64{1, 7, 23, 99} {
+		run := func(legacy bool) *Result {
+			s, err := New(Config{
+				Topology:        topo,
+				Apps:            equivalenceWorkload(t, seed, 10),
+				Policy:          fifoPolicy{},
+				LeaseDuration:   10,
+				RestartOverhead: 0.5,
+				Horizon:         5000,
+				legacyScan:      legacy,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		heap, scan := run(false), run(true)
+		if !reflect.DeepEqual(heap.Apps, scan.Apps) {
+			t.Errorf("seed %d: per-app records differ between heap and scan cores", seed)
+		}
+		if !reflect.DeepEqual(heap.Timeline, scan.Timeline) {
+			t.Errorf("seed %d: allocation timelines differ between heap and scan cores", seed)
+		}
+		if heap.Makespan != scan.Makespan || heap.ClusterGPUTime != scan.ClusterGPUTime || heap.PeakContention != scan.PeakContention {
+			t.Errorf("seed %d: aggregates differ: heap (%v,%v,%v) vs scan (%v,%v,%v)", seed,
+				heap.Makespan, heap.ClusterGPUTime, heap.PeakContention,
+				scan.Makespan, scan.ClusterGPUTime, scan.PeakContention)
+		}
+	}
+}
+
+// TestHeapCoreMatchesScanCoreUnderFailures exercises the revocation path —
+// lease trimming, machine offlining and recovery — under both cores.
+func TestHeapCoreMatchesScanCoreUnderFailures(t *testing.T) {
+	topo := simTopo(t, 4, 4, 2)
+	failures := []Failure{
+		{Time: 8, Machine: 1, Duration: 15},
+		{Time: 20, Machine: 2, Duration: 0}, // permanent
+	}
+	run := func(legacy bool) *Result {
+		s, err := New(Config{
+			Topology:        topo,
+			Apps:            equivalenceWorkload(t, 5, 6),
+			Policy:          fifoPolicy{},
+			LeaseDuration:   10,
+			RestartOverhead: 0.5,
+			Horizon:         5000,
+			Failures:        failures,
+			legacyScan:      legacy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	heap, scan := run(false), run(true)
+	if !reflect.DeepEqual(heap.Apps, scan.Apps) {
+		t.Error("per-app records differ between heap and scan cores under failures")
+	}
+	if !reflect.DeepEqual(heap.Timeline, scan.Timeline) {
+		t.Error("allocation timelines differ between heap and scan cores under failures")
+	}
+}
+
+// TestCachedProjectionMatchesScanOracle runs the heap core and, at every
+// policy invocation, recomputes each app's completion projection from
+// scratch (the legacy scan's oracle) and compares it with the cached value.
+func TestCachedProjectionMatchesScanOracle(t *testing.T) {
+	topo := simTopo(t, 4, 4, 2)
+	check := projectionCheckPolicy{t: t}
+	s, err := New(Config{
+		Topology:        topo,
+		Apps:            equivalenceWorkload(t, 11, 8),
+		Policy:          check,
+		LeaseDuration:   10,
+		RestartOverhead: 0.5,
+		Horizon:         5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// projectionCheckPolicy delegates to fifoPolicy and asserts, for every app
+// in every view, that the cached completion projection equals a fresh
+// full-rescan recomputation bit-for-bit.
+type projectionCheckPolicy struct{ t *testing.T }
+
+func (projectionCheckPolicy) Name() string { return "projection-check" }
+
+func (p projectionCheckPolicy) Allocate(now float64, free cluster.Alloc, view *View) (map[workload.AppID]cluster.Alloc, error) {
+	for _, st := range view.Apps {
+		scan, ok := st.nextCompletion(now)
+		switch {
+		case !ok && !math.IsInf(st.proj, 1):
+			p.t.Errorf("t=%v app %s: cached projection %v but scan sees no completion", now, st.App.ID, st.proj)
+		case ok && scan != st.proj:
+			p.t.Errorf("t=%v app %s: cached projection %v != scanned %v", now, st.App.ID, st.proj, scan)
+		}
+	}
+	return fifoPolicy{}.Allocate(now, free, view)
+}
+
+// TestForcedStepClampsToNextEvent is the regression test for the spin-guard
+// edge case: when a completion projection has collapsed onto "now" the clock
+// must still move, but the forced step may not jump over a real event (here
+// a lease expiry) that lands inside the minimum step.
+func TestForcedStepClampsToNextEvent(t *testing.T) {
+	topo := simTopo(t, 2, 4, 2)
+	app := simApp("a", 0, placement.ResNet50, 1, 100)
+	s, err := New(Config{Topology: topo, Apps: []*workload.App{app}, Policy: fifoPolicy{}, LeaseDuration: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arrange the edge case by hand: the app is active with a stale
+	// completion projection at exactly now, and a lease expires within the
+	// minimum time step.
+	s.now = 100
+	s.processArrivals()
+	st := s.apps[0]
+	st.proj = s.now
+	s.refreshCompletion(st)
+	expiry := s.now + minTimeStep/2
+	s.leaseSeq++
+	l := &lease{app: st, alloc: cluster.Alloc{0: 1}, expiry: expiry, seq: s.leaseSeq}
+	l.ev = event{kind: evLeaseExpiry, time: expiry, lease: l, index: -1}
+	st.leases = append(st.leases, l)
+	s.events.push(&l.ev)
+
+	next, forced, ok := s.nextEventTime()
+	if !ok || !forced {
+		t.Fatalf("nextEventTime = (%v, forced=%v, ok=%v), want a forced step", next, forced, ok)
+	}
+	if next != expiry {
+		t.Errorf("forced step = %v, want clamped to the lease expiry %v (minTimeStep step would skip it)", next, expiry)
+	}
+
+	// Without the nearby expiry the forced step falls back to minTimeStep.
+	s.detachLease(l)
+	next, forced, ok = s.nextEventTime()
+	if !ok || !forced {
+		t.Fatalf("nextEventTime = (%v, forced=%v, ok=%v), want a forced step", next, forced, ok)
+	}
+	if next != s.now+minTimeStep {
+		t.Errorf("forced step = %v, want now+minTimeStep = %v", next, s.now+minTimeStep)
+	}
+
+	// A projection strictly inside (now, now+minTimeStep) is a real event:
+	// it must be advanced to exactly, not rounded up to the minimum step.
+	st.proj = s.now + minTimeStep/4
+	s.refreshCompletion(st)
+	next, forced, ok = s.nextEventTime()
+	if !ok || forced {
+		t.Fatalf("nextEventTime = (%v, forced=%v, ok=%v), want an unforced step", next, forced, ok)
+	}
+	if next != st.proj {
+		t.Errorf("next = %v, want the sub-step projection %v", next, st.proj)
+	}
+}

@@ -20,32 +20,52 @@ type Failure struct {
 	Duration float64
 }
 
-// recovery is a scheduled end of a failure.
-type recovery struct {
-	time    float64
-	machine cluster.MachineID
+// failureRec is a pending failure together with its heap entry.
+type failureRec struct {
+	f  Failure
+	ev event
 }
 
-// initFailures validates and orders the configured failures.
+// recoveryRec is a scheduled end of a failure together with its heap entry.
+type recoveryRec struct {
+	time    float64
+	machine cluster.MachineID
+	ev      event
+}
+
+// initFailures validates and orders the configured failures and enqueues
+// their events.
 func (s *Simulator) initFailures() {
-	s.failures = append([]Failure(nil), s.cfg.Failures...)
-	sort.Slice(s.failures, func(i, j int) bool { return s.failures[i].Time < s.failures[j].Time })
+	fs := append([]Failure(nil), s.cfg.Failures...)
+	sort.Slice(fs, func(i, j int) bool { return fs[i].Time < fs[j].Time })
+	for _, f := range fs {
+		rec := &failureRec{f: f}
+		rec.ev = event{kind: evFailure, time: f.Time, index: -1}
+		s.failures = append(s.failures, rec)
+		s.events.push(&rec.ev)
+	}
 }
 
 // processFailures applies any failures or recoveries whose time has come.
 func (s *Simulator) processFailures() {
-	for len(s.failures) > 0 && s.failures[0].Time <= s.now+timeEps {
-		f := s.failures[0]
+	for len(s.failures) > 0 && s.failures[0].f.Time <= s.now+timeEps {
+		rec := s.failures[0]
 		s.failures = s.failures[1:]
-		s.failMachine(f.Machine)
-		if f.Duration > 0 {
-			s.recoveries = append(s.recoveries, recovery{time: f.Time + f.Duration, machine: f.Machine})
-			sort.Slice(s.recoveries, func(i, j int) bool { return s.recoveries[i].time < s.recoveries[j].time })
+		s.events.remove(&rec.ev)
+		s.failMachine(rec.f.Machine)
+		if rec.f.Duration > 0 {
+			r := &recoveryRec{time: rec.f.Time + rec.f.Duration, machine: rec.f.Machine}
+			r.ev = event{kind: evRecovery, time: r.time, index: -1}
+			s.recoveries = append(s.recoveries, r)
+			sort.SliceStable(s.recoveries, func(i, j int) bool { return s.recoveries[i].time < s.recoveries[j].time })
+			s.events.push(&r.ev)
 		}
 	}
 	for len(s.recoveries) > 0 && s.recoveries[0].time <= s.now+timeEps {
-		s.cs.SetOffline(s.recoveries[0].machine, false)
+		rec := s.recoveries[0]
 		s.recoveries = s.recoveries[1:]
+		s.events.remove(&rec.ev)
+		s.cs.SetOffline(rec.machine, false)
 	}
 }
 
@@ -57,24 +77,26 @@ func (s *Simulator) failMachine(m cluster.MachineID) {
 		if err := s.cs.Release(app, revoked); err != nil {
 			panic("sim: revoking failed machine's GPUs: " + err.Error())
 		}
-		s.trimLeases(id, m, n)
 		if st, ok := s.active[id]; ok {
+			st.trimLeases(m, n)
 			st.onAllocationChange(s.now, s.cs.Held(app), s.cfg.RestartOverhead)
-			s.result.noteAllocation(s.now, st, s.cs.Held(app))
+			s.appStateChanged(st)
+			s.result.noteAllocation(s.now, st, st.Held)
 		}
 	}
 	s.cs.SetOffline(m, true)
 }
 
 // trimLeases removes count GPUs on machine m from the app's outstanding
-// leases so later expiries do not double-release them.
-func (s *Simulator) trimLeases(app workload.AppID, m cluster.MachineID, count int) {
-	for i := range s.leases {
+// leases so later expiries do not double-release them. Leases trimmed to
+// empty stay scheduled: their expiry still re-splits the app's allocation
+// and applies the restart pause, as the original core did.
+func (st *AppState) trimLeases(m cluster.MachineID, count int) {
+	for _, l := range st.leases {
 		if count == 0 {
 			break
 		}
-		l := &s.leases[i]
-		if l.app != app || l.alloc[m] == 0 {
+		if l.alloc[m] == 0 {
 			continue
 		}
 		take := l.alloc[m]
@@ -89,11 +111,12 @@ func (s *Simulator) trimLeases(app workload.AppID, m cluster.MachineID, count in
 	}
 }
 
-// nextFailureEvent returns the earliest pending failure or recovery time.
+// nextFailureEvent returns the earliest pending failure or recovery time
+// (used by the legacy scan core; the heap core sees the entries directly).
 func (s *Simulator) nextFailureEvent() (float64, bool) {
 	best := math.Inf(1)
 	if len(s.failures) > 0 {
-		best = math.Min(best, s.failures[0].Time)
+		best = math.Min(best, s.failures[0].f.Time)
 	}
 	if len(s.recoveries) > 0 {
 		best = math.Min(best, s.recoveries[0].time)

@@ -1,0 +1,181 @@
+package sim
+
+// Property-based invariant tests: randomized traces replayed under an
+// instrumented policy must uphold the simulator's structural invariants —
+// time never flows backwards, grants are disjoint and within the advertised
+// free pool, cluster occupancy stays internally consistent, and every app
+// either finishes or survives to the horizon.
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"themis/internal/cluster"
+	"themis/internal/workload"
+)
+
+// invariantPolicy wraps an inner policy and checks, at every decision point:
+//   - the clock is non-decreasing across invocations,
+//   - the advertised free pool matches the cluster state,
+//   - each app's Held in the view matches the cluster's records,
+//   - the inner policy's grants are disjoint, within free, and name only
+//     viewed apps,
+//   - the cluster state validates internally.
+type invariantPolicy struct {
+	t       *testing.T
+	inner   Policy
+	lastNow *float64
+}
+
+func (p invariantPolicy) Name() string { return "invariant-" + p.inner.Name() }
+
+func (p invariantPolicy) Allocate(now float64, free cluster.Alloc, view *View) (map[workload.AppID]cluster.Alloc, error) {
+	t := p.t
+	if now < *p.lastNow {
+		t.Errorf("time flowed backwards: %v after %v", now, *p.lastNow)
+	}
+	*p.lastNow = now
+	if err := view.Cluster.Validate(); err != nil {
+		t.Errorf("t=%v: cluster state invalid: %v", now, err)
+	}
+	for m, n := range free {
+		if n < 0 || n > view.Cluster.FreeOn(m) {
+			t.Errorf("t=%v: offered %d GPUs on machine %d but only %d are free", now, n, m, view.Cluster.FreeOn(m))
+		}
+	}
+	viewed := make(map[workload.AppID]bool, len(view.Apps))
+	for _, st := range view.Apps {
+		viewed[st.App.ID] = true
+		held := view.Cluster.Held(string(st.App.ID))
+		if st.Held.Total() != held.Total() {
+			t.Errorf("t=%v: app %s Held %d GPUs in view, %d in cluster", now, st.App.ID, st.Held.Total(), held.Total())
+		}
+	}
+	grants, err := p.inner.Allocate(now, free, view)
+	if err != nil {
+		return grants, err
+	}
+	granted := cluster.NewAlloc()
+	for id, alloc := range grants {
+		if !viewed[id] {
+			t.Errorf("t=%v: grant to app %s not present in the view", now, id)
+		}
+		for m, n := range alloc {
+			if n < 0 {
+				t.Errorf("t=%v: negative grant %d on machine %d to %s", now, n, m, id)
+			}
+			granted[m] += n
+		}
+	}
+	for m, n := range granted {
+		if n > free[m] {
+			t.Errorf("t=%v: grants overlap or exceed free on machine %d: %d > %d", now, m, n, free[m])
+		}
+	}
+	return grants, nil
+}
+
+func propertyWorkload(t *testing.T, seed int64) []*workload.App {
+	t.Helper()
+	cfg := workload.DefaultGeneratorConfig()
+	cfg.Seed = seed
+	cfg.NumApps = 6 + int(seed%7)
+	cfg.MeanInterArrival = 3 + float64(seed%5)
+	cfg.JobsPerAppMedian = 3
+	cfg.MaxJobsPerApp = 8
+	cfg.DurationScale = 0.15
+	cfg.ContentionFactor = 1 + float64(seed%3)
+	apps, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return apps
+}
+
+func TestSimInvariantsOnRandomizedTraces(t *testing.T) {
+	topo := simTopo(t, 6, 4, 3)
+	for seed := int64(1); seed <= 8; seed++ {
+		lastNow := math.Inf(-1)
+		horizon := 4000.0
+		s, err := New(Config{
+			Topology:        topo,
+			Apps:            propertyWorkload(t, seed),
+			Policy:          invariantPolicy{t: t, inner: fifoPolicy{}, lastNow: &lastNow},
+			LeaseDuration:   8,
+			RestartOverhead: 0.4,
+			Horizon:         horizon,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(context.Background())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		assertResultInvariants(t, res, horizon, seed)
+	}
+}
+
+// assertResultInvariants checks the run-level properties: monotone timeline,
+// every app finished or survived to the horizon, completion no faster than
+// the dedicated-cluster ideal, and non-negative accounting.
+func assertResultInvariants(t *testing.T, res *Result, horizon float64, seed int64) {
+	t.Helper()
+	for i := 1; i < len(res.Timeline); i++ {
+		if res.Timeline[i].Time < res.Timeline[i-1].Time {
+			t.Errorf("seed %d: timeline not time-ordered at %d", seed, i)
+		}
+	}
+	for _, rec := range res.Apps {
+		if rec.FinishTime == workload.NotFinished {
+			if res.Makespan < horizon-timeEps {
+				t.Errorf("seed %d: app %s unfinished although the run ended at %v before the horizon %v",
+					seed, rec.App, res.Makespan, horizon)
+			}
+			continue
+		}
+		if rec.CompletionTime < rec.TIdeal-1e-6 {
+			t.Errorf("seed %d: app %s finished in %v, faster than its dedicated-cluster ideal %v",
+				seed, rec.App, rec.CompletionTime, rec.TIdeal)
+		}
+		if rec.FinishTimeFairness < 1-1e-9 {
+			t.Errorf("seed %d: app %s has finish-time fairness %v < 1", seed, rec.App, rec.FinishTimeFairness)
+		}
+		if rec.BusyGPUTime < 0 || rec.HeldGPUTime < rec.BusyGPUTime-1e-6 {
+			t.Errorf("seed %d: app %s held %v GPU-min but computed %v", seed, rec.App, rec.HeldGPUTime, rec.BusyGPUTime)
+		}
+		if rec.PlacementScore < 0 || rec.PlacementScore > 1+1e-9 {
+			t.Errorf("seed %d: app %s placement score %v outside [0,1]", seed, rec.App, rec.PlacementScore)
+		}
+	}
+}
+
+// TestSimTimeMonotoneUnderFailures runs the failure-injection path with the
+// instrumented policy: revocations must never violate the allocation or
+// clock invariants either.
+func TestSimTimeMonotoneUnderFailures(t *testing.T) {
+	topo := simTopo(t, 4, 4, 2)
+	lastNow := math.Inf(-1)
+	s, err := New(Config{
+		Topology:        topo,
+		Apps:            propertyWorkload(t, 3),
+		Policy:          invariantPolicy{t: t, inner: fifoPolicy{}, lastNow: &lastNow},
+		LeaseDuration:   8,
+		RestartOverhead: 0.4,
+		Horizon:         4000,
+		Failures: []Failure{
+			{Time: 5, Machine: 0, Duration: 10},
+			{Time: 12, Machine: 3, Duration: 30},
+			{Time: 13, Machine: 1, Duration: 0},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultInvariants(t, res, 4000, 3)
+}

@@ -107,7 +107,7 @@ func (r *Result) noteFinish(now float64, st *AppState) {
 // over an interval during which allocations were constant. Placement is
 // scored per job (the paper's Figure 7 metric): an app's sample is the
 // GPU-weighted mean of its jobs' placement scores.
-func (r *Result) noteInterval(from, to float64, cs *cluster.State, active map[workload.AppID]*AppState) {
+func (r *Result) noteInterval(from, to float64, cs *cluster.State, active []*AppState) {
 	dt := to - from
 	if dt <= 0 {
 		return
@@ -119,44 +119,24 @@ func (r *Result) noteInterval(from, to float64, cs *cluster.State, active map[wo
 			r.PeakContention = c
 		}
 	}
-	for _, app := range cs.Apps() {
-		id := workload.AppID(app)
-		acc, ok := r.records[id]
-		if !ok {
-			continue
-		}
-		held := cs.Held(app)
-		g := held.Total()
+	// Apps holding GPUs are exactly the active apps with a non-empty Held
+	// (finished apps release everything), and every accumulation below is
+	// per-app independent, so the active list's order does not affect
+	// results.
+	for _, st := range active {
+		g := st.heldTotal
 		if g == 0 {
 			continue
 		}
+		acc, ok := r.records[st.App.ID]
+		if !ok {
+			continue
+		}
 		acc.heldGPUTime += float64(g) * dt
-		score, weight := r.jobPlacementScore(active[id], held)
+		score, weight := st.placementScore()
 		acc.scoreSum += score * dt * weight
 		acc.scoreWeight += dt * weight
 	}
-}
-
-// jobPlacementScore returns the GPU-weighted mean placement score of an
-// app's per-job allocations (falling back to the app-level allocation when
-// job splits are unavailable) and the weight (GPUs) it carries.
-func (r *Result) jobPlacementScore(st *AppState, held cluster.Alloc) (score, weight float64) {
-	if st != nil {
-		var sum, gpus float64
-		for _, j := range st.App.ActiveJobs() {
-			alloc := st.jobAllocs[j.ID]
-			g := float64(alloc.Total())
-			if g == 0 {
-				continue
-			}
-			sum += cluster.PlacementScore(r.topo, alloc) * g
-			gpus += g
-		}
-		if gpus > 0 {
-			return sum / gpus, gpus
-		}
-	}
-	return cluster.PlacementScore(r.topo, held), float64(held.Total())
 }
 
 // finalize converts accumulators into AppRecords at the end of the run.

@@ -6,9 +6,12 @@
 // metrics the paper's figures report.
 //
 // The simulator advances between decision points — app arrivals, lease
-// expiries and job completions — integrating every running job's progress
-// exactly between events (progress rate G·S is constant while allocations
-// are unchanged).
+// expiries, job completions and machine failures — integrating every running
+// job's progress exactly between events (progress rate G·S is constant while
+// allocations are unchanged). Decision points are scheduled through an
+// indexed min-heap of typed events (see events.go) with incrementally
+// maintained per-app completion projections, so a scheduling round costs
+// O(log n) to aim instead of rescanning every app and lease.
 package sim
 
 import (
@@ -40,7 +43,10 @@ type Config struct {
 	Apps     []*workload.App
 	Policy   Policy
 	// TunerFor builds the app-level scheduler for an app; nil uses
-	// hyperparam.ForApp.
+	// hyperparam.ForApp. Tuners must follow the hyperparam.Tuner contract:
+	// Update/Done decisions are pure functions of job progress, because the
+	// simulator only re-observes an app after it progresses or changes
+	// allocation.
 	TunerFor func(*workload.App) hyperparam.Tuner
 	// LeaseDuration is the GPU lease length in minutes (paper default 20).
 	LeaseDuration float64
@@ -51,13 +57,19 @@ type Config struct {
 	// Horizon caps simulated time (minutes); 0 means no cap.
 	Horizon float64
 	// MaxIdleRounds aborts the run if this many consecutive scheduling
-	// rounds make no progress (safety net against policy bugs); 0 uses a
-	// generous default.
+	// rounds must force the clock forward without a real event (safety net
+	// against policy or projection bugs); 0 uses a generous default.
 	MaxIdleRounds int
 	// Failures optionally injects machine failures (§6 of the paper leaves
 	// failure-aware scheduling to future work; the injector lets schedulers
 	// be studied under failures anyway).
 	Failures []Failure
+
+	// legacyScan switches the simulator to the pre-heap event core, which
+	// rediscovers the next event each round by scanning every app and lease.
+	// It exists as the baseline for the event-core benchmarks and as an
+	// equivalence oracle in tests: both cores produce bit-identical results.
+	legacyScan bool
 }
 
 // Defaults for Config fields.
@@ -91,23 +103,43 @@ func (c Config) Validate() error {
 
 // lease is one outstanding GPU lease inside the simulator.
 type lease struct {
-	app    workload.AppID
+	app    *AppState
 	alloc  cluster.Alloc
 	expiry float64
+	// seq is the lease's grant order; expiries due at the same instant are
+	// processed in grant order, matching the original slice-based core.
+	seq uint64
+	ev  event
 }
 
 // Simulator runs one configured simulation.
 type Simulator struct {
-	cfg        Config
-	cs         *cluster.State
-	apps       []*AppState // all apps in arrival order
-	active     map[workload.AppID]*AppState
-	pending    []*AppState // not yet arrived, in arrival order
-	leases     []lease
-	failures   []Failure
-	recoveries []recovery
-	now        float64
-	result     *Result
+	cfg    Config
+	cs     *cluster.State
+	apps   []*AppState // all apps in arrival order
+	active map[workload.AppID]*AppState
+	// activeList holds the active apps in an unspecified but deterministic
+	// order (arrival order, perturbed by swap-removal on finish); every use
+	// is order-independent. activeSorted holds the same apps sorted by ID —
+	// the View order.
+	activeList   []*AppState
+	activeSorted []*AppState
+	// runningList holds the active apps with at least one runnable job (the
+	// only ones progress integration touches); holdingList holds the active
+	// apps currently holding GPUs (the only ones interval accounting
+	// touches). Both are synced on every allocation change.
+	runningList []*AppState
+	holdingList []*AppState
+	viewBuf     []*AppState // reused backing array for View.Apps
+	pending     []*AppState // not yet arrived, in arrival order
+
+	events     eventHeap
+	failures   []*failureRec  // pending failures, in time order
+	recoveries []*recoveryRec // pending recoveries, in time order
+	leaseSeq   uint64
+
+	now    float64
+	result *Result
 }
 
 // New constructs a Simulator. The apps in cfg are used directly (their
@@ -140,6 +172,7 @@ func New(cfg Config) (*Simulator, error) {
 		st := newAppState(a, tunerFor(a), cfg.Topology)
 		s.apps = append(s.apps, st)
 		s.pending = append(s.pending, st)
+		s.events.push(&st.arrivalEv)
 	}
 	s.initFailures()
 	return s, nil
@@ -150,7 +183,7 @@ func New(cfg Config) (*Simulator, error) {
 // context is checked between decision points, so cancelling it aborts the
 // run promptly with the context's error.
 func (s *Simulator) Run(ctx context.Context) (*Result, error) {
-	idleRounds := 0
+	forcedRounds := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -165,39 +198,27 @@ func (s *Simulator) Run(ctx context.Context) (*Result, error) {
 		}
 		s.runTuners()
 		s.finishApps()
-		changed, err := s.schedule()
-		if err != nil {
+		if _, err := s.schedule(); err != nil {
 			return nil, err
 		}
 
 		if s.done() {
 			break
 		}
-		next, ok := s.nextEventTime()
+		next, forced, ok := s.nextEventTime()
 		if !ok {
 			// Nothing will ever happen again (no arrivals, no running jobs,
 			// no leases): avoid spinning forever.
 			break
 		}
-		if next <= s.now {
-			idleRounds++
-			if idleRounds > s.cfg.MaxIdleRounds {
-				return nil, fmt.Errorf("sim: no progress after %d rounds at t=%.2f under policy %s", idleRounds, s.now, s.cfg.Policy.Name())
+		if forced {
+			forcedRounds++
+			if forcedRounds > s.cfg.MaxIdleRounds {
+				return nil, fmt.Errorf("sim: no progress after %d forced rounds at t=%.2f under policy %s", forcedRounds, s.now, s.cfg.Policy.Name())
 			}
-			// Re-run the loop at the same instant (e.g. a kill freed GPUs
-			// that can immediately be re-scheduled).
-			if !changed {
-				// Force time forward to the next real event to avoid a
-				// zero-length busy loop.
-				if t, ok := s.nextStrictEventTime(); ok {
-					s.advanceTo(t)
-				} else {
-					break
-				}
-			}
-			continue
+		} else {
+			forcedRounds = 0
 		}
-		idleRounds = 0
 		s.advanceTo(next)
 	}
 	s.finalize()
@@ -217,79 +238,212 @@ func (s *Simulator) processArrivals() {
 	for len(s.pending) > 0 && s.pending[0].App.SubmitTime <= s.now+timeEps {
 		st := s.pending[0]
 		s.pending = s.pending[1:]
+		s.events.remove(&st.arrivalEv)
 		s.active[st.App.ID] = st
+		st.activeIdx = len(s.activeList)
+		s.activeList = append(s.activeList, st)
+		s.insertActiveSorted(st)
 		s.result.noteArrival(s.now, st)
 	}
 }
 
+// removeActive drops st from the active set (map, lists and sorted slice).
+func (s *Simulator) removeActive(st *AppState) {
+	delete(s.active, st.App.ID)
+	last := len(s.activeList) - 1
+	if st.activeIdx != last {
+		moved := s.activeList[last]
+		s.activeList[st.activeIdx] = moved
+		moved.activeIdx = st.activeIdx
+	}
+	s.activeList[last] = nil
+	s.activeList = s.activeList[:last]
+	st.activeIdx = -1
+	setMembership(&s.runningList, st, &st.runningIdx, runningIdxOf, false)
+	setMembership(&s.holdingList, st, &st.holdingIdx, holdingIdxOf, false)
+	s.removeActiveSorted(st)
+}
+
+// runningIdxOf and holdingIdxOf select the membership index fields for
+// setMembership's swap-removal bookkeeping.
+func runningIdxOf(st *AppState) *int { return &st.runningIdx }
+func holdingIdxOf(st *AppState) *int { return &st.holdingIdx }
+
+// setMembership adds st to or removes st from a swap-removal list, keeping
+// the per-app index (selected by idxOf) consistent for the moved element.
+func setMembership(list *[]*AppState, st *AppState, idx *int, idxOf func(*AppState) *int, want bool) {
+	has := *idx >= 0
+	if want == has {
+		return
+	}
+	if want {
+		*idx = len(*list)
+		*list = append(*list, st)
+		return
+	}
+	l := *list
+	last := len(l) - 1
+	if *idx != last {
+		moved := l[last]
+		l[*idx] = moved
+		*idxOf(moved) = *idx
+	}
+	l[last] = nil
+	*list = l[:last]
+	*idx = -1
+}
+
+// appStateChanged re-aims st's completion event and re-syncs its running
+// and holding list memberships after an allocation change.
+func (s *Simulator) appStateChanged(st *AppState) {
+	s.refreshCompletion(st)
+	st.tunerDirty = true
+	setMembership(&s.runningList, st, &st.runningIdx, runningIdxOf, len(st.runnable) > 0)
+	setMembership(&s.holdingList, st, &st.holdingIdx, holdingIdxOf, st.heldTotal > 0)
+}
+
+// insertActiveSorted adds st to the ID-sorted active slice.
+func (s *Simulator) insertActiveSorted(st *AppState) {
+	id := st.App.ID
+	i := sort.Search(len(s.activeSorted), func(i int) bool { return s.activeSorted[i].App.ID >= id })
+	s.activeSorted = append(s.activeSorted, nil)
+	copy(s.activeSorted[i+1:], s.activeSorted[i:])
+	s.activeSorted[i] = st
+}
+
+// removeActiveSorted removes st from the ID-sorted active slice.
+func (s *Simulator) removeActiveSorted(st *AppState) {
+	id := st.App.ID
+	i := sort.Search(len(s.activeSorted), func(i int) bool { return s.activeSorted[i].App.ID >= id })
+	if i < len(s.activeSorted) && s.activeSorted[i] == st {
+		s.activeSorted = append(s.activeSorted[:i], s.activeSorted[i+1:]...)
+	}
+}
+
 // expireLeases returns GPUs whose leases have lapsed to the free pool.
+// Expiries due at the same instant are processed in grant order.
 func (s *Simulator) expireLeases() error {
-	var live []lease
-	for _, l := range s.leases {
-		if l.expiry <= s.now+timeEps {
-			st, ok := s.active[l.app]
-			if !ok {
-				// The app already finished; its GPUs were released then.
-				continue
+	due := s.dueLeases()
+	for _, l := range due {
+		st := l.app
+		s.detachLease(l)
+		if _, ok := s.active[st.App.ID]; !ok {
+			// The app already finished; its GPUs were released then.
+			continue
+		}
+		if err := s.cs.Release(string(st.App.ID), l.alloc); err != nil {
+			return fmt.Errorf("sim: lease release inconsistency: %w", err)
+		}
+		st.onAllocationChange(s.now, s.cs.Held(string(st.App.ID)), s.cfg.RestartOverhead)
+		s.appStateChanged(st)
+		s.result.noteAllocation(s.now, st, st.Held)
+	}
+	return nil
+}
+
+// dueLeases collects the leases whose expiry time has been reached, sorted
+// by grant order. The heap core pops them off the event heap; the legacy
+// core rediscovers them by scanning every active app's lease list.
+func (s *Simulator) dueLeases() []*lease {
+	var due []*lease
+	if s.cfg.legacyScan {
+		for _, st := range s.activeList {
+			for _, l := range st.leases {
+				if l.expiry <= s.now+timeEps {
+					due = append(due, l)
+				}
 			}
-			if err := s.cs.Release(string(l.app), l.alloc); err != nil {
-				return fmt.Errorf("sim: lease release inconsistency: %w", err)
+		}
+	} else {
+		var keep []*event
+		for {
+			e := s.events.peek()
+			if e == nil || e.time > s.now+timeEps {
+				break
 			}
-			st.onAllocationChange(s.now, s.cs.Held(string(l.app)), s.cfg.RestartOverhead)
-			s.result.noteAllocation(s.now, st, s.cs.Held(string(l.app)))
-		} else {
-			live = append(live, l)
+			s.events.pop()
+			if e.kind == evLeaseExpiry {
+				due = append(due, e.lease)
+			} else {
+				// A completion projection landing within the tolerance of
+				// now is not an expiry; leave it for the event loop.
+				keep = append(keep, e)
+			}
+		}
+		for _, e := range keep {
+			s.events.push(e)
 		}
 	}
-	s.leases = live
-	return nil
+	sort.Slice(due, func(i, j int) bool { return due[i].seq < due[j].seq })
+	return due
+}
+
+// detachLease removes l from its app's lease list and the event heap.
+func (s *Simulator) detachLease(l *lease) {
+	s.events.remove(&l.ev)
+	ls := l.app.leases
+	for i, cand := range ls {
+		if cand == l {
+			l.app.leases = append(ls[:i], ls[i+1:]...)
+			break
+		}
+	}
 }
 
 // runTuners lets every active app's tuner observe progress and kill trials.
 func (s *Simulator) runTuners() {
-	for _, st := range s.active {
-		before := len(st.App.ActiveJobs())
+	for _, st := range s.activeList {
+		if !st.tunerDirty {
+			// Tuner decisions are pure functions of job progress; an app
+			// that has not progressed or changed allocation since the last
+			// observation cannot trigger new kills.
+			continue
+		}
+		before := st.App.NumActiveJobs()
 		st.Tuner.Update(s.now, st.App)
-		if len(st.App.ActiveJobs()) != before {
+		if st.App.NumActiveJobs() != before {
 			// Killed trials vacate their share; re-split the app's GPUs.
 			st.onAllocationChange(s.now, s.cs.Held(string(st.App.ID)), 0)
+			s.appStateChanged(st)
 		}
 	}
 }
 
-// finishApps completes apps whose tuner declares them done, releasing GPUs.
+// finishApps completes apps whose tuner declares them done, releasing GPUs
+// and detaching every event the app still owns.
 func (s *Simulator) finishApps() {
-	for id, st := range s.active {
+	for i := 0; i < len(s.activeList); {
+		st := s.activeList[i]
+		if !st.tunerDirty {
+			i++
+			continue
+		}
+		st.tunerDirty = false
 		if !st.Tuner.Done(st.App) {
+			i++
 			continue
 		}
 		st.App.FinishedAt = s.now
-		released := s.cs.ReleaseAll(string(id))
-		if released.Total() > 0 {
-			s.dropLeasesFor(id)
+		s.cs.ReleaseAll(string(st.App.ID))
+		for len(st.leases) > 0 {
+			s.detachLease(st.leases[0])
 		}
+		s.events.remove(&st.completionEv)
 		s.result.noteFinish(s.now, st)
-		delete(s.active, id)
+		s.removeActive(st)
+		// removeActive swapped another app into slot i; revisit it.
 	}
-}
-
-func (s *Simulator) dropLeasesFor(id workload.AppID) {
-	var live []lease
-	for _, l := range s.leases {
-		if l.app != id {
-			live = append(live, l)
-		}
-	}
-	s.leases = live
 }
 
 // schedule invokes the policy over the free pool and applies its decisions.
 // It reports whether any allocation changed.
 func (s *Simulator) schedule() (bool, error) {
-	free := s.cs.FreeVector()
-	if free.Total() == 0 || len(s.active) == 0 {
+	// TotalFree avoids building the free-vector map on the (frequent)
+	// rounds where the cluster is saturated and there is nothing to offer.
+	if s.cs.TotalFree() == 0 || len(s.active) == 0 {
 		return false, nil
 	}
+	free := s.cs.FreeVector()
 	view := s.view()
 	if !view.anyDemand() {
 		return false, nil
@@ -316,79 +470,152 @@ func (s *Simulator) schedule() (bool, error) {
 		if err := s.cs.Grant(string(id), alloc); err != nil {
 			return changed, fmt.Errorf("sim: policy %s produced an infeasible allocation for %s: %w", s.cfg.Policy.Name(), id, err)
 		}
-		s.leases = append(s.leases, lease{app: id, alloc: alloc.Clone(), expiry: s.now + s.cfg.LeaseDuration})
+		s.grantLease(st, alloc.Clone())
 		st.onAllocationChange(s.now, s.cs.Held(string(id)), s.cfg.RestartOverhead)
-		s.result.noteAllocation(s.now, st, s.cs.Held(string(id)))
+		s.appStateChanged(st)
+		s.result.noteAllocation(s.now, st, st.Held)
 		changed = true
 	}
 	return changed, nil
 }
 
-// nextEventTime returns the earliest upcoming event: arrival, lease expiry
-// or projected job completion.
-func (s *Simulator) nextEventTime() (float64, bool) {
-	t, ok := s.nextStrictEventTime()
-	return t, ok
+// grantLease records a new lease over alloc for st, expiring one lease
+// duration from now.
+func (s *Simulator) grantLease(st *AppState, alloc cluster.Alloc) {
+	s.leaseSeq++
+	l := &lease{app: st, alloc: alloc, expiry: s.now + s.cfg.LeaseDuration, seq: s.leaseSeq}
+	l.ev = event{kind: evLeaseExpiry, time: l.expiry, lease: l, index: -1}
+	st.leases = append(st.leases, l)
+	s.events.push(&l.ev)
 }
 
-func (s *Simulator) nextStrictEventTime() (float64, bool) {
-	best := math.Inf(1)
-	if len(s.pending) > 0 {
-		best = math.Min(best, s.pending[0].App.SubmitTime)
+// refreshCompletion re-aims st's completion event at its cached projection.
+func (s *Simulator) refreshCompletion(st *AppState) {
+	if math.IsInf(st.proj, 1) {
+		s.events.remove(&st.completionEv)
+		return
 	}
-	if t, ok := s.nextFailureEvent(); ok && t > s.now {
-		best = math.Min(best, t)
-	}
-	for _, l := range s.leases {
-		if l.expiry > s.now {
-			best = math.Min(best, l.expiry)
-		}
-	}
-	for _, st := range s.active {
-		if t, ok := st.nextCompletion(s.now); ok {
-			best = math.Min(best, t)
-		}
+	s.events.update(&st.completionEv, st.proj)
+}
+
+// nextEventTime returns the time the simulation should advance to: the
+// earliest scheduled event, or — when the earliest projections have rounded
+// to "now" — a forced step of at most minTimeStep, clamped so it can never
+// jump over a strictly-future event. It reports whether the step was forced
+// and whether any event remains at all.
+func (s *Simulator) nextEventTime() (t float64, forced, ok bool) {
+	var best, future float64
+	if s.cfg.legacyScan {
+		best, future = s.scanEventTimes()
+	} else {
+		best, future = s.heapEventTimes()
 	}
 	if math.IsInf(best, 1) {
-		return 0, false
+		return 0, false, false
 	}
-	// Events that project to "now" (e.g. a completion whose remaining work
-	// has rounded to zero) must still move time forward, or the run would
-	// spin without ever re-integrating job progress.
-	if best < s.now+minTimeStep {
-		best = s.now + minTimeStep
+	if best <= s.now {
+		// Events that project to "now" (e.g. a completion whose remaining
+		// work has rounded to zero) must still move time forward, or the run
+		// would spin without ever re-integrating job progress. The forced
+		// step is clamped to the next strictly-future event so it can never
+		// jump over a lease expiry or arrival landing inside the step.
+		best = math.Min(s.now+minTimeStep, future)
+		forced = true
 	}
 	if s.cfg.Horizon > 0 && best > s.cfg.Horizon {
 		best = s.cfg.Horizon
 	}
-	return best, true
+	return best, forced, true
 }
 
-// advanceTo integrates every running job's progress up to time t.
+// heapEventTimes reads the earliest event (and earliest strictly-future
+// event) from the event heap. Entries at or behind now — only completion
+// projections can be there — are momentarily popped to uncover the first
+// future entry, then re-inserted so they keep forcing progress.
+func (s *Simulator) heapEventTimes() (best, future float64) {
+	best, future = math.Inf(1), math.Inf(1)
+	var stale []*event
+	for {
+		e := s.events.peek()
+		if e == nil {
+			break
+		}
+		if e.time > s.now {
+			future = e.time
+			break
+		}
+		if e.time < best {
+			best = e.time
+		}
+		stale = append(stale, e)
+		s.events.pop()
+	}
+	for _, e := range stale {
+		s.events.push(e)
+	}
+	if future < best {
+		best = future
+	}
+	return best, future
+}
+
+// scanEventTimes is the legacy event core: it rediscovers the next decision
+// point each round with full scans over pending arrivals, failures, every
+// active app's lease list and every active app's completion projection
+// (recomputed from scratch via nextCompletion). Kept as the benchmark
+// baseline and the equivalence oracle for the heap core.
+func (s *Simulator) scanEventTimes() (best, future float64) {
+	best, future = math.Inf(1), math.Inf(1)
+	note := func(t float64) {
+		best = math.Min(best, t)
+		if t > s.now {
+			future = math.Min(future, t)
+		}
+	}
+	if len(s.pending) > 0 {
+		note(s.pending[0].App.SubmitTime)
+	}
+	if t, ok := s.nextFailureEvent(); ok && t > s.now {
+		note(t)
+	}
+	for _, st := range s.activeList {
+		for _, l := range st.leases {
+			if l.expiry > s.now {
+				note(l.expiry)
+			}
+		}
+		if t, ok := st.nextCompletion(s.now); ok {
+			note(t)
+		}
+	}
+	return best, future
+}
+
+// advanceTo integrates every running job's progress up to time t, re-aiming
+// the completion events of apps that made progress.
 func (s *Simulator) advanceTo(t float64) {
 	if t <= s.now {
 		return
 	}
-	for _, st := range s.active {
-		st.advance(s.now, t)
+	for _, st := range s.runningList {
+		if st.advance(s.now, t) {
+			s.refreshCompletion(st)
+		}
 	}
-	s.result.noteInterval(s.now, t, s.cs, s.active)
+	s.result.noteInterval(s.now, t, s.cs, s.holdingList)
 	s.now = t
 }
 
 // view builds the policy-facing view of the current state.
 func (s *Simulator) view() *View {
+	// Held is maintained on every allocation change (grant, lease expiry,
+	// kill re-split, failure revocation), so the view needs no per-app
+	// refresh against the cluster state. The Apps slice is reused across
+	// rounds: it is only valid for the duration of the policy's Allocate
+	// call, which is the contract documented on View.
 	v := &View{Topo: s.cfg.Topology, Cluster: s.cs, Now: s.now}
-	ids := make([]workload.AppID, 0, len(s.active))
-	for id := range s.active {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		st := s.active[id]
-		st.Held = s.cs.Held(string(id))
-		v.Apps = append(v.Apps, st)
-	}
+	v.Apps = append(s.viewBuf[:0], s.activeSorted...)
+	s.viewBuf = v.Apps
 	return v
 }
 

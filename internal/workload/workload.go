@@ -208,6 +208,17 @@ func (a *App) ActiveJobs() []*Job {
 	return out
 }
 
+// NumActiveJobs returns len(ActiveJobs()) without allocating.
+func (a *App) NumActiveJobs() int {
+	n := 0
+	for _, j := range a.Jobs {
+		if j.Active() {
+			n++
+		}
+	}
+	return n
+}
+
 // Finished reports whether the app has completed.
 func (a *App) Finished() bool { return a.FinishedAt != NotFinished }
 

@@ -1,0 +1,66 @@
+package themis
+
+import (
+	"context"
+	"fmt"
+
+	"themis/internal/experiments"
+)
+
+// SweepSpec names one simulation configuration within a sweep: the Options
+// are exactly what NewSimulation would receive. Because simulations are
+// single-use, each spec is constructed — workload generation included —
+// inside its worker, so seeded specs produce identical Reports regardless
+// of worker count or scheduling.
+type SweepSpec struct {
+	// Name labels the run in results and errors (e.g. "themis/f=0.8/seed=42").
+	Name string
+	// Options configure the run, as in NewSimulation.
+	Options []Option
+}
+
+// SweepResult pairs one completed sweep run with its spec's name. Results
+// are returned in spec order.
+type SweepResult struct {
+	Name   string
+	Report *Report
+}
+
+// RunSweep builds and runs one simulation per spec, fanning the grid across
+// a bounded worker pool. It is the engine behind the paper's §8 evaluation
+// sweeps (many policies × seeds × workloads) and the recommended way to run
+// parameter studies against the public API.
+//
+// workers bounds the pool; zero or negative uses GOMAXPROCS. Results align
+// one-to-one with specs irrespective of completion order. The first
+// configuration or simulation error cancels the remaining runs and is
+// returned with its spec's name; cancelling ctx aborts the sweep, stopping
+// in-flight simulations at their next decision point.
+func RunSweep(ctx context.Context, workers int, specs []SweepSpec) ([]SweepResult, error) {
+	results := make([]SweepResult, len(specs))
+	err := experiments.RunGrid(ctx, workers, len(specs), func(ctx context.Context, i int) error {
+		spec := specs[i]
+		sim, err := NewSimulation(spec.Options...)
+		if err != nil {
+			return fmt.Errorf("themis: sweep %q: %w", specName(spec, i), err)
+		}
+		report, err := sim.Run(ctx)
+		if err != nil {
+			return fmt.Errorf("themis: sweep %q: %w", specName(spec, i), err)
+		}
+		results[i] = SweepResult{Name: spec.Name, Report: report}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// specName labels a spec in errors, falling back to its index.
+func specName(spec SweepSpec, i int) string {
+	if spec.Name != "" {
+		return spec.Name
+	}
+	return fmt.Sprintf("spec %d", i)
+}

@@ -1,0 +1,113 @@
+package themis
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sweepTestSpecs() []SweepSpec {
+	spec := DefaultWorkloadSpec()
+	spec.NumApps = 5
+	spec.JobsPerAppMedian = 3
+	spec.MaxJobsPerApp = 6
+	spec.MeanInterArrival = 5
+	spec.DurationScale = 0.2
+	var specs []SweepSpec
+	for _, policy := range []string{"themis", "gandiva", "tiresias"} {
+		specs = append(specs, SweepSpec{
+			Name: policy,
+			Options: []Option{
+				WithCluster(ClusterTestbed),
+				WithWorkload(spec),
+				WithPolicy(policy),
+				WithSeed(11),
+				WithHorizon(20000),
+			},
+		})
+	}
+	return specs
+}
+
+func TestRunSweepAlignsResultsWithSpecs(t *testing.T) {
+	results, err := RunSweep(context.Background(), 3, sweepTestSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for i, want := range []string{"themis", "gandiva", "tiresias"} {
+		if results[i].Name != want {
+			t.Errorf("result %d named %q, want %q", i, results[i].Name, want)
+		}
+		if results[i].Report == nil || results[i].Report.Summary.Policy != want {
+			t.Errorf("result %d carries report for %v, want %s", i, results[i].Report, want)
+		}
+	}
+	// A themis run must surface auction telemetry; baselines must not.
+	if results[0].Report.Auction == nil {
+		t.Error("themis sweep result lacks auction stats")
+	}
+	if results[1].Report.Auction != nil {
+		t.Error("gandiva sweep result carries auction stats")
+	}
+}
+
+// TestRunSweepMatchesSequentialRuns pins the engine's determinism: a pooled
+// sweep must produce byte-identical reports to building and running each
+// simulation sequentially.
+func TestRunSweepMatchesSequentialRuns(t *testing.T) {
+	parallel, err := RunSweep(context.Background(), 8, sweepTestSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range sweepTestSpecs() {
+		sim, err := NewSimulation(spec.Options...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sequential, err := sim.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(parallel[i].Report.Apps, sequential.Apps) {
+			t.Errorf("spec %s: pooled report differs from sequential run", spec.Name)
+		}
+		if parallel[i].Report.Summary != sequential.Summary {
+			t.Errorf("spec %s: summaries differ", spec.Name)
+		}
+	}
+}
+
+func TestRunSweepSurfacesSpecErrors(t *testing.T) {
+	specs := sweepTestSpecs()
+	specs[1].Options = append(specs[1].Options, WithPolicy("no-such-policy"))
+	_, err := RunSweep(context.Background(), 2, specs)
+	if err == nil {
+		t.Fatal("sweep with an invalid spec returned nil error")
+	}
+	if !strings.Contains(err.Error(), specs[1].Name) {
+		t.Errorf("err = %q, want it to name the failing spec %q", err, specs[1].Name)
+	}
+}
+
+func TestRunSweepHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunSweep(ctx, 2, sweepTestSpecs()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunSweepEmpty(t *testing.T) {
+	results, err := RunSweep(context.Background(), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("got %d results for an empty sweep", len(results))
+	}
+}
