@@ -1,12 +1,17 @@
-// Command tracegen generates synthetic workload traces matching the
-// distributional properties of the enterprise trace the paper replays
-// (jobs per app, gang sizes, task durations, Poisson arrivals), writes them
-// as JSON, and prints summary statistics.
+// Command tracegen is the workbench for workload traces: it generates traces
+// from any registered scenario, imports external cluster logs (Philly- and
+// Alibaba-style CSV), validates and describes trace files, and lists the
+// scenario library.
 //
-// Examples:
+//	tracegen generate -scenario diurnal -apps 100 -out trace.json
+//	tracegen list
+//	tracegen import -in cluster_log.csv -format auto -out trace.json
+//	tracegen validate trace.json
+//	tracegen describe trace.json
+//	tracegen describe heavy-tailed
 //
-//	tracegen -apps 100 -out trace.json
-//	tracegen -apps 50 -network 0.6 -contention 2 -summary
+// Invoked with flags but no subcommand, it behaves like "generate", keeping
+// the original tracegen CLI working.
 package main
 
 import (
@@ -18,56 +23,226 @@ import (
 )
 
 func main() {
-	var (
-		numApps    = flag.Int("apps", 50, "number of applications")
-		seed       = flag.Int64("seed", 1, "generation seed")
-		network    = flag.Float64("network", 0.4, "fraction of network-intensive apps")
-		contention = flag.Float64("contention", 1, "contention factor (scales arrival rate)")
-		scale      = flag.Float64("scale", 1, "job duration scale factor")
-		interArr   = flag.Float64("interarrival", 20, "mean inter-arrival time (minutes)")
-		out        = flag.String("out", "", "output trace file (default: stdout)")
-		summary    = flag.Bool("summary", true, "print trace summary statistics to stderr")
-		name       = flag.String("name", "synthetic", "trace name recorded in the file")
-	)
-	flag.Parse()
-
-	spec := themis.DefaultWorkloadSpec()
-	spec.NumApps = *numApps
-	spec.Seed = *seed
-	spec.FractionNetworkIntensive = *network
-	spec.ContentionFactor = *contention
-	spec.DurationScale = *scale
-	spec.MeanInterArrival = *interArr
-
-	apps, err := themis.GenerateWorkload(spec)
+	args := os.Args[1:]
+	cmd := "generate"
+	if len(args) > 0 && args[0] != "" && args[0][0] != '-' {
+		cmd, args = args[0], args[1:]
+	}
+	var err error
+	switch cmd {
+	case "generate":
+		err = runGenerate(args)
+	case "list":
+		err = runList()
+	case "import":
+		err = runImport(args)
+	case "validate":
+		err = runValidate(args)
+	case "describe":
+		err = runDescribe(args)
+	case "help", "-h", "--help":
+		usage(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown subcommand %q\n\n", cmd)
+		usage(os.Stderr)
+		os.Exit(2)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
-	tr := themis.NewTrace(*name, apps)
+}
 
+func usage(w *os.File) {
+	fmt.Fprint(w, `usage: tracegen <subcommand> [flags]
+
+subcommands:
+  generate   generate a trace from a registered scenario (default)
+  list       list the registered scenarios
+  import     normalise an external cluster log (philly/alibaba CSV) into a trace
+  validate   check trace files against the format contract
+  describe   summarise a trace file or a registered scenario
+
+run "tracegen <subcommand> -h" for flags.
+`)
+}
+
+func runGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	var (
+		scenario   = fs.String("scenario", "paper-mix", "registered scenario to generate from (see: tracegen list)")
+		numApps    = fs.Int("apps", 0, "number of applications (0: scenario default)")
+		seed       = fs.Int64("seed", 1, "generation seed")
+		contention = fs.Float64("contention", 0, "contention factor scaling the arrival rate (0: scenario default)")
+		scale      = fs.Float64("scale", 0, "job duration scale factor (0: scenario default)")
+		network    = fs.Float64("network", -1, "fraction of network-intensive apps (negative: scenario default)")
+		interArr   = fs.Float64("interarrival", 0, "mean inter-arrival time in minutes (0: scenario default)")
+		out        = fs.String("out", "", "output trace file (default: stdout)")
+		summary    = fs.Bool("summary", true, "print trace summary statistics to stderr")
+		name       = fs.String("name", "", "trace name recorded in the file (default: scenario name)")
+	)
+	fs.Parse(args)
+
+	params := themis.ScenarioParams{
+		Seed:             *seed,
+		NumApps:          *numApps,
+		ContentionFactor: *contention,
+		DurationScale:    *scale,
+		MeanInterArrival: *interArr,
+	}
+	if *network >= 0 {
+		params.NetworkFraction = network
+	}
+	apps, err := themis.GenerateScenario(*scenario, params)
+	if err != nil {
+		return err
+	}
+	traceName := *name
+	if traceName == "" {
+		traceName = *scenario
+	}
+	tr := themis.NewTrace(traceName, apps)
 	if *summary {
-		st := themis.SummarizeWorkload(apps)
-		fmt.Fprintf(os.Stderr, "apps                 %d\n", st.NumApps)
-		fmt.Fprintf(os.Stderr, "jobs                 %d\n", st.NumJobs)
-		fmt.Fprintf(os.Stderr, "jobs/app             min %d, median %.0f, max %d\n", st.JobsPerAppMin, st.JobsPerAppMedian, st.JobsPerAppMax)
-		fmt.Fprintf(os.Stderr, "task duration        p50 %.1f min, p90 %.1f min, max %.1f min\n", st.TaskDurationP50, st.TaskDurationP90, st.TaskDurationMax)
-		fmt.Fprintf(os.Stderr, "4-GPU gangs          %.0f%%\n", st.GangSize4Fraction*100)
-		fmt.Fprintf(os.Stderr, "network-intensive    %.0f%% of apps\n", st.NetworkAppFraction*100)
-		fmt.Fprintf(os.Stderr, "mean inter-arrival   %.1f min\n", st.MeanInterArrival)
-		fmt.Fprintf(os.Stderr, "total serial work    %.0f GPU-min\n", st.TotalSerialWork)
+		printStats(themis.SummarizeWorkload(apps))
+	}
+	return writeTrace(tr, *out)
+}
+
+func runList() error {
+	for _, name := range themis.Scenarios() {
+		desc, err := themis.DescribeScenario(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %s\n", name, desc)
+	}
+	return nil
+}
+
+func runImport(args []string) error {
+	fs := flag.NewFlagSet("import", flag.ExitOnError)
+	var (
+		in        = fs.String("in", "", "input file (default: stdin)")
+		format    = fs.String("format", "auto", "input format: auto, json, philly or alibaba")
+		out       = fs.String("out", "", "output trace file (default: stdout)")
+		name      = fs.String("name", "", "trace name recorded in the file (default: format name)")
+		timeScale = fs.Float64("timescale", 0, "minutes per input time unit (0: format convention)")
+		keepAll   = fs.Bool("keep-noncompleted", false, "keep failed/killed rows instead of dropping them")
+		maxApps   = fs.Int("max-apps", 0, "cap the number of imported apps (0: all)")
+		model     = fs.String("model", "", "stamp every app with this model family")
+		summary   = fs.Bool("summary", true, "print trace summary statistics to stderr")
+	)
+	fs.Parse(args)
+
+	opts := themis.ImportOptions{
+		Name:             *name,
+		TimeScale:        *timeScale,
+		KeepNonCompleted: *keepAll,
+		MaxApps:          *maxApps,
+		Model:            *model,
+	}
+	var (
+		tr  themis.Trace
+		err error
+	)
+	if *in == "" {
+		tr, err = themis.ImportTrace(os.Stdin, themis.TraceFormat(*format), opts)
+	} else {
+		tr, err = themis.ImportTraceFile(*in, themis.TraceFormat(*format), opts)
+	}
+	if err != nil {
+		return err
+	}
+	if *summary {
+		apps, err := tr.ToApps()
+		if err != nil {
+			return err
+		}
+		printStats(themis.SummarizeWorkload(apps))
+	}
+	return writeTrace(tr, *out)
+}
+
+func runValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("validate needs at least one trace file")
+	}
+	failed := false
+	for _, path := range fs.Args() {
+		tr, err := themis.LoadTrace(path)
+		if err == nil {
+			// Loading validates the format; materialising catches the rest
+			// (unknown models fall back, bad jobs error).
+			_, err = tr.ToApps()
+		}
+		if err != nil {
+			failed = true
+			fmt.Printf("%s: INVALID: %v\n", path, err)
+			continue
+		}
+		fmt.Printf("%s: OK (version %d, %d apps)\n", path, tr.Version, len(tr.Apps))
+	}
+	if failed {
+		return fmt.Errorf("validation failed")
+	}
+	return nil
+}
+
+func runDescribe(args []string) error {
+	fs := flag.NewFlagSet("describe", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "generation seed when describing a scenario")
+	apps := fs.Int("apps", 0, "app count when describing a scenario (0: scenario default)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("describe needs one trace file or scenario name")
+	}
+	target := fs.Arg(0)
+
+	// A registered scenario name describes the scenario; anything else is a
+	// trace file.
+	if desc, err := themis.DescribeScenario(target); err == nil {
+		fmt.Printf("scenario %s: %s\n", target, desc)
+		generated, err := themis.GenerateScenario(target, themis.ScenarioParams{Seed: *seed, NumApps: *apps})
+		if err != nil {
+			return err
+		}
+		printStats(themis.SummarizeWorkload(generated))
+		return nil
 	}
 
-	if *out == "" {
-		if err := tr.Write(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "tracegen:", err)
-			os.Exit(1)
-		}
-		return
+	tr, err := themis.LoadTrace(target)
+	if err != nil {
+		return err
 	}
-	if err := themis.SaveTrace(*out, tr); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+	materialised, err := tr.ToApps()
+	if err != nil {
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	fmt.Printf("trace %q (version %d)\n", tr.Name, tr.Version)
+	printStats(themis.SummarizeWorkload(materialised))
+	return nil
+}
+
+func writeTrace(tr themis.Trace, out string) error {
+	if out == "" {
+		return tr.Write(os.Stdout)
+	}
+	if err := themis.SaveTrace(out, tr); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	return nil
+}
+
+func printStats(st themis.WorkloadStats) {
+	fmt.Fprintf(os.Stderr, "apps                 %d\n", st.NumApps)
+	fmt.Fprintf(os.Stderr, "jobs                 %d\n", st.NumJobs)
+	fmt.Fprintf(os.Stderr, "jobs/app             min %d, median %.0f, max %d\n", st.JobsPerAppMin, st.JobsPerAppMedian, st.JobsPerAppMax)
+	fmt.Fprintf(os.Stderr, "task duration        p50 %.1f min, p90 %.1f min, max %.1f min\n", st.TaskDurationP50, st.TaskDurationP90, st.TaskDurationMax)
+	fmt.Fprintf(os.Stderr, "4-GPU gangs          %.0f%%\n", st.GangSize4Fraction*100)
+	fmt.Fprintf(os.Stderr, "network-intensive    %.0f%% of apps\n", st.NetworkAppFraction*100)
+	fmt.Fprintf(os.Stderr, "mean inter-arrival   %.1f min\n", st.MeanInterArrival)
+	fmt.Fprintf(os.Stderr, "total serial work    %.0f GPU-min\n", st.TotalSerialWork)
 }

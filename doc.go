@@ -34,6 +34,19 @@
 // cancels the rest. The sweep engine also powers themis/experiments: every
 // figure constructor fans its {parameter, seed, scheme} grid across
 // Options.Workers goroutines with results identical to a sequential run.
+// The Grid type expands a Policies × Scenarios × Seeds cross product into
+// sweep specs declaratively.
+//
+// Workloads come from a scenario library mirroring the policy registry:
+// GenerateScenario("paper-mix"|"diurnal"|"heavy-tailed"|"bursty"|
+// "mixed-gangs", params...) materialises a registered scenario, WithScenario
+// feeds one to a simulation, and RegisterScenario (with ScenarioFromConfig
+// over a ScenarioConfig composition of arrival pattern × job-size law ×
+// gang mix) extends the library. Real cluster logs normalise into replayable
+// traces through ImportTrace: Philly-style and Alibaba-style CSV adapters
+// plus format auto-detection, validated by the same typed-error contract as
+// native traces (see internal/trace). cmd/tracegen is the CLI workbench for
+// all of this.
 //
 // The companion public packages are themis/experiments (one constructor per
 // figure of the paper's evaluation) and themis/daemon (the distributed

@@ -1,0 +1,48 @@
+// Scenario-library tour: lists the registered workload scenarios, then fans
+// every scenario × {Themis, Tiresias} across the parallel sweep engine and
+// compares the schedulers' fairness and efficiency per workload family —
+// the evaluation axis the scenario subsystem opens beyond the paper's single
+// production mix.
+//
+//	go run ./examples/scenarios
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"themis"
+	"themis/experiments"
+)
+
+func main() {
+	fmt.Println("registered scenarios:")
+	for _, name := range themis.Scenarios() {
+		desc, err := themis.DescribeScenario(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s %s\n", name, desc)
+	}
+	fmt.Println()
+
+	rows, err := experiments.ScenarioStudy(context.Background(), 0,
+		[]string{"themis", "tiresias"},
+		nil, // full scenario library
+		[]int64{11},
+		themis.ScenarioParams{NumApps: 12, DurationScale: 0.2},
+		themis.WithCluster(themis.ClusterTestbed),
+		themis.WithHorizon(20000),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("scenario       scheme     max_rho  jains  mean_jct_min  gpu_time")
+	for _, row := range rows {
+		s := row.Report.Summary
+		fmt.Printf("%-14s %-10s %7.2f  %5.3f  %12.1f  %8.0f\n",
+			row.Scenario, row.Policy, s.MaxFairness, s.JainsIndex, s.MeanCompletionTime, s.GPUTime)
+	}
+}

@@ -7,7 +7,9 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 
+	"themis"
 	"themis/internal/experiments"
 	"themis/internal/sim"
 )
@@ -95,3 +97,61 @@ func Figure10(opts Options) ([]Figure10Row, error) { return experiments.Figure10
 
 // Figure11 sweeps the bid-valuation error and reports max fairness.
 func Figure11(opts Options) ([]Figure11Row, error) { return experiments.Figure11(opts) }
+
+// ScenarioStudyRow is one cell of a ScenarioStudy: a policy replaying a
+// registered scenario under one seed, with the run's full Report.
+type ScenarioStudyRow struct {
+	Policy   string
+	Scenario string
+	Seed     int64
+	Report   *themis.Report
+}
+
+// ScenarioStudy runs every policy × scenario × seed cell of the scenario
+// library through the parallel sweep engine — the evaluation the paper could
+// not run: its schedulers over workload families beyond the production mix.
+// Policies and scenarios name registry entries (themis.Policies,
+// themis.Scenarios); empty axes default to the Themis policy, the full
+// scenario library and seed 1. Rows come back policy-major in deterministic
+// order regardless of worker count.
+func ScenarioStudy(ctx context.Context, workers int, policies, scenarios []string, seeds []int64, params themis.ScenarioParams, base ...themis.Option) ([]ScenarioStudyRow, error) {
+	if len(policies) == 0 {
+		policies = []string{"themis"}
+	}
+	if len(scenarios) == 0 {
+		scenarios = themis.Scenarios()
+	}
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	specs, err := themis.Grid{
+		Policies:  policies,
+		Scenarios: scenarios,
+		Seeds:     seeds,
+		Params:    params,
+		Base:      base,
+	}.Specs()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scenario study: %w", err)
+	}
+	results, err := themis.RunSweep(ctx, workers, specs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scenario study: %w", err)
+	}
+	rows := make([]ScenarioStudyRow, 0, len(results))
+	i := 0
+	for _, policy := range policies {
+		for _, scenario := range scenarios {
+			for _, seed := range seeds {
+				rows = append(rows, ScenarioStudyRow{
+					Policy:   policy,
+					Scenario: scenario,
+					Seed:     seed,
+					Report:   results[i].Report,
+				})
+				i++
+			}
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,42 @@
+package experiments_test
+
+import (
+	"context"
+	"testing"
+
+	"themis"
+	"themis/experiments"
+)
+
+func TestScenarioStudy(t *testing.T) {
+	rows, err := experiments.ScenarioStudy(context.Background(), 2,
+		[]string{"themis"},
+		[]string{"diurnal", "heavy-tailed"},
+		[]int64{3, 4},
+		themis.ScenarioParams{NumApps: 4, DurationScale: 0.1},
+		themis.WithCluster(themis.ClusterTestbed),
+		themis.WithHorizon(8000),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	want := []struct {
+		scenario string
+		seed     int64
+	}{{"diurnal", 3}, {"diurnal", 4}, {"heavy-tailed", 3}, {"heavy-tailed", 4}}
+	for i, row := range rows {
+		if row.Policy != "themis" || row.Scenario != want[i].scenario || row.Seed != want[i].seed {
+			t.Errorf("row %d = %s/%s/seed=%d, want themis/%s/seed=%d",
+				i, row.Policy, row.Scenario, row.Seed, want[i].scenario, want[i].seed)
+		}
+		if row.Report == nil || row.Report.Summary.AppsTotal != 4 {
+			t.Errorf("row %d has no usable report", i)
+		}
+	}
+	if _, err := experiments.ScenarioStudy(context.Background(), 1, nil, []string{"nope"}, nil, themis.ScenarioParams{}); err == nil {
+		t.Error("unknown scenario should fail")
+	}
+}

@@ -99,6 +99,63 @@ func TestGoldenReports(t *testing.T) {
 	}
 }
 
+// goldenScenarios are the scenario-library entries pinned by their own
+// snapshots: the two workload families whose generators (diurnal thinning,
+// Pareto sampling) are most at risk of silent drift.
+var goldenScenarios = []string{"diurnal", "heavy-tailed"}
+
+// goldenScenarioSpecs spans the pinned scenarios through the public sweep
+// grid — the same path users take — under the Themis policy.
+func goldenScenarioSpecs(t testing.TB) []SweepSpec {
+	t.Helper()
+	specs, err := Grid{
+		Policies:  []string{"themis"},
+		Scenarios: goldenScenarios,
+		Seeds:     []int64{7},
+		Params:    ScenarioParams{NumApps: 10, DurationScale: 0.2},
+		Base:      []Option{WithCluster(ClusterTestbed), WithHorizon(20000)},
+	}.Specs()
+	if err != nil {
+		t.Fatalf("building scenario golden grid: %v", err)
+	}
+	return specs
+}
+
+// TestGoldenScenarioSweep replays the pinned scenarios end-to-end through
+// themis.RunSweep and compares each Report byte-for-byte against its
+// snapshot, locking down the scenario generators, the Grid axis expansion
+// and the sweep engine in one pass. Regenerate deliberately with -update.
+func TestGoldenScenarioSweep(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("golden snapshots are byte-exact only on amd64 (running on %s)", runtime.GOARCH)
+	}
+	results, err := RunSweep(context.Background(), 2, goldenScenarioSpecs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, scenario := range goldenScenarios {
+		got := serializeReport(results[i].Report)
+		path := filepath.Join("testdata", "golden", "scenario-"+scenario+".golden")
+		if *updateGolden {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading golden snapshot (run with -update to create): %v", err)
+		}
+		if got != string(want) {
+			t.Errorf("scenario %s (%s) diverged from golden snapshot %s\n%s",
+				scenario, results[i].Name, path, diffSnippet(string(want), got))
+		}
+	}
+}
+
 // TestGoldenReplayIsByteStable runs one policy twice in the same process and
 // asserts the serialized reports are identical — determinism independent of
 // the stored snapshots.

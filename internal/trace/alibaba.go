@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// ImportAlibaba normalises an Alibaba-style CSV cluster log into a Trace.
+// The shape follows the Alibaba GPU cluster traces: one row per task, keyed
+// by job name, with an instance count, a fractional GPU request (plan_gpu,
+// in percent of one GPU), Unix start/end times and a status:
+//
+//	job_name,task_name,inst_num,status,start_time,end_time,plan_gpu
+//	j1,tensorflow,2,Terminated,1000,4600,100
+//
+// Rows sharing a job_name group into one app with a job per task row; the
+// app's submission time is its earliest task start. A task's gang size is
+// inst_num × ceil(plan_gpu / 100) and its serial work is gang × duration.
+// Times are Unix seconds unless ImportOptions.TimeScale overrides the 1/60
+// scale. Non-completed rows drop unless KeepNonCompleted is set ("Terminated"
+// is Alibaba's completed state), and rows with non-positive durations are
+// always dropped. Apps are sorted by submission time and rebased to 0.
+func ImportAlibaba(r io.Reader, opts ImportOptions) (Trace, error) {
+	scale := opts.TimeScale
+	if scale == 0 {
+		scale = 1.0 / 60 // Alibaba-style rows carry Unix seconds
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cr.TrimLeadingSpace = true
+
+	header, err := cr.Read()
+	if err != nil {
+		return Trace{}, fmt.Errorf("trace: alibaba: reading header: %w", err)
+	}
+	jobCol := columnIndex(header, "job_name", "job_id", "jobid", "job")
+	taskCol := columnIndex(header, "task_name", "task") // optional
+	instCol := columnIndex(header, "inst_num", "instances", "inst")
+	statusCol := columnIndex(header, "status", "state") // optional
+	startCol := columnIndex(header, "start_time", "start")
+	endCol := columnIndex(header, "end_time", "end")
+	gpuCol := columnIndex(header, "plan_gpu", "gpu", "gpus")
+	if jobCol < 0 || startCol < 0 || endCol < 0 || gpuCol < 0 {
+		return Trace{}, fmt.Errorf("trace: alibaba: header %v missing job_name/start_time/end_time/plan_gpu", header)
+	}
+
+	type taskRow struct {
+		name  string
+		start float64
+		job   JobSpec
+	}
+	byJob := make(map[string][]taskRow)
+	var order []string
+	line := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return Trace{}, fmt.Errorf("trace: alibaba: line %d: %w", line, err)
+		}
+		max := jobCol
+		for _, c := range []int{startCol, endCol, gpuCol} {
+			if c > max {
+				max = c
+			}
+		}
+		if len(row) <= max {
+			continue
+		}
+		if statusCol >= 0 && statusCol < len(row) && !completedStatus(row[statusCol]) && !opts.KeepNonCompleted {
+			continue
+		}
+		job := strings.TrimSpace(row[jobCol])
+		start, errS := strconv.ParseFloat(strings.TrimSpace(row[startCol]), 64)
+		end, errE := strconv.ParseFloat(strings.TrimSpace(row[endCol]), 64)
+		planGPU, errG := strconv.ParseFloat(strings.TrimSpace(row[gpuCol]), 64)
+		if job == "" || !utf8.ValidString(job) || errS != nil || errE != nil || errG != nil {
+			continue
+		}
+		// Bound the numerics before converting: NaN/Inf and absurd GPU or
+		// instance counts would overflow int conversion or poison work
+		// accounting.
+		if !isFinite(start) || !isFinite(end) || !(planGPU >= 0 && planGPU <= 1e8) {
+			continue
+		}
+		inst := 1.0
+		if instCol >= 0 && instCol < len(row) {
+			if v, err := strconv.ParseFloat(strings.TrimSpace(row[instCol]), 64); err == nil && v >= 1 && v <= 1e6 {
+				inst = v
+			}
+		}
+		task := ""
+		if taskCol >= 0 && taskCol < len(row) {
+			task = strings.TrimSpace(row[taskCol])
+		}
+		duration := (end - start) * scale
+		gpusPerInst := int((planGPU + 99) / 100) // plan_gpu is percent of one GPU
+		if gpusPerInst < 1 {
+			gpusPerInst = 1
+		}
+		gang := gpusPerInst * int(inst)
+		work := duration * float64(gang)
+		if work <= 0 || start < 0 || !isFinite(work) || !isFinite(start*scale) {
+			continue
+		}
+		if _, seen := byJob[job]; !seen {
+			order = append(order, job)
+		}
+		byJob[job] = append(byJob[job], taskRow{
+			name:  task,
+			start: start * scale,
+			job: JobSpec{
+				TotalWork: work,
+				GangSize:  gang,
+				Quality:   deriveQuality(job + "/" + task),
+				Seed:      deriveSeed(job + "/" + task),
+			},
+		})
+	}
+
+	tr := Trace{Version: FormatVersion, Name: opts.Name}
+	if tr.Name == "" {
+		tr.Name = string(FormatAlibaba)
+	}
+	for _, job := range order {
+		tasks := byJob[job]
+		sort.SliceStable(tasks, func(i, j int) bool {
+			if tasks[i].start != tasks[j].start {
+				return tasks[i].start < tasks[j].start
+			}
+			return tasks[i].name < tasks[j].name
+		})
+		spec := AppSpec{ID: job, SubmitTime: tasks[0].start, Model: opts.Model}
+		for _, t := range tasks {
+			spec.Jobs = append(spec.Jobs, t.job)
+		}
+		tr.Apps = append(tr.Apps, spec)
+	}
+	normalizeImported(&tr, opts.MaxApps)
+	if len(tr.Apps) == 0 {
+		return Trace{}, fmt.Errorf("trace: alibaba: no importable rows")
+	}
+	if err := tr.Validate(); err != nil {
+		return Trace{}, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,57 @@
+package trace
+
+import "fmt"
+
+// The decode path rejects malformed traces with typed errors so callers
+// (tracegen's validate subcommand, the facade, tests) can distinguish a
+// version mismatch from a structural defect with errors.As.
+
+// UnsupportedVersionError reports a trace whose format version this build
+// cannot replay. Version negotiation is strict: every supported version is
+// listed in SupportedVersions, and anything else — including a missing
+// version field — is rejected at decode time rather than surfacing as
+// mysterious replay differences later.
+type UnsupportedVersionError struct {
+	// Version is the version the trace declared (0 when absent).
+	Version int
+}
+
+func (e *UnsupportedVersionError) Error() string {
+	return fmt.Sprintf("trace: unsupported format version %d (supported: %v)", e.Version, SupportedVersions())
+}
+
+// MissingAppIDError reports an app entry with an empty ID.
+type MissingAppIDError struct {
+	// Index is the position of the offending app in the trace's Apps list.
+	Index int
+}
+
+func (e *MissingAppIDError) Error() string {
+	return fmt.Sprintf("trace: app at index %d has no ID", e.Index)
+}
+
+// DuplicateAppIDError reports two app entries sharing one ID. Trace replay
+// keys runtime state by app ID, so duplicates would silently merge two apps'
+// accounting.
+type DuplicateAppIDError struct {
+	// ID is the duplicated app ID.
+	ID string
+	// First and Second are the indices of the colliding entries.
+	First, Second int
+}
+
+func (e *DuplicateAppIDError) Error() string {
+	return fmt.Sprintf("trace: duplicate app ID %q (entries %d and %d)", e.ID, e.First, e.Second)
+}
+
+// JobError reports a structurally invalid job within an app entry.
+type JobError struct {
+	// App is the owning app's ID; Index is the job's position within it.
+	App    string
+	Index  int
+	Reason string
+}
+
+func (e *JobError) Error() string {
+	return fmt.Sprintf("trace: app %s job %d: %s", e.App, e.Index, e.Reason)
+}

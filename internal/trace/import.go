@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"strings"
+)
+
+// Format names an on-disk trace shape the importer pipeline understands.
+type Format string
+
+const (
+	// FormatJSON is the native versioned JSON trace (Read/Write).
+	FormatJSON Format = "json"
+	// FormatPhilly is a Philly-style CSV cluster log: one row per job with
+	// submit time, GPU count, duration and completion status.
+	FormatPhilly Format = "philly"
+	// FormatAlibaba is an Alibaba-style CSV cluster log: one row per task
+	// with job name, instance count, plan_gpu, start/end times and status.
+	FormatAlibaba Format = "alibaba"
+	// FormatAuto sniffs the input and dispatches to one of the above.
+	FormatAuto Format = "auto"
+)
+
+// Formats lists the concrete formats Import accepts (FormatAuto aside).
+func Formats() []Format { return []Format{FormatJSON, FormatPhilly, FormatAlibaba} }
+
+// ImportOptions tune the CSV adapters. The zero value is usable: times are
+// interpreted in each format's conventional unit, non-completed rows are
+// dropped, and every app is kept.
+type ImportOptions struct {
+	// Name is recorded as the trace name; empty defaults to the format name.
+	Name string
+	// TimeScale converts input time units into scheduling minutes. Zero
+	// picks the format's convention: Philly-style rows are already minutes
+	// (scale 1), Alibaba-style rows are Unix seconds (scale 1/60).
+	TimeScale float64
+	// KeepNonCompleted retains rows whose status is not a completion
+	// (failed/killed jobs); by default only completed work is replayed.
+	KeepNonCompleted bool
+	// MaxApps caps the number of imported apps (after sorting by submit
+	// time); zero keeps all of them.
+	MaxApps int
+	// Model stamps every imported app with a placement profile name from
+	// the catalog; empty leaves it to ToApps's generic fallback.
+	Model string
+}
+
+// Import reads a trace in the named format and normalises it into the native
+// Trace form, validated and ready for ToApps. FormatAuto sniffs the stream.
+func Import(r io.Reader, f Format, opts ImportOptions) (Trace, error) {
+	if f == FormatAuto {
+		br := bufio.NewReader(r)
+		head, _ := br.Peek(4096)
+		detected, err := DetectFormat(head)
+		if err != nil {
+			return Trace{}, err
+		}
+		f, r = detected, br
+	}
+	switch f {
+	case FormatJSON:
+		return Read(r)
+	case FormatPhilly:
+		return ImportPhilly(r, opts)
+	case FormatAlibaba:
+		return ImportAlibaba(r, opts)
+	default:
+		return Trace{}, fmt.Errorf("trace: unknown import format %q (want %v or %q)", f, Formats(), FormatAuto)
+	}
+}
+
+// DetectFormat sniffs the leading bytes of a trace file: native JSON starts
+// with a JSON value, and the CSV dialects are told apart by their header
+// columns (plan_gpu/job_name for Alibaba-style, jobid/submit for
+// Philly-style).
+func DetectFormat(head []byte) (Format, error) {
+	trimmed := bytes.TrimLeft(head, " \t\r\n")
+	if len(trimmed) > 0 && (trimmed[0] == '{' || trimmed[0] == '[') {
+		return FormatJSON, nil
+	}
+	line := trimmed
+	if i := bytes.IndexByte(line, '\n'); i >= 0 {
+		line = line[:i]
+	}
+	header := strings.ToLower(string(line))
+	switch {
+	case strings.Contains(header, "plan_gpu") || strings.Contains(header, "job_name"):
+		return FormatAlibaba, nil
+	case strings.Contains(header, "jobid") || strings.Contains(header, "job_id") ||
+		(strings.Contains(header, "submit") && strings.Contains(header, "gpu")):
+		return FormatPhilly, nil
+	}
+	return "", fmt.Errorf("trace: cannot detect trace format from header %q", header)
+}
+
+// columnIndex resolves the first matching alias in a lowercased CSV header,
+// or -1 when absent.
+func columnIndex(header []string, aliases ...string) int {
+	for i, col := range header {
+		col = strings.TrimSpace(strings.ToLower(col))
+		for _, a := range aliases {
+			if col == a {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// completedStatus reports whether a status cell denotes successfully
+// completed work. The pass sets cover both dialects; an absent status column
+// counts as completed.
+func completedStatus(s string) bool {
+	switch strings.TrimSpace(strings.ToLower(s)) {
+	case "", "pass", "passed", "completed", "complete", "success", "succeeded", "terminated", "finished":
+		return true
+	}
+	return false
+}
+
+// isFinite rejects the NaN/±Inf values hostile CSV cells can smuggle in:
+// they would poison work accounting and are unencodable as JSON.
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// deriveSeed hashes an imported ID into a stable job seed, and deriveQuality
+// into a stable [0,1) quality, so re-imports of the same file replay
+// identically without a shared RNG.
+func deriveSeed(id string) int64 {
+	h := fnv.New64a()
+	io.WriteString(h, id)
+	return int64(h.Sum64() & (1<<62 - 1))
+}
+
+func deriveQuality(id string) float64 {
+	return float64(deriveSeed(id)%1_000_000) / 1_000_000
+}

@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const phillyCSV = `jobid,submit_time,gpus,duration,status
+j-3,40,2,60,Pass
+j-1,0,4,118,Pass
+j-2,10,8,30,Failed
+j-4,55,0,10,Pass
+j-5,70,4,-5,Pass
+j-6,90,1,200,Completed
+`
+
+func TestImportPhilly(t *testing.T) {
+	tr, err := ImportPhilly(strings.NewReader(phillyCSV), ImportOptions{Name: "philly-unit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "philly-unit" || tr.Version != FormatVersion {
+		t.Fatalf("header: %+v", tr)
+	}
+	// j-2 failed, j-4 is CPU-only (0 GPUs), j-5 has negative duration: all
+	// dropped.
+	if len(tr.Apps) != 3 {
+		t.Fatalf("imported %d apps, want 3: %+v", len(tr.Apps), tr.Apps)
+	}
+	// Sorted by submit and rebased to 0.
+	if tr.Apps[0].ID != "j-1" || tr.Apps[0].SubmitTime != 0 {
+		t.Errorf("first app %+v, want j-1 at 0", tr.Apps[0])
+	}
+	if tr.Apps[1].ID != "j-3" || tr.Apps[1].SubmitTime != 40 {
+		t.Errorf("second app %+v, want j-3 at 40", tr.Apps[1])
+	}
+	if tr.Apps[2].ID != "j-6" || tr.Apps[2].SubmitTime != 90 {
+		t.Errorf("third app %+v, want j-6 at 90", tr.Apps[2])
+	}
+	// Serial work is duration × gang.
+	if got := tr.Apps[0].Jobs[0]; got.TotalWork != 118*4 || got.GangSize != 4 {
+		t.Errorf("j-1 job %+v, want work 472 gang 4", got)
+	}
+	// The result replays through the native pipeline.
+	apps, err := tr.ToApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 3 {
+		t.Fatalf("ToApps returned %d apps", len(apps))
+	}
+}
+
+func TestImportPhillyOptions(t *testing.T) {
+	tr, err := ImportPhilly(strings.NewReader(phillyCSV), ImportOptions{
+		KeepNonCompleted: true, MaxApps: 2, TimeScale: 2, Model: "VGG16",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Apps) != 2 {
+		t.Fatalf("MaxApps not applied: %d apps", len(tr.Apps))
+	}
+	// With failures kept and time doubled, j-2 (submit 10 → 20) survives.
+	if tr.Apps[1].ID != "j-2" || tr.Apps[1].SubmitTime != 20 {
+		t.Errorf("second app %+v, want j-2 at 20", tr.Apps[1])
+	}
+	if tr.Apps[0].Model != "VGG16" {
+		t.Errorf("model not stamped: %+v", tr.Apps[0])
+	}
+}
+
+func TestImportPhillyRejects(t *testing.T) {
+	if _, err := ImportPhilly(strings.NewReader("nope,nope2\n1,2\n"), ImportOptions{}); err == nil {
+		t.Error("missing columns should fail")
+	}
+	if _, err := ImportPhilly(strings.NewReader("jobid,submit_time,gpus,duration\n"), ImportOptions{}); err == nil {
+		t.Error("empty import should fail")
+	}
+	dup := "jobid,submit_time,gpus,duration\nj-1,0,2,10\nj-1,5,2,10\n"
+	var dupErr *DuplicateAppIDError
+	if _, err := ImportPhilly(strings.NewReader(dup), ImportOptions{}); !errors.As(err, &dupErr) {
+		t.Errorf("duplicate jobid error = %v, want DuplicateAppIDError", err)
+	}
+}
+
+const alibabaCSV = `job_name,task_name,inst_num,status,start_time,end_time,plan_gpu
+j1,worker,2,Terminated,1200,4800,100
+j1,ps,1,Terminated,1080,4800,50
+j2,worker,1,Failed,600,1200,100
+j3,worker,4,Terminated,60,6060,200
+`
+
+func TestImportAlibaba(t *testing.T) {
+	tr, err := ImportAlibaba(strings.NewReader(alibabaCSV), ImportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != string(FormatAlibaba) {
+		t.Errorf("default name %q", tr.Name)
+	}
+	// j2 failed → dropped; j3 (start 60) sorts before j1 (start 1080).
+	if len(tr.Apps) != 2 || tr.Apps[0].ID != "j3" || tr.Apps[1].ID != "j1" {
+		t.Fatalf("apps: %+v", tr.Apps)
+	}
+	if tr.Apps[0].SubmitTime != 0 {
+		t.Errorf("rebase failed: %+v", tr.Apps[0])
+	}
+	// j1 groups two task rows into one app, earliest (ps) first.
+	if len(tr.Apps[1].Jobs) != 2 {
+		t.Fatalf("j1 jobs: %+v", tr.Apps[1].Jobs)
+	}
+	// ps: plan_gpu 50 → 1 GPU × 1 inst, 62 minutes → work 62.
+	if got := tr.Apps[1].Jobs[0]; got.GangSize != 1 || got.TotalWork != 62 {
+		t.Errorf("j1/ps job %+v, want gang 1 work 62", got)
+	}
+	// worker: plan_gpu 100 × 2 inst → gang 2, 60 minutes → work 120.
+	if got := tr.Apps[1].Jobs[1]; got.GangSize != 2 || got.TotalWork != 120 {
+		t.Errorf("j1/worker job %+v, want gang 2 work 120", got)
+	}
+	// j3: plan_gpu 200 → 2 GPUs × 4 inst → gang 8, 100 minutes → work 800.
+	if got := tr.Apps[0].Jobs[0]; got.GangSize != 8 || got.TotalWork != 800 {
+		t.Errorf("j3 job %+v, want gang 8 work 800", got)
+	}
+	if _, err := tr.ToApps(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImportAlibabaRejects(t *testing.T) {
+	if _, err := ImportAlibaba(strings.NewReader("a,b,c\n1,2,3\n"), ImportOptions{}); err == nil {
+		t.Error("missing columns should fail")
+	}
+	onlyFailed := "job_name,status,start_time,end_time,plan_gpu\nj1,Failed,0,600,100\n"
+	if _, err := ImportAlibaba(strings.NewReader(onlyFailed), ImportOptions{}); err == nil {
+		t.Error("empty import should fail")
+	}
+	// A start time that overflows to +Inf under the time scale must be
+	// dropped, not rebased into a NaN SubmitTime (Inf − Inf).
+	overflow := "job_name,status,start_time,end_time,plan_gpu\nj1,Terminated,1e304,1.0000000000000001e304,100\n"
+	if _, err := ImportAlibaba(strings.NewReader(overflow), ImportOptions{TimeScale: 1e5}); err == nil {
+		t.Error("overflow-only import should fail, not produce NaN submit times")
+	}
+}
+
+func TestDetectFormat(t *testing.T) {
+	cases := []struct {
+		head string
+		want Format
+	}{
+		{`{"version":1,"apps":[]}`, FormatJSON},
+		{"  \n{\n", FormatJSON},
+		{phillyCSV, FormatPhilly},
+		{alibabaCSV, FormatAlibaba},
+	}
+	for _, c := range cases {
+		got, err := DetectFormat([]byte(c.head))
+		if err != nil || got != c.want {
+			t.Errorf("DetectFormat(%.30q) = %v, %v; want %v", c.head, got, err, c.want)
+		}
+	}
+	if _, err := DetectFormat([]byte("random prose, no header")); err == nil {
+		t.Error("undetectable input should fail")
+	}
+}
+
+func TestImportAuto(t *testing.T) {
+	tr, err := Import(strings.NewReader(phillyCSV), FormatAuto, ImportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Apps) != 3 {
+		t.Errorf("auto import got %d apps", len(tr.Apps))
+	}
+	if _, err := Import(strings.NewReader("x"), Format("bogus"), ImportOptions{}); err == nil {
+		t.Error("unknown format should fail")
+	}
+}

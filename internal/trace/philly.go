@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// ImportPhilly normalises a Philly-style CSV cluster log into a Trace. The
+// shape follows the Microsoft Philly trace the paper draws its workload
+// characteristics from: one row per job, identified by a job ID, with the
+// submission time, the number of GPUs the job gang-schedules, its run
+// duration, and a completion status. Header columns are matched by name
+// (case-insensitively, with the common aliases), so column order is free:
+//
+//	jobid,submit_time,gpus,duration,status
+//	j-1001,0,4,118,Pass
+//
+// Times are minutes unless ImportOptions.TimeScale says otherwise. Each row
+// becomes a single-job app whose serial work is duration × GPUs; rows that
+// did not complete are dropped unless KeepNonCompleted is set, and rows with
+// less than one GPU (CPU-only entries) or a non-positive duration are always
+// dropped. Apps are sorted by
+// submission time and shifted so the first app arrives at 0.
+func ImportPhilly(r io.Reader, opts ImportOptions) (Trace, error) {
+	scale := opts.TimeScale
+	if scale == 0 {
+		scale = 1 // Philly-style rows carry minutes already
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cr.TrimLeadingSpace = true
+
+	header, err := cr.Read()
+	if err != nil {
+		return Trace{}, fmt.Errorf("trace: philly: reading header: %w", err)
+	}
+	idCol := columnIndex(header, "jobid", "job_id", "job", "id")
+	submitCol := columnIndex(header, "submit_time", "submitted_time", "submit")
+	gpuCol := columnIndex(header, "gpus", "num_gpus", "gpu_num", "gpu")
+	durCol := columnIndex(header, "duration", "run_time", "runtime")
+	statusCol := columnIndex(header, "status", "state") // optional
+	if idCol < 0 || submitCol < 0 || gpuCol < 0 || durCol < 0 {
+		return Trace{}, fmt.Errorf("trace: philly: header %v missing jobid/submit_time/gpus/duration", header)
+	}
+
+	tr := Trace{Version: FormatVersion, Name: opts.Name}
+	if tr.Name == "" {
+		tr.Name = string(FormatPhilly)
+	}
+	line := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return Trace{}, fmt.Errorf("trace: philly: line %d: %w", line, err)
+		}
+		max := idCol
+		for _, c := range []int{submitCol, gpuCol, durCol} {
+			if c > max {
+				max = c
+			}
+		}
+		if len(row) <= max {
+			continue // short row: treat like a malformed log line and skip
+		}
+		if statusCol >= 0 && statusCol < len(row) && !completedStatus(row[statusCol]) && !opts.KeepNonCompleted {
+			continue
+		}
+		id := strings.TrimSpace(row[idCol])
+		submit, errS := strconv.ParseFloat(strings.TrimSpace(row[submitCol]), 64)
+		gpus, errG := strconv.ParseFloat(strings.TrimSpace(row[gpuCol]), 64)
+		duration, errD := strconv.ParseFloat(strings.TrimSpace(row[durCol]), 64)
+		if id == "" || !utf8.ValidString(id) || errS != nil || errG != nil || errD != nil {
+			continue // unparsable row: skip rather than abort the import
+		}
+		// Bound the numerics before converting: NaN/Inf and absurd GPU
+		// counts would overflow int conversion or poison work accounting.
+		if !isFinite(submit) || !isFinite(duration) || !(gpus >= 0 && gpus <= 1e6) {
+			continue
+		}
+		gang := int(gpus)
+		if gang < 1 {
+			continue // CPU-only or fractional-GPU row: nothing to schedule
+		}
+		work := duration * scale * float64(gang)
+		if work <= 0 || submit < 0 || !isFinite(work) || !isFinite(submit*scale) {
+			continue
+		}
+		tr.Apps = append(tr.Apps, AppSpec{
+			ID:         id,
+			SubmitTime: submit * scale,
+			Model:      opts.Model,
+			Jobs: []JobSpec{{
+				TotalWork: work,
+				GangSize:  gang,
+				Quality:   deriveQuality(id),
+				Seed:      deriveSeed(id),
+			}},
+		})
+	}
+	normalizeImported(&tr, opts.MaxApps)
+	if len(tr.Apps) == 0 {
+		return Trace{}, fmt.Errorf("trace: philly: no importable rows")
+	}
+	if err := tr.Validate(); err != nil {
+		return Trace{}, err
+	}
+	return tr, nil
+}
+
+// normalizeImported sorts apps by submission time (ID-tie-broken), rebases
+// the earliest arrival to 0 and applies the MaxApps cap. Shared by the CSV
+// adapters so every imported trace replays from t = 0 deterministically.
+func normalizeImported(tr *Trace, maxApps int) {
+	sort.SliceStable(tr.Apps, func(i, j int) bool {
+		if tr.Apps[i].SubmitTime != tr.Apps[j].SubmitTime {
+			return tr.Apps[i].SubmitTime < tr.Apps[j].SubmitTime
+		}
+		return tr.Apps[i].ID < tr.Apps[j].ID
+	})
+	if maxApps > 0 && len(tr.Apps) > maxApps {
+		tr.Apps = tr.Apps[:maxApps]
+	}
+	if len(tr.Apps) == 0 {
+		return
+	}
+	base := tr.Apps[0].SubmitTime
+	for i := range tr.Apps {
+		tr.Apps[i].SubmitTime -= base
+	}
+}

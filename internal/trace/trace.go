@@ -14,8 +14,24 @@ import (
 	"themis/internal/workload"
 )
 
-// FormatVersion identifies the on-disk trace format.
+// FormatVersion identifies the current on-disk trace format. Writers always
+// emit it; readers accept any version in SupportedVersions.
 const FormatVersion = 1
+
+// SupportedVersions lists the format versions this build can replay, oldest
+// first. Today the v1 JSON shape is the only one, but importers and readers
+// negotiate through this list so a future v2 can keep v1 traces loadable.
+func SupportedVersions() []int { return []int{FormatVersion} }
+
+// versionSupported reports whether v is a replayable format version.
+func versionSupported(v int) bool {
+	for _, s := range SupportedVersions() {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
 
 // Trace is the on-disk form of a workload.
 type Trace struct {
@@ -64,27 +80,51 @@ func FromApps(name string, apps []*workload.App) Trace {
 	return t
 }
 
+// Validate checks the trace header and app entries against the format
+// contract: a supported version, non-empty unique app IDs, and positive
+// work/gang on every job. Violations surface as the typed errors in
+// errors.go, so callers can distinguish a version mismatch from a
+// structural defect.
+func (t Trace) Validate() error {
+	if !versionSupported(t.Version) {
+		return &UnsupportedVersionError{Version: t.Version}
+	}
+	seen := make(map[string]int, len(t.Apps))
+	for i, spec := range t.Apps {
+		if spec.ID == "" {
+			return &MissingAppIDError{Index: i}
+		}
+		if first, dup := seen[spec.ID]; dup {
+			return &DuplicateAppIDError{ID: spec.ID, First: first, Second: i}
+		}
+		seen[spec.ID] = i
+		if len(spec.Jobs) == 0 {
+			return &JobError{App: spec.ID, Index: 0, Reason: "app has no jobs"}
+		}
+		for j, js := range spec.Jobs {
+			if js.TotalWork <= 0 || js.GangSize <= 0 {
+				return &JobError{App: spec.ID, Index: j, Reason: fmt.Sprintf("invalid work/gang %v/%d", js.TotalWork, js.GangSize)}
+			}
+		}
+	}
+	return nil
+}
+
 // ToApps materialises the trace back into runnable apps with fresh runtime
 // state. Unknown model names fall back to the generic compute-intensive
 // profile.
 func (t Trace) ToApps() ([]*workload.App, error) {
-	if t.Version != FormatVersion {
-		return nil, fmt.Errorf("trace: unsupported format version %d (want %d)", t.Version, FormatVersion)
+	if err := t.Validate(); err != nil {
+		return nil, err
 	}
 	var apps []*workload.App
 	for _, spec := range t.Apps {
-		if spec.ID == "" {
-			return nil, fmt.Errorf("trace: app with empty ID")
-		}
 		profile, ok := placement.ByName(spec.Model)
 		if !ok {
 			profile = placement.GenericComputeIntensive
 		}
 		var jobs []*workload.Job
 		for i, js := range spec.Jobs {
-			if js.TotalWork <= 0 || js.GangSize <= 0 {
-				return nil, fmt.Errorf("trace: app %s job %d has invalid work/gang", spec.ID, i)
-			}
 			j := workload.NewJob(workload.AppID(spec.ID), i, js.TotalWork, js.GangSize)
 			if js.MaxParallelism > 0 {
 				j.MaxParallelism = js.MaxParallelism
@@ -115,11 +155,16 @@ func (t Trace) Write(w io.Writer) error {
 	return enc.Encode(t)
 }
 
-// Read parses a trace from JSON.
+// Read parses and validates a trace from JSON. Unknown format versions and
+// missing or duplicate app IDs are rejected at decode time with the typed
+// errors in errors.go rather than silently accepted and replayed wrong.
 func Read(r io.Reader) (Trace, error) {
 	var t Trace
 	if err := json.NewDecoder(r).Decode(&t); err != nil {
 		return Trace{}, fmt.Errorf("trace: decoding: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return Trace{}, err
 	}
 	return t, nil
 }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -86,17 +87,26 @@ func TestSaveLoad(t *testing.T) {
 }
 
 func TestToAppsValidation(t *testing.T) {
+	var verErr *UnsupportedVersionError
 	bad := Trace{Version: 99}
-	if _, err := bad.ToApps(); err == nil {
-		t.Error("unsupported version should fail")
+	if _, err := bad.ToApps(); !errors.As(err, &verErr) || verErr.Version != 99 {
+		t.Errorf("unsupported version error = %v, want UnsupportedVersionError{99}", err)
 	}
+	var idErr *MissingAppIDError
 	bad = Trace{Version: FormatVersion, Apps: []AppSpec{{ID: "", Jobs: []JobSpec{{TotalWork: 1, GangSize: 1}}}}}
-	if _, err := bad.ToApps(); err == nil {
-		t.Error("empty app ID should fail")
+	if _, err := bad.ToApps(); !errors.As(err, &idErr) || idErr.Index != 0 {
+		t.Errorf("empty app ID error = %v, want MissingAppIDError{0}", err)
 	}
+	var jobErr *JobError
 	bad = Trace{Version: FormatVersion, Apps: []AppSpec{{ID: "a", Model: "VGG16", Jobs: []JobSpec{{TotalWork: 0, GangSize: 4}}}}}
-	if _, err := bad.ToApps(); err == nil {
-		t.Error("zero work should fail")
+	if _, err := bad.ToApps(); !errors.As(err, &jobErr) {
+		t.Errorf("zero work error = %v, want JobError", err)
+	}
+	var dupErr *DuplicateAppIDError
+	job := []JobSpec{{TotalWork: 1, GangSize: 1}}
+	bad = Trace{Version: FormatVersion, Apps: []AppSpec{{ID: "a", Jobs: job}, {ID: "b", Jobs: job}, {ID: "a", Jobs: job}}}
+	if _, err := bad.ToApps(); !errors.As(err, &dupErr) || dupErr.ID != "a" || dupErr.First != 0 || dupErr.Second != 2 {
+		t.Errorf("duplicate app ID error = %v, want DuplicateAppIDError{a,0,2}", err)
 	}
 	// Unknown model falls back to a generic profile rather than failing.
 	ok := Trace{Version: FormatVersion, Apps: []AppSpec{{ID: "a", Model: "UnknownNet", Jobs: []JobSpec{{TotalWork: 10, GangSize: 2}}}}}
@@ -112,5 +122,24 @@ func TestToAppsValidation(t *testing.T) {
 func TestReadRejectsGarbage(t *testing.T) {
 	if _, err := Read(strings.NewReader("{not json")); err == nil {
 		t.Error("garbage input should fail")
+	}
+}
+
+// Read must reject structurally invalid traces at decode time, not replay
+// time, with the typed errors callers negotiate on.
+func TestReadValidates(t *testing.T) {
+	var verErr *UnsupportedVersionError
+	if _, err := Read(strings.NewReader(`{"version":2,"apps":[]}`)); !errors.As(err, &verErr) {
+		t.Errorf("future version error = %v, want UnsupportedVersionError", err)
+	}
+	if _, err := Read(strings.NewReader(`{"apps":[]}`)); !errors.As(err, &verErr) || verErr.Version != 0 {
+		t.Errorf("missing version error = %v, want UnsupportedVersionError{0}", err)
+	}
+	var dupErr *DuplicateAppIDError
+	dup := `{"version":1,"apps":[
+		{"id":"a","jobs":[{"total_work":1,"gang_size":1}]},
+		{"id":"a","jobs":[{"total_work":1,"gang_size":1}]}]}`
+	if _, err := Read(strings.NewReader(dup)); !errors.As(err, &dupErr) {
+		t.Errorf("duplicate ID error = %v, want DuplicateAppIDError", err)
 	}
 }

@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func scenarioBase(n int) ScenarioConfig {
+	cfg := ScenarioConfig{GeneratorConfig: DefaultGeneratorConfig()}
+	cfg.NumApps = n
+	cfg.Seed = 11
+	return cfg
+}
+
+func TestGenerateScenarioDeterministic(t *testing.T) {
+	for _, arrival := range []ArrivalPattern{ArrivalPoisson, ArrivalDiurnal, ArrivalBursty} {
+		cfg := scenarioBase(40)
+		cfg.Arrival = arrival
+		a, err := GenerateScenario(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", arrival, err)
+		}
+		b, err := GenerateScenario(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != 40 || len(b) != 40 {
+			t.Fatalf("%s: generated %d/%d apps", arrival, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].SubmitTime != b[i].SubmitTime || len(a[i].Jobs) != len(b[i].Jobs) {
+				t.Fatalf("%s: app %d differs across replays", arrival, i)
+			}
+			for k := range a[i].Jobs {
+				if a[i].Jobs[k].TotalWork != b[i].Jobs[k].TotalWork {
+					t.Fatalf("%s: app %d job %d differs across replays", arrival, i, k)
+				}
+			}
+		}
+		// Arrivals are sorted and rebased to 0.
+		if a[0].SubmitTime != 0 {
+			t.Errorf("%s: first arrival at %v, want 0", arrival, a[0].SubmitTime)
+		}
+		if !sort.SliceIsSorted(a, func(i, j int) bool { return a[i].SubmitTime < a[j].SubmitTime }) {
+			t.Errorf("%s: arrivals not sorted", arrival)
+		}
+	}
+}
+
+func TestDiurnalArrivalsModulate(t *testing.T) {
+	cfg := scenarioBase(600)
+	cfg.Arrival = ArrivalDiurnal
+	cfg.DiurnalPeakToTrough = 8
+	cfg.MeanInterArrival = 10
+	apps, err := GenerateScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count arrivals in the peak half-cycle vs the trough half-cycle of each
+	// period: the sinusoid concentrates arrivals in the first half.
+	period := 1440.0
+	peak, trough := 0, 0
+	for _, a := range apps {
+		if math.Mod(a.SubmitTime, period) < period/2 {
+			peak++
+		} else {
+			trough++
+		}
+	}
+	if peak <= trough {
+		t.Errorf("diurnal arrivals not modulated: peak-half %d, trough-half %d", peak, trough)
+	}
+}
+
+func TestBurstyArrivalsClump(t *testing.T) {
+	cfg := scenarioBase(100)
+	cfg.Arrival = ArrivalBursty
+	cfg.BurstFraction = 0.6
+	cfg.BurstApps = 10
+	cfg.BurstSpread = 1
+	apps, err := GenerateScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least one spike: ≥ 8 apps inside some 2-minute window.
+	best := 0
+	for i := range apps {
+		n := 0
+		for j := i; j < len(apps) && apps[j].SubmitTime <= apps[i].SubmitTime+2; j++ {
+			n++
+		}
+		if n > best {
+			best = n
+		}
+	}
+	if best < 8 {
+		t.Errorf("bursty arrivals show no spike: densest 2-minute window has %d apps", best)
+	}
+}
+
+func TestParetoSizesAreHeavyTailed(t *testing.T) {
+	cfg := scenarioBase(80)
+	cfg.JobSize = SizePareto
+	cfg.ParetoAlpha = 1.2
+	cfg.ParetoMinDuration = 10
+	cfg.MaxTaskDuration = 1e9 // leave the tail visible
+	apps, err := GenerateScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var durations []float64
+	for _, a := range apps {
+		for _, j := range a.Jobs {
+			d := j.TotalWork / float64(j.GangSize)
+			if d < 10-1e-9 {
+				t.Fatalf("duration %v below Pareto minimum", d)
+			}
+			durations = append(durations, d)
+		}
+	}
+	sort.Float64s(durations)
+	median := durations[len(durations)/2]
+	max := durations[len(durations)-1]
+	// A Pareto tail with α=1.2 over hundreds of samples dwarfs its median.
+	if max < 20*median {
+		t.Errorf("tail looks light: median %v, max %v", median, max)
+	}
+}
+
+func TestGangMixPopulation(t *testing.T) {
+	cfg := scenarioBase(60)
+	cfg.GangSizes = []GangMix{{Size: 1, Weight: 1}, {Size: 2, Weight: 1}, {Size: 4, Weight: 1}, {Size: 8, Weight: 1}}
+	apps, err := GenerateScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	for _, a := range apps {
+		for _, j := range a.Jobs {
+			seen[j.GangSize]++
+		}
+	}
+	for _, size := range []int{1, 2, 4, 8} {
+		if seen[size] == 0 {
+			t.Errorf("gang size %d never sampled: %v", size, seen)
+		}
+	}
+	for size := range seen {
+		switch size {
+		case 1, 2, 4, 8:
+		default:
+			t.Errorf("unexpected gang size %d", size)
+		}
+	}
+}
+
+func TestScenarioConfigValidate(t *testing.T) {
+	bad := scenarioBase(10)
+	bad.Arrival = "fractal"
+	if _, err := GenerateScenario(bad); err == nil {
+		t.Error("unknown arrival pattern should fail")
+	}
+	bad = scenarioBase(10)
+	bad.JobSize = "uniform"
+	if _, err := GenerateScenario(bad); err == nil {
+		t.Error("unknown size pattern should fail")
+	}
+	bad = scenarioBase(10)
+	bad.DiurnalPeakToTrough = 0.5
+	if _, err := GenerateScenario(bad); err == nil {
+		t.Error("peak-to-trough < 1 should fail")
+	}
+	bad = scenarioBase(10)
+	bad.GangSizes = []GangMix{{Size: 0, Weight: 1}}
+	if _, err := GenerateScenario(bad); err == nil {
+		t.Error("zero gang size should fail")
+	}
+	bad = scenarioBase(10)
+	bad.BurstFraction = 1.5
+	if _, err := GenerateScenario(bad); err == nil {
+		t.Error("burst fraction > 1 should fail")
+	}
+}
+
+// A plain ScenarioConfig must produce the same workload family as the base
+// generator: same marginal knobs, valid apps, trace-roundtrippable.
+func TestScenarioDefaultsMatchBaseFamily(t *testing.T) {
+	apps, err := GenerateScenario(scenarioBase(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Summarize(apps)
+	if st.NumApps != 30 || st.NumJobs < 30 {
+		t.Fatalf("stats: %+v", st)
+	}
+	for _, a := range apps {
+		if err := a.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

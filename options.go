@@ -15,10 +15,12 @@ type settings struct {
 	clusterName string
 
 	// Exactly one workload source must be set.
-	apps      []*App
-	spec      *WorkloadSpec
-	trace     *Trace
-	tracePath string
+	apps           []*App
+	spec           *WorkloadSpec
+	trace          *Trace
+	tracePath      string
+	scenarioName   string
+	scenarioParams ScenarioParams
 
 	policyName   string
 	policy       SchedulerPolicy
@@ -79,7 +81,7 @@ func WithApps(apps ...*App) Option {
 			return fmt.Errorf("themis: WithApps needs at least one app")
 		}
 		s.apps = apps
-		s.spec, s.trace, s.tracePath = nil, nil, ""
+		s.spec, s.trace, s.tracePath, s.scenarioName = nil, nil, "", ""
 		return nil
 	}
 }
@@ -90,7 +92,33 @@ func WithApps(apps ...*App) Option {
 func WithWorkload(spec WorkloadSpec) Option {
 	return func(s *settings) error {
 		s.spec = &spec
-		s.apps, s.trace, s.tracePath = nil, nil, ""
+		s.apps, s.trace, s.tracePath, s.scenarioName = nil, nil, "", ""
+		return nil
+	}
+}
+
+// WithScenario generates the workload from a registered scenario (see
+// Scenarios and RegisterScenario) at construction time. The optional params
+// override the scenario's app count and load knobs; a zero params.Seed
+// inherits the simulation seed (WithSeed), so seeded sweeps replay
+// identically across scenarios.
+func WithScenario(name string, params ...ScenarioParams) Option {
+	return func(s *settings) error {
+		if name == "" {
+			return fmt.Errorf("themis: WithScenario needs a name")
+		}
+		if len(params) > 1 {
+			return fmt.Errorf("themis: WithScenario takes at most one params, got %d", len(params))
+		}
+		if _, err := DescribeScenario(name); err != nil {
+			return err
+		}
+		s.scenarioName = name
+		s.scenarioParams = ScenarioParams{}
+		if len(params) == 1 {
+			s.scenarioParams = params[0]
+		}
+		s.apps, s.spec, s.trace, s.tracePath = nil, nil, nil, ""
 		return nil
 	}
 }
@@ -99,7 +127,7 @@ func WithWorkload(spec WorkloadSpec) Option {
 func WithTrace(tr Trace) Option {
 	return func(s *settings) error {
 		s.trace = &tr
-		s.apps, s.spec, s.tracePath = nil, nil, ""
+		s.apps, s.spec, s.tracePath, s.scenarioName = nil, nil, "", ""
 		return nil
 	}
 }
@@ -111,7 +139,7 @@ func WithTraceFile(path string) Option {
 			return fmt.Errorf("themis: WithTraceFile needs a path")
 		}
 		s.tracePath = path
-		s.apps, s.spec, s.trace = nil, nil, nil
+		s.apps, s.spec, s.trace, s.scenarioName = nil, nil, nil, ""
 		return nil
 	}
 }

@@ -89,6 +89,12 @@ func resolveApps(s *settings) ([]*App, error) {
 			spec.Seed = s.seed
 		}
 		return GenerateWorkload(spec)
+	case s.scenarioName != "":
+		params := s.scenarioParams
+		if params.Seed == 0 {
+			params.Seed = s.seed
+		}
+		return GenerateScenario(s.scenarioName, params)
 	case s.trace != nil:
 		return s.trace.ToApps()
 	case s.tracePath != "":
@@ -98,7 +104,7 @@ func resolveApps(s *settings) ([]*App, error) {
 		}
 		return tr.ToApps()
 	default:
-		return nil, fmt.Errorf("themis: no workload configured (use WithApps, WithWorkload, WithTrace or WithTraceFile)")
+		return nil, fmt.Errorf("themis: no workload configured (use WithApps, WithWorkload, WithScenario, WithTrace or WithTraceFile)")
 	}
 }
 

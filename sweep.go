@@ -64,3 +64,79 @@ func specName(spec SweepSpec, i int) string {
 	}
 	return fmt.Sprintf("spec %d", i)
 }
+
+// Grid declaratively spans a sweep over the registries: the cross product of
+// a policy axis, a scenario axis and a seed axis, sharing a base option list.
+// It is the idiomatic way to fan "every scheduler × every workload family"
+// through RunSweep:
+//
+//	specs, err := themis.Grid{
+//		Policies:  themis.Policies(),
+//		Scenarios: []string{"paper-mix", "diurnal", "heavy-tailed"},
+//		Seeds:     []int64{1, 2, 3},
+//		Params:    themis.ScenarioParams{NumApps: 50},
+//	}.Specs()
+//	results, err := themis.RunSweep(ctx, 0, specs)
+type Grid struct {
+	// Policies is the policy axis; empty means just the default ("themis").
+	Policies []string
+	// Scenarios is the workload axis, naming registered scenarios; empty
+	// means the workload comes from Base (e.g. a WithTrace option).
+	Scenarios []string
+	// Seeds is the seed axis; empty means just seed 1. Each seed feeds both
+	// WithSeed and the scenario generation.
+	Seeds []int64
+	// Params is applied to every scenario cell (the cell's seed wins).
+	Params ScenarioParams
+	// Base options are prepended to every spec: cluster, horizon, knobs —
+	// and the workload source when the Scenarios axis is empty.
+	Base []Option
+}
+
+// Specs expands the grid into RunSweep specs, ordered policy-major, then
+// scenario, then seed. Spec names are "policy/scenario/seed=N" with empty
+// axes omitted.
+func (g Grid) Specs() ([]SweepSpec, error) {
+	policies := g.Policies
+	if len(policies) == 0 {
+		policies = []string{"themis"}
+	}
+	scenarios := g.Scenarios
+	if len(scenarios) == 0 {
+		scenarios = []string{""}
+	}
+	seeds := g.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	for _, sc := range scenarios {
+		if sc == "" {
+			continue
+		}
+		if _, err := DescribeScenario(sc); err != nil {
+			return nil, err
+		}
+	}
+	specs := make([]SweepSpec, 0, len(policies)*len(scenarios)*len(seeds))
+	for _, policy := range policies {
+		for _, sc := range scenarios {
+			for _, seed := range seeds {
+				name := policy
+				if sc != "" {
+					name += "/" + sc
+				}
+				name += fmt.Sprintf("/seed=%d", seed)
+				opts := make([]Option, 0, len(g.Base)+3)
+				opts = append(opts, g.Base...)
+				opts = append(opts, WithPolicy(policy), WithSeed(seed))
+				if sc != "" {
+					params := g.Params
+					params.Seed = seed
+					opts = append(opts, WithScenario(sc, params))
+				}
+				specs = append(specs, SweepSpec{Name: name, Options: opts})
+			}
+		}
+	}
+	return specs, nil
+}

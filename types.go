@@ -48,8 +48,24 @@ type (
 	WorkloadSpec = workload.GeneratorConfig
 	// WorkloadStats summarises a generated workload's distributions.
 	WorkloadStats = workload.Stats
+	// ScenarioConfig composes a synthetic scenario: the base generator
+	// distributions plus pluggable arrival, job-size and gang-size models.
+	// Feed one to ComposeWorkload, or register it as a named scenario via
+	// ScenarioFromConfig + RegisterScenario.
+	ScenarioConfig = workload.ScenarioConfig
+	// ArrivalPattern names a scenario's app arrival process.
+	ArrivalPattern = workload.ArrivalPattern
+	// SizePattern names a scenario's job-duration law.
+	SizePattern = workload.SizePattern
+	// GangMix is one weighted entry of a scenario's gang-size population.
+	GangMix = workload.GangMix
 	// Trace is the serialisable form of a workload, loadable across runs.
 	Trace = trace.Trace
+	// TraceFormat names an on-disk trace shape ImportTrace understands.
+	TraceFormat = trace.Format
+	// ImportOptions tune the external-trace importers (time scale, status
+	// filtering, app cap, model stamping).
+	ImportOptions = trace.ImportOptions
 
 	// SchedulerPolicy is the cross-app scheduling discipline the simulator
 	// invokes at every decision point. Use Policy to construct a registered
@@ -87,6 +103,27 @@ const (
 	GPUTypeM60  = cluster.GPUTypeM60
 	GPUTypeP100 = cluster.GPUTypeP100
 	GPUTypeV100 = cluster.GPUTypeV100
+)
+
+// Arrival processes a ScenarioConfig can compose.
+const (
+	ArrivalPoisson = workload.ArrivalPoisson
+	ArrivalDiurnal = workload.ArrivalDiurnal
+	ArrivalBursty  = workload.ArrivalBursty
+)
+
+// Job-duration laws a ScenarioConfig can compose.
+const (
+	SizeLognormal = workload.SizeLognormal
+	SizePareto    = workload.SizePareto
+)
+
+// Trace formats ImportTrace accepts; TraceFormatAuto sniffs the input.
+const (
+	TraceFormatJSON    = trace.FormatJSON
+	TraceFormatPhilly  = trace.FormatPhilly
+	TraceFormatAlibaba = trace.FormatAlibaba
+	TraceFormatAuto    = trace.FormatAuto
 )
 
 // NotFinished marks an app or job that did not complete within a run's

@@ -3,6 +3,7 @@ package themis
 import (
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strings"
 
@@ -75,3 +76,26 @@ func SaveTrace(path string, tr Trace) error { return trace.Save(path, tr) }
 
 // ReadTrace parses a trace from a stream.
 func ReadTrace(r io.Reader) (Trace, error) { return trace.Read(r) }
+
+// ImportTrace normalises an external cluster trace into the native Trace
+// form: TraceFormatPhilly reads Philly-style CSV job logs (jobid, submit
+// time, GPUs, duration, status), TraceFormatAlibaba reads Alibaba-style CSV
+// task logs (job_name, inst_num, plan_gpu, start/end, status), and
+// TraceFormatAuto sniffs the input. The result validates like any native
+// trace and replays through WithTrace.
+func ImportTrace(r io.Reader, format TraceFormat, opts ImportOptions) (Trace, error) {
+	return trace.Import(r, format, opts)
+}
+
+// ImportTraceFile imports an external cluster trace from a file.
+func ImportTraceFile(path string, format TraceFormat, opts ImportOptions) (Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Trace{}, fmt.Errorf("themis: %w", err)
+	}
+	defer f.Close()
+	return trace.Import(f, format, opts)
+}
+
+// TraceFormats lists the concrete trace formats ImportTrace accepts.
+func TraceFormats() []TraceFormat { return trace.Formats() }
