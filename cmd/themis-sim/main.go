@@ -1,13 +1,16 @@
 // Command themis-sim runs one cluster-scheduling simulation — a synthetic
-// trace (or a trace file) replayed against a GPU cluster under a chosen
-// scheduling policy — and prints the fairness and efficiency metrics the
-// paper evaluates.
+// trace, a registered scenario, or a trace file (native JSON or an external
+// Philly/Alibaba-style CSV cluster log) replayed against a GPU cluster under
+// a chosen scheduling policy — and prints the fairness and efficiency
+// metrics the paper evaluates.
 //
 // Examples:
 //
 //	themis-sim -cluster sim -policy themis -apps 50
 //	themis-sim -cluster testbed -policy tiresias -apps 30 -scale 0.2
+//	themis-sim -scenario heavy-tailed -apps 40 -policy themis
 //	themis-sim -trace trace.json -policy gandiva
+//	themis-sim -trace cluster_log.csv -trace-format auto -max-apps 200
 package main
 
 import (
@@ -32,7 +35,11 @@ func main() {
 		lease       = flag.Float64("lease", 20, "GPU lease duration (minutes)")
 		fairness    = flag.Float64("f", 0.8, "Themis fairness knob")
 		bidError    = flag.Float64("biderror", 0, "Themis bid valuation error θ (Figure 11)")
+		scenario    = flag.String("scenario", "", "generate the workload from a registered scenario: "+strings.Join(themis.Scenarios(), ", "))
 		tracePath   = flag.String("trace", "", "replay apps from a trace file instead of generating")
+		traceFormat = flag.String("trace-format", "auto", "trace file format: auto, json, philly or alibaba")
+		maxApps     = flag.Int("max-apps", 0, "cap the number of apps imported from -trace (0: all)")
+		model       = flag.String("model", "", "stamp apps imported from a CSV -trace with this model family")
 		horizon     = flag.Float64("horizon", 0, "simulation horizon in minutes (0 = unlimited)")
 		perApp      = flag.Bool("per-app", false, "also print per-app records")
 	)
@@ -47,9 +54,32 @@ func main() {
 		themis.WithBidError(*bidError),
 		themis.WithHorizon(*horizon),
 	}
-	if *tracePath != "" {
-		opts = append(opts, themis.WithTraceFile(*tracePath))
-	} else {
+	switch {
+	case *tracePath != "" && *scenario != "":
+		fmt.Fprintln(os.Stderr, "themis-sim: -trace and -scenario are mutually exclusive")
+		os.Exit(2)
+	case *tracePath != "":
+		// The importer handles native JSON too (format auto-detection), so
+		// one flag pair covers replaying both trace files and raw cluster
+		// logs; CSV-only knobs are simply unused on JSON input.
+		tr, err := themis.ImportTraceFile(*tracePath, themis.TraceFormat(*traceFormat), themis.ImportOptions{
+			MaxApps: *maxApps,
+			Model:   *model,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "themis-sim:", err)
+			os.Exit(1)
+		}
+		opts = append(opts, themis.WithTrace(tr))
+	case *scenario != "":
+		opts = append(opts, themis.WithScenario(*scenario, themis.ScenarioParams{
+			Seed:             *seed,
+			NumApps:          *numApps,
+			DurationScale:    *scale,
+			ContentionFactor: *contention,
+			MeanInterArrival: *interArr,
+		}))
+	default:
 		spec := themis.DefaultWorkloadSpec()
 		spec.NumApps = *numApps
 		spec.Seed = *seed

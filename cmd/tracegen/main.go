@@ -122,15 +122,19 @@ func runList() error {
 func runImport(args []string) error {
 	fs := flag.NewFlagSet("import", flag.ExitOnError)
 	var (
-		in        = fs.String("in", "", "input file (default: stdin)")
-		format    = fs.String("format", "auto", "input format: auto, json, philly or alibaba")
-		out       = fs.String("out", "", "output trace file (default: stdout)")
-		name      = fs.String("name", "", "trace name recorded in the file (default: format name)")
-		timeScale = fs.Float64("timescale", 0, "minutes per input time unit (0: format convention)")
-		keepAll   = fs.Bool("keep-noncompleted", false, "keep failed/killed rows instead of dropping them")
-		maxApps   = fs.Int("max-apps", 0, "cap the number of imported apps (0: all)")
-		model     = fs.String("model", "", "stamp every app with this model family")
-		summary   = fs.Bool("summary", true, "print trace summary statistics to stderr")
+		in          = fs.String("in", "", "input file (default: stdin)")
+		format      = fs.String("format", "auto", "input format: auto, json, philly or alibaba")
+		out         = fs.String("out", "", "output trace file (default: stdout)")
+		name        = fs.String("name", "", "trace name recorded in the file (default: format name)")
+		timeScale   = fs.Float64("timescale", 0, "minutes per input time unit (0: format convention)")
+		keepAll     = fs.Bool("keep-noncompleted", false, "keep failed/killed rows instead of dropping them")
+		maxApps     = fs.Int("max-apps", 0, "cap the number of imported apps (0: all)")
+		model       = fs.String("model", "", "stamp every app with this model family")
+		profile     = fs.String("placement-profile", "", "stamp every app with a v2 placement block naming this profile")
+		minPerMach  = fs.Int("min-gpus-per-machine", 0, "placement block: per-machine GPU floor for every job (0: none)")
+		maxMachines = fs.Int("max-machines", 0, "placement block: machine-spread cap for every job (0: none)")
+		progress    = fs.Bool("progress", false, "report streaming-import progress to stderr")
+		summary     = fs.Bool("summary", true, "print trace summary statistics to stderr")
 	)
 	fs.Parse(args)
 
@@ -141,15 +145,30 @@ func runImport(args []string) error {
 		MaxApps:          *maxApps,
 		Model:            *model,
 	}
-	var (
-		tr  themis.Trace
-		err error
-	)
-	if *in == "" {
-		tr, err = themis.ImportTrace(os.Stdin, themis.TraceFormat(*format), opts)
-	} else {
-		tr, err = themis.ImportTraceFile(*in, themis.TraceFormat(*format), opts)
+	if *profile != "" || *minPerMach != 0 || *maxMachines != 0 {
+		opts.Placement = &themis.PlacementSpec{
+			Profile:           *profile,
+			MinGPUsPerMachine: *minPerMach,
+			MaxMachines:       *maxMachines,
+		}
 	}
+	var onProgress func(themis.ImportProgress)
+	if *progress {
+		onProgress = func(p themis.ImportProgress) {
+			fmt.Fprintf(os.Stderr, "import: %s %d rows, %d apps, %.1f MB%s\n",
+				p.Format, p.Rows, p.Kept, float64(p.Bytes)/(1<<20), doneSuffix(p.Done))
+		}
+	}
+	src := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	tr, err := themis.ImportTraceStream(src, themis.TraceFormat(*format), opts, onProgress)
 	if err != nil {
 		return err
 	}
@@ -223,6 +242,13 @@ func runDescribe(args []string) error {
 	fmt.Printf("trace %q (version %d)\n", tr.Name, tr.Version)
 	printStats(themis.SummarizeWorkload(materialised))
 	return nil
+}
+
+func doneSuffix(done bool) string {
+	if done {
+		return " (done)"
+	}
+	return ""
 }
 
 func writeTrace(tr themis.Trace, out string) error {

@@ -45,8 +45,20 @@
 // gang mix) extends the library. Real cluster logs normalise into replayable
 // traces through ImportTrace: Philly-style and Alibaba-style CSV adapters
 // plus format auto-detection, validated by the same typed-error contract as
-// native traces (see internal/trace). cmd/tracegen is the CLI workbench for
-// all of this.
+// native traces (see internal/trace). The adapters stream — one bounded
+// pass with an online top-K selection under ImportOptions.MaxApps, so
+// multi-GB logs import without materialising their rows — and
+// ImportTraceStream adds progress callbacks for long imports.
+//
+// Traces use format v2: an optional per-app PlacementSpec block carries the
+// placement-sensitivity profile name and locality constraints (per-machine
+// GPU floor, machine-spread cap) on the wire, and ToApps threads them into
+// the simulator's placement scoring, so a constrained trace replays with
+// locality-sensitive scheduling anywhere. v1 traces load unchanged
+// (lossless upgrade-on-read; SupportedTraceVersions lists both).
+// cmd/tracegen is the CLI workbench for all of this, and cmd/themis-sim
+// replays traces (-trace/-trace-format) and registered scenarios
+// (-scenario) directly.
 //
 // The companion public packages are themis/experiments (one constructor per
 // figure of the paper's evaluation) and themis/daemon (the distributed

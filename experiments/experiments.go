@@ -98,6 +98,40 @@ func Figure10(opts Options) ([]Figure10Row, error) { return experiments.Figure10
 // Figure11 sweeps the bid-valuation error and reports max fairness.
 func Figure11(opts Options) ([]Figure11Row, error) { return experiments.Figure11(opts) }
 
+// TraceStudyRow is one cell of a TraceStudy: a policy replaying the trace,
+// with the run's full Report.
+type TraceStudyRow struct {
+	Policy string
+	Report *themis.Report
+}
+
+// TraceStudy replays one captured or imported trace under each named policy
+// through the parallel sweep engine — the paper's §8.1 replay methodology
+// over any trace file, including v2 traces whose placement blocks carry
+// locality constraints (each run rematerialises fresh apps from the trace,
+// so runs never share mutable state). An empty policy list defaults to every
+// registered policy. Rows come back in policy order regardless of worker
+// count.
+func TraceStudy(ctx context.Context, workers int, tr themis.Trace, policies []string, base ...themis.Option) ([]TraceStudyRow, error) {
+	if len(policies) == 0 {
+		policies = themis.Policies()
+	}
+	specs := make([]themis.SweepSpec, 0, len(policies))
+	for _, policy := range policies {
+		opts := append(append([]themis.Option{}, base...), themis.WithPolicy(policy), themis.WithTrace(tr))
+		specs = append(specs, themis.SweepSpec{Name: policy, Options: opts})
+	}
+	results, err := themis.RunSweep(ctx, workers, specs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: trace study: %w", err)
+	}
+	rows := make([]TraceStudyRow, len(results))
+	for i, res := range results {
+		rows[i] = TraceStudyRow{Policy: policies[i], Report: res.Report}
+	}
+	return rows, nil
+}
+
 // ScenarioStudyRow is one cell of a ScenarioStudy: a policy replaying a
 // registered scenario under one seed, with the run's full Report.
 type ScenarioStudyRow struct {

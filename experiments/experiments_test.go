@@ -40,3 +40,35 @@ func TestScenarioStudy(t *testing.T) {
 		t.Error("unknown scenario should fail")
 	}
 }
+
+func TestTraceStudy(t *testing.T) {
+	tr := themis.Trace{Version: themis.TraceFormatVersion, Name: "study"}
+	for i := 0; i < 4; i++ {
+		tr.Apps = append(tr.Apps, themis.AppSpec{
+			ID:         string(rune('a' + i)),
+			SubmitTime: float64(i * 10),
+			Model:      "VGG16",
+			Placement:  &themis.PlacementSpec{MaxMachines: 1},
+			Jobs:       []themis.JobSpec{{TotalWork: 40, GangSize: 2, Quality: 0.5, Seed: int64(i)}},
+		})
+	}
+	rows, err := experiments.TraceStudy(context.Background(), 2, tr,
+		[]string{"themis", "tiresias"},
+		themis.WithCluster(themis.ClusterTestbed),
+		themis.WithHorizon(4000),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Policy != "themis" || rows[1].Policy != "tiresias" {
+		t.Fatalf("rows: %+v", rows)
+	}
+	for _, row := range rows {
+		if row.Report == nil || row.Report.Summary.AppsTotal != 4 {
+			t.Errorf("policy %s has no usable report: %+v", row.Policy, row.Report)
+		}
+	}
+	if _, err := experiments.TraceStudy(context.Background(), 1, tr, []string{"nope"}); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}

@@ -96,7 +96,7 @@ func (e *RhoEstimator) TShared(now float64, total cluster.Alloc) float64 {
 		// A job whose allocation violates its placement constraint has
 		// S = 0 (§6): it contributes no finish time, so a bid built on such
 		// an allocation values out at an unbounded ρ.
-		if g == 0 || !placement.SatisfiesMinPerMachine(alloc, j.MinGPUsPerMachine) {
+		if g == 0 || !placement.SatisfiesConstraints(alloc, j.MinGPUsPerMachine, j.MaxMachines) {
 			continue
 		}
 		s := e.App.Profile.SOf(e.Topo, alloc)

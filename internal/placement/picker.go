@@ -123,6 +123,36 @@ func SatisfiesMinPerMachine(alloc cluster.Alloc, min int) bool {
 	return true
 }
 
+// SatisfiesMaxMachines reports whether an allocation meets a machine-spread
+// cap: the GPUs span at most max machines. It implements the slot/locality
+// placement constraint a trace's placement block can carry — a gang that
+// synchronises over NVLink only (or must stay rack-dense) cannot make
+// progress when scattered wider, so such allocations value out like a
+// violated per-machine minimum. max <= 0 means unconstrained.
+func SatisfiesMaxMachines(alloc cluster.Alloc, max int) bool {
+	if max <= 0 {
+		return true
+	}
+	used := 0
+	for _, n := range alloc {
+		if n > 0 {
+			used++
+			if used > max {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SatisfiesConstraints combines the per-machine minimum and machine-spread
+// placement checks — the full constraint set a job can carry (§6 and the
+// trace v2 placement block). Allocations violating either constraint have
+// placement sensitivity 0 and cannot make progress.
+func SatisfiesConstraints(alloc cluster.Alloc, minPerMachine, maxMachines int) bool {
+	return SatisfiesMinPerMachine(alloc, minPerMachine) && SatisfiesMaxMachines(alloc, maxMachines)
+}
+
 // machinesByFree returns the machines with free GPUs sorted by descending
 // free count, then ascending ID.
 func machinesByFree(free cluster.Alloc) []cluster.MachineID {

@@ -191,6 +191,36 @@ func TestSplitAmongJobs(t *testing.T) {
 	}
 }
 
+func TestSatisfiesMaxMachines(t *testing.T) {
+	cases := []struct {
+		alloc cluster.Alloc
+		max   int
+		want  bool
+	}{
+		{cluster.Alloc{0: 4}, 1, true},
+		{cluster.Alloc{0: 2, 1: 2}, 1, false},
+		{cluster.Alloc{0: 2, 1: 2}, 2, true},
+		{cluster.Alloc{0: 1, 1: 1, 2: 1}, 2, false},
+		{cluster.Alloc{0: 2, 1: 0}, 1, true}, // zero entries don't count as machines
+		{cluster.Alloc{0: 1, 1: 1}, 0, true}, // 0 = unconstrained
+		{cluster.NewAlloc(), 1, true},
+	}
+	for _, c := range cases {
+		if got := SatisfiesMaxMachines(c.alloc, c.max); got != c.want {
+			t.Errorf("SatisfiesMaxMachines(%v, %d) = %t, want %t", c.alloc, c.max, got, c.want)
+		}
+	}
+	if SatisfiesConstraints(cluster.Alloc{0: 1, 1: 3}, 2, 2) {
+		t.Error("SatisfiesConstraints ignored the per-machine minimum")
+	}
+	if SatisfiesConstraints(cluster.Alloc{0: 2, 1: 2}, 2, 1) {
+		t.Error("SatisfiesConstraints ignored the machine-spread cap")
+	}
+	if !SatisfiesConstraints(cluster.Alloc{0: 2, 1: 2}, 2, 2) {
+		t.Error("SatisfiesConstraints rejected a conforming allocation")
+	}
+}
+
 func TestFigure2ModelsOrder(t *testing.T) {
 	models := Figure2Models()
 	want := []string{"VGG16", "VGG19", "AlexNet", "Inceptionv3", "ResNet50"}

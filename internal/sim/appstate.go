@@ -209,7 +209,7 @@ func (st *AppState) refreshRunnable(now float64) {
 	for _, j := range st.App.ActiveJobs() {
 		alloc := st.jobAllocs[j.ID]
 		g := alloc.Total()
-		if g == 0 || !placement.SatisfiesMinPerMachine(alloc, j.MinGPUsPerMachine) {
+		if g == 0 || !placement.SatisfiesConstraints(alloc, j.MinGPUsPerMachine, j.MaxMachines) {
 			continue
 		}
 		st.runnable = append(st.runnable, runnableJob{job: j, g: g, s: st.App.Profile.SOf(st.topo, alloc)})
@@ -313,7 +313,7 @@ func (st *AppState) nextCompletion(now float64) (float64, bool) {
 	for _, j := range st.App.ActiveJobs() {
 		alloc := st.jobAllocs[j.ID]
 		g := alloc.Total()
-		if g == 0 || !placement.SatisfiesMinPerMachine(alloc, j.MinGPUsPerMachine) {
+		if g == 0 || !placement.SatisfiesConstraints(alloc, j.MinGPUsPerMachine, j.MaxMachines) {
 			continue
 		}
 		s := st.App.Profile.SOf(st.topo, alloc)

@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"encoding/csv"
 	"fmt"
 	"io"
 	"sort"
@@ -25,16 +24,25 @@ import (
 // scale. Non-completed rows drop unless KeepNonCompleted is set ("Terminated"
 // is Alibaba's completed state), and rows with non-positive durations are
 // always dropped. Apps are sorted by submission time and rebased to 0.
+//
+// The pass streams rows off a reused record buffer, but — unlike the
+// row-per-job Philly adapter — it must group tasks by job before it knows
+// any app's submission time (the minimum over its task rows, which later
+// rows can lower), so the MaxApps cap applies after grouping and memory is
+// proportional to the kept task rows, not to the raw input: filtered and
+// unparsable rows are never materialised. Progress is reported through
+// opts.Progress, with Kept counting the distinct jobs seen so far.
 func ImportAlibaba(r io.Reader, opts ImportOptions) (Trace, error) {
+	if err := opts.Validate(); err != nil {
+		return Trace{}, err
+	}
 	scale := opts.TimeScale
 	if scale == 0 {
 		scale = 1.0 / 60 // Alibaba-style rows carry Unix seconds
 	}
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = -1
-	cr.TrimLeadingSpace = true
+	sc := newRowScanner(r, FormatAlibaba, opts)
 
-	header, err := cr.Read()
+	header, err := sc.header()
 	if err != nil {
 		return Trace{}, fmt.Errorf("trace: alibaba: reading header: %w", err)
 	}
@@ -48,6 +56,12 @@ func ImportAlibaba(r io.Reader, opts ImportOptions) (Trace, error) {
 	if jobCol < 0 || startCol < 0 || endCol < 0 || gpuCol < 0 {
 		return Trace{}, fmt.Errorf("trace: alibaba: header %v missing job_name/start_time/end_time/plan_gpu", header)
 	}
+	maxCol := jobCol
+	for _, c := range []int{startCol, endCol, gpuCol} {
+		if c > maxCol {
+			maxCol = c
+		}
+	}
 
 	type taskRow struct {
 		name  string
@@ -58,7 +72,7 @@ func ImportAlibaba(r io.Reader, opts ImportOptions) (Trace, error) {
 	var order []string
 	line := 1
 	for {
-		row, err := cr.Read()
+		row, err := sc.next(func() int { return len(byJob) })
 		if err == io.EOF {
 			break
 		}
@@ -66,13 +80,7 @@ func ImportAlibaba(r io.Reader, opts ImportOptions) (Trace, error) {
 		if err != nil {
 			return Trace{}, fmt.Errorf("trace: alibaba: line %d: %w", line, err)
 		}
-		max := jobCol
-		for _, c := range []int{startCol, endCol, gpuCol} {
-			if c > max {
-				max = c
-			}
-		}
-		if len(row) <= max {
+		if len(row) <= maxCol {
 			continue
 		}
 		if statusCol >= 0 && statusCol < len(row) && !completedStatus(row[statusCol]) && !opts.KeepNonCompleted {
@@ -111,6 +119,9 @@ func ImportAlibaba(r io.Reader, opts ImportOptions) (Trace, error) {
 		if work <= 0 || start < 0 || !isFinite(work) || !isFinite(start*scale) {
 			continue
 		}
+		// The record buffer is reused by the next read: copy the cells
+		// retained beyond this iteration.
+		job, task = strings.Clone(job), strings.Clone(task)
 		if _, seen := byJob[job]; !seen {
 			order = append(order, job)
 		}
@@ -145,9 +156,11 @@ func ImportAlibaba(r io.Reader, opts ImportOptions) (Trace, error) {
 		tr.Apps = append(tr.Apps, spec)
 	}
 	normalizeImported(&tr, opts.MaxApps)
+	sc.finish(len(tr.Apps))
 	if len(tr.Apps) == 0 {
 		return Trace{}, fmt.Errorf("trace: alibaba: no importable rows")
 	}
+	stampPlacement(&tr, opts.Placement)
 	if err := tr.Validate(); err != nil {
 		return Trace{}, err
 	}

@@ -44,6 +44,37 @@ func (e *DuplicateAppIDError) Error() string {
 	return fmt.Sprintf("trace: duplicate app ID %q (entries %d and %d)", e.ID, e.First, e.Second)
 }
 
+// PlacementError reports an invalid v2 placement block: one attached to a
+// trace declaring version 1, carrying negative constraints, or naming a
+// profile absent from the catalog. Placement blocks exist to pin an app's
+// placement behaviour on the wire, so defects are rejected at decode time
+// instead of silently degrading to unconstrained scheduling.
+type PlacementError struct {
+	// App is the owning app's ID.
+	App    string
+	Reason string
+}
+
+func (e *PlacementError) Error() string {
+	return fmt.Sprintf("trace: app %s placement block: %s", e.App, e.Reason)
+}
+
+// OptionError reports an ImportOptions field whose value the importers
+// cannot honour (negative or non-finite TimeScale, negative MaxApps, …).
+// Before this check existed such values were accepted and silently produced
+// garbage timestamps; now they fail fast with the offending field named.
+type OptionError struct {
+	// Option is the ImportOptions field name.
+	Option string
+	// Value is the rejected value, formatted.
+	Value  string
+	Reason string
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("trace: import option %s=%s: %s", e.Option, e.Value, e.Reason)
+}
+
 // JobError reports a structurally invalid job within an app entry.
 type JobError struct {
 	// App is the owning app's ID; Index is the job's position within it.

@@ -27,6 +27,15 @@ func FuzzTraceDecode(f *testing.F) {
 	f.Add([]byte(`{"version":1,"apps":[{"id":"a","jobs":[{"total_work":1,"gang_size":1}]},{"id":"a","jobs":[{"total_work":1,"gang_size":1}]}]}`))
 	f.Add([]byte(`not json at all`))
 	f.Add([]byte(`{"version":1,"apps":[{"id":"a","jobs":[{"total_work":-1,"gang_size":0}]}]}`))
+	// v2 placement-block terrain: valid blocks, blocks smuggled into v1,
+	// hostile constraint values and unknown profiles.
+	f.Add([]byte(`{"version":2,"apps":[{"id":"a","placement":{"profile":"VGG16","min_gpus_per_machine":2,"max_machines":1},"jobs":[{"total_work":1,"gang_size":4}]}]}`))
+	f.Add([]byte(`{"version":2,"apps":[{"id":"a","placement":{},"jobs":[{"total_work":1,"gang_size":1,"max_machines":3}]}]}`))
+	f.Add([]byte(`{"version":1,"apps":[{"id":"a","placement":{"max_machines":1},"jobs":[{"total_work":1,"gang_size":1}]}]}`))
+	f.Add([]byte(`{"version":1,"apps":[{"id":"a","jobs":[{"total_work":1,"gang_size":1,"max_machines":1}]}]}`))
+	f.Add([]byte(`{"version":2,"apps":[{"id":"a","placement":{"profile":"NoSuchNet"},"jobs":[{"total_work":1,"gang_size":1}]}]}`))
+	f.Add([]byte(`{"version":2,"apps":[{"id":"a","placement":{"min_gpus_per_machine":-4,"max_machines":-9000000000000000000},"jobs":[{"total_work":1,"gang_size":1}]}]}`))
+	f.Add([]byte(`{"version":2,"apps":[{"id":"a","placement":{"max_machines":9000000000000000000},"jobs":[{"total_work":1,"gang_size":1,"min_gpus_per_machine":9000000000000000000}]}]}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := Read(bytes.NewReader(data))
@@ -36,6 +45,10 @@ func FuzzTraceDecode(f *testing.F) {
 		// Accepted input must be structurally valid...
 		if err := tr.Validate(); err != nil {
 			t.Fatalf("Read accepted a trace Validate rejects: %v", err)
+		}
+		// ...upgraded to the current format version (lossless v1 lift)...
+		if tr.Version != FormatVersion {
+			t.Fatalf("Read returned version %d, want upgrade to %d", tr.Version, FormatVersion)
 		}
 		// ...and round-trip bit-for-bit through encode→decode.
 		var buf bytes.Buffer
@@ -60,6 +73,9 @@ func importContract(t *testing.T, tr Trace) {
 	t.Helper()
 	if err := tr.Validate(); err != nil {
 		t.Fatalf("import produced an invalid trace: %v", err)
+	}
+	if tr.Version != FormatVersion {
+		t.Fatalf("import produced format version %d, want %d", tr.Version, FormatVersion)
 	}
 	if _, err := tr.ToApps(); err != nil {
 		t.Fatalf("import produced an unmaterialisable trace: %v", err)
@@ -94,6 +110,33 @@ func FuzzPhillyImport(f *testing.F) {
 			return
 		}
 		importContract(t, tr)
+		// The streaming top-K path must keep the same leading apps as the
+		// uncapped pass, and placement stamping must stay valid, on every
+		// input the importer accepts.
+		capped, err := ImportPhilly(bytes.NewReader(data), ImportOptions{
+			MaxApps:   2,
+			Placement: &PlacementSpec{Profile: "VGG16", MinGPUsPerMachine: 1, MaxMachines: 2},
+		})
+		if err != nil {
+			t.Fatalf("capped+stamped re-import of accepted input failed: %v", err)
+		}
+		importContract(t, capped)
+		want := tr.Apps
+		if len(want) > 2 {
+			want = want[:2]
+		}
+		if len(capped.Apps) != len(want) {
+			t.Fatalf("top-K kept %d apps, full import's head has %d", len(capped.Apps), len(want))
+		}
+		for i := range want {
+			if capped.Apps[i].ID != want[i].ID || capped.Apps[i].SubmitTime != want[i].SubmitTime {
+				t.Fatalf("top-K app %d = %s@%v, full sort has %s@%v", i,
+					capped.Apps[i].ID, capped.Apps[i].SubmitTime, want[i].ID, want[i].SubmitTime)
+			}
+			if capped.Apps[i].Placement == nil {
+				t.Fatalf("app %d lost its stamped placement block", i)
+			}
+		}
 	})
 }
 

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"themis/internal/workload"
+)
+
+// updateGolden regenerates the cross-version golden files:
+//
+//	go test ./internal/trace/ -run TestV1CrossVersionGolden -update-golden
+//
+// Only run it on a build whose ToApps output is known-good; the checked-in
+// files pin the pre-v2-bump materialisation of every v1 trace.
+var updateGolden = flag.Bool("update-golden", false, "rewrite the v1 cross-version golden files")
+
+// dumpApps renders materialised apps in a stable, full-precision text form —
+// every field ToApps is allowed to set — so the golden comparison is
+// byte-exact.
+func dumpApps(apps []*workload.App) string {
+	var b strings.Builder
+	for _, a := range apps {
+		fmt.Fprintf(&b, "app %s submit=%v profile=%s network=%t\n", a.ID, a.SubmitTime, a.Profile.Name, a.Profile.NetworkIntensive)
+		for _, j := range a.Jobs {
+			fmt.Fprintf(&b, "  job %s work=%v gang=%d maxpar=%d mingpm=%d maxmach=%d iters=%d quality=%v seed=%d\n",
+				j.ID, j.TotalWork, j.GangSize, j.MaxParallelism, j.MinGPUsPerMachine, j.MaxMachines, j.TotalIterations, j.Quality, j.Seed)
+		}
+	}
+	return b.String()
+}
+
+// Every checked-in v1 trace must materialise byte-identically to its
+// pre-version-bump ToApps output (the golden file), and its decoded form
+// must re-encode as valid v2 accepted by Read.
+func TestV1CrossVersionGolden(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "v1", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no v1 golden traces found under testdata/v1")
+	}
+	for _, path := range paths {
+		name := strings.TrimSuffix(filepath.Base(path), ".json")
+		t.Run(name, func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Contains(raw, []byte(`"version": 1`)) {
+				t.Fatalf("%s does not declare format version 1; the corpus must stay v1", path)
+			}
+			tr, err := Read(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatalf("v1 trace no longer decodes: %v", err)
+			}
+			if tr.Version != FormatVersion {
+				t.Errorf("Read left version %d, want lossless upgrade to %d", tr.Version, FormatVersion)
+			}
+
+			apps, err := tr.ToApps()
+			if err != nil {
+				t.Fatalf("v1 trace no longer materialises: %v", err)
+			}
+			got := dumpApps(apps)
+			goldenPath := strings.TrimSuffix(path, ".json") + ".apps.golden"
+			if *updateGolden {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update-golden to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("v1 trace materialises differently than before the v2 bump\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+
+			// Write must emit valid v2 accepted by Read, losslessly.
+			var buf bytes.Buffer
+			if err := tr.Write(&buf); err != nil {
+				t.Fatal(err)
+			}
+			back, err := Read(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("upgraded trace does not re-read as v2: %v", err)
+			}
+			if !reflect.DeepEqual(tr, back) {
+				t.Fatalf("v1→v2 round trip changed the trace:\nfirst:  %+v\nsecond: %+v", tr, back)
+			}
+			apps2, err := back.ToApps()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dumpApps(apps2) != got {
+				t.Error("materialisation differs after the v2 round trip")
+			}
+		})
+	}
+}

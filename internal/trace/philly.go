@@ -1,10 +1,8 @@
 package trace
 
 import (
-	"encoding/csv"
 	"fmt"
 	"io"
-	"sort"
 	"strconv"
 	"strings"
 	"unicode/utf8"
@@ -24,18 +22,26 @@ import (
 // becomes a single-job app whose serial work is duration × GPUs; rows that
 // did not complete are dropped unless KeepNonCompleted is set, and rows with
 // less than one GPU (CPU-only entries) or a non-positive duration are always
-// dropped. Apps are sorted by
-// submission time and shifted so the first app arrives at 0.
+// dropped. Apps are sorted by submission time and shifted so the first app
+// arrives at 0.
+//
+// The pass streams: rows are parsed one at a time off a reused record buffer
+// and fed to an online top-K-by-submit-time selection, so importing a
+// multi-GB log with MaxApps set costs O(MaxApps) memory — the rows beyond
+// the cap are never materialised. Without a cap, memory is the size of the
+// resulting trace (every kept app), still independent of the raw input size
+// when filtering drops rows. Progress is reported through opts.Progress.
 func ImportPhilly(r io.Reader, opts ImportOptions) (Trace, error) {
+	if err := opts.Validate(); err != nil {
+		return Trace{}, err
+	}
 	scale := opts.TimeScale
 	if scale == 0 {
 		scale = 1 // Philly-style rows carry minutes already
 	}
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = -1
-	cr.TrimLeadingSpace = true
+	sc := newRowScanner(r, FormatPhilly, opts)
 
-	header, err := cr.Read()
+	header, err := sc.header()
 	if err != nil {
 		return Trace{}, fmt.Errorf("trace: philly: reading header: %w", err)
 	}
@@ -47,14 +53,21 @@ func ImportPhilly(r io.Reader, opts ImportOptions) (Trace, error) {
 	if idCol < 0 || submitCol < 0 || gpuCol < 0 || durCol < 0 {
 		return Trace{}, fmt.Errorf("trace: philly: header %v missing jobid/submit_time/gpus/duration", header)
 	}
+	maxCol := idCol
+	for _, c := range []int{submitCol, gpuCol, durCol} {
+		if c > maxCol {
+			maxCol = c
+		}
+	}
 
 	tr := Trace{Version: FormatVersion, Name: opts.Name}
 	if tr.Name == "" {
 		tr.Name = string(FormatPhilly)
 	}
+	keep := newTopKApps(opts.MaxApps)
 	line := 1
 	for {
-		row, err := cr.Read()
+		row, err := sc.next(keep.len)
 		if err == io.EOF {
 			break
 		}
@@ -62,13 +75,7 @@ func ImportPhilly(r io.Reader, opts ImportOptions) (Trace, error) {
 		if err != nil {
 			return Trace{}, fmt.Errorf("trace: philly: line %d: %w", line, err)
 		}
-		max := idCol
-		for _, c := range []int{submitCol, gpuCol, durCol} {
-			if c > max {
-				max = c
-			}
-		}
-		if len(row) <= max {
+		if len(row) <= maxCol {
 			continue // short row: treat like a malformed log line and skip
 		}
 		if statusCol >= 0 && statusCol < len(row) && !completedStatus(row[statusCol]) && !opts.KeepNonCompleted {
@@ -94,7 +101,10 @@ func ImportPhilly(r io.Reader, opts ImportOptions) (Trace, error) {
 		if work <= 0 || submit < 0 || !isFinite(work) || !isFinite(submit*scale) {
 			continue
 		}
-		tr.Apps = append(tr.Apps, AppSpec{
+		// The record buffer is reused by the next read: copy the one cell
+		// retained beyond this iteration.
+		id = strings.Clone(id)
+		keep.add(AppSpec{
 			ID:         id,
 			SubmitTime: submit * scale,
 			Model:      opts.Model,
@@ -106,34 +116,15 @@ func ImportPhilly(r io.Reader, opts ImportOptions) (Trace, error) {
 			}},
 		})
 	}
-	normalizeImported(&tr, opts.MaxApps)
+	tr.Apps = keep.finish()
+	rebaseApps(tr.Apps)
+	sc.finish(len(tr.Apps))
 	if len(tr.Apps) == 0 {
 		return Trace{}, fmt.Errorf("trace: philly: no importable rows")
 	}
+	stampPlacement(&tr, opts.Placement)
 	if err := tr.Validate(); err != nil {
 		return Trace{}, err
 	}
 	return tr, nil
-}
-
-// normalizeImported sorts apps by submission time (ID-tie-broken), rebases
-// the earliest arrival to 0 and applies the MaxApps cap. Shared by the CSV
-// adapters so every imported trace replays from t = 0 deterministically.
-func normalizeImported(tr *Trace, maxApps int) {
-	sort.SliceStable(tr.Apps, func(i, j int) bool {
-		if tr.Apps[i].SubmitTime != tr.Apps[j].SubmitTime {
-			return tr.Apps[i].SubmitTime < tr.Apps[j].SubmitTime
-		}
-		return tr.Apps[i].ID < tr.Apps[j].ID
-	})
-	if maxApps > 0 && len(tr.Apps) > maxApps {
-		tr.Apps = tr.Apps[:maxApps]
-	}
-	if len(tr.Apps) == 0 {
-		return
-	}
-	base := tr.Apps[0].SubmitTime
-	for i := range tr.Apps {
-		tr.Apps[i].SubmitTime -= base
-	}
 }

@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"container/heap"
+	"encoding/csv"
+	"io"
+	"sort"
+)
+
+// This file holds the streaming-import machinery shared by the CSV adapters:
+// a byte-counting reader feeding progress reports, a progress emitter, and
+// an online top-K-by-submit-time selector that bounds the Philly pass's
+// memory to O(MaxApps) instead of materialising every row before sorting.
+
+// ImportProgress is one streaming-import progress snapshot, delivered to
+// ImportOptions.Progress on the importing goroutine.
+type ImportProgress struct {
+	// Format is the concrete format being parsed (never FormatAuto).
+	Format Format
+	// Rows counts the data rows scanned so far (header excluded), including
+	// rows that were filtered or unparsable. Native JSON input has no data
+	// rows; its single Done snapshot reports decoded app entries instead.
+	Rows int64
+	// Kept counts the candidate apps currently retained by the pass. Under
+	// a MaxApps cap it never exceeds the cap for row-per-job formats.
+	Kept int64
+	// Bytes counts the input bytes consumed so far.
+	Bytes int64
+	// Done marks the final snapshot, emitted once at end of input.
+	Done bool
+}
+
+// countingReader counts the bytes handed to the CSV layer so progress
+// snapshots can report input position without the caller pre-measuring the
+// stream (it may be a pipe or a multi-GB file).
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// rowScanner couples the CSV reader with progress accounting for one
+// streaming pass. Records are reused between Read calls (csv.ReuseRecord),
+// so row handlers must copy any cell they retain.
+type rowScanner struct {
+	cr     *csv.Reader
+	count  *countingReader
+	format Format
+	emit   func(ImportProgress)
+	every  int64
+	rows   int64
+}
+
+// newRowScanner builds the streaming CSV pipeline over r: byte counting,
+// lazy quoting tolerance matching the old adapters (FieldsPerRecord -1,
+// TrimLeadingSpace), record reuse for bounded per-row allocation, and the
+// progress emitter configured from opts.
+func newRowScanner(r io.Reader, format Format, opts ImportOptions) *rowScanner {
+	count := &countingReader{r: r}
+	cr := csv.NewReader(count)
+	cr.FieldsPerRecord = -1
+	cr.TrimLeadingSpace = true
+	cr.ReuseRecord = true
+	every := opts.ProgressEvery
+	if every == 0 {
+		every = defaultProgressEvery
+	}
+	return &rowScanner{cr: cr, count: count, format: format, emit: opts.Progress, every: every}
+}
+
+// header reads the header row, returning a copy safe to retain.
+func (s *rowScanner) header() ([]string, error) {
+	row, err := s.cr.Read()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(row))
+	copy(out, row)
+	return out, nil
+}
+
+// next reads one data row, counting it and emitting a progress snapshot on
+// the configured interval. The returned slice is only valid until the next
+// call.
+func (s *rowScanner) next(kept func() int) ([]string, error) {
+	row, err := s.cr.Read()
+	if err != nil {
+		return nil, err
+	}
+	s.rows++
+	if s.emit != nil && s.rows%s.every == 0 {
+		s.emit(ImportProgress{Format: s.format, Rows: s.rows, Kept: int64(kept()), Bytes: s.count.n})
+	}
+	return row, nil
+}
+
+// finish emits the final (Done) progress snapshot.
+func (s *rowScanner) finish(kept int) {
+	if s.emit != nil {
+		s.emit(ImportProgress{Format: s.format, Rows: s.rows, Kept: int64(kept), Bytes: s.count.n, Done: true})
+	}
+}
+
+// appLess is the import ordering: submission time, ID tie-broken. It is the
+// same order normalizeImported always sorted by, now also the top-K
+// selection key.
+func appLess(a, b *AppSpec) bool {
+	if a.SubmitTime != b.SubmitTime {
+		return a.SubmitTime < b.SubmitTime
+	}
+	return a.ID < b.ID
+}
+
+// topKApps retains the K smallest apps by (submit time, ID) online, using a
+// max-heap of size K: a new app either evicts the current maximum or is
+// dropped, so a capped import of N rows costs O(N log K) time and O(K)
+// memory. K <= 0 disables the cap and retains everything (the output trace
+// holds every app anyway, so memory is the size of the result either way).
+//
+// Ties at the boundary keep the first-encountered app, matching the
+// sort.SliceStable + truncate behaviour the adapters previously had.
+type topKApps struct {
+	k    int
+	apps appMaxHeap
+}
+
+func newTopKApps(k int) *topKApps { return &topKApps{k: k} }
+
+// add offers one app to the selection.
+func (t *topKApps) add(spec AppSpec) {
+	if t.k <= 0 {
+		t.apps = append(t.apps, spec)
+		return
+	}
+	if len(t.apps) < t.k {
+		heap.Push(&t.apps, spec)
+		return
+	}
+	if appLess(&spec, &t.apps[0]) {
+		t.apps[0] = spec
+		heap.Fix(&t.apps, 0)
+	}
+}
+
+// len reports how many apps are currently retained.
+func (t *topKApps) len() int { return len(t.apps) }
+
+// finish returns the retained apps sorted by (submit time, ID), consuming
+// the selector.
+func (t *topKApps) finish() []AppSpec {
+	apps := []AppSpec(t.apps)
+	t.apps = nil
+	sort.SliceStable(apps, func(i, j int) bool { return appLess(&apps[i], &apps[j]) })
+	return apps
+}
+
+// appMaxHeap is a max-heap of AppSpecs under appLess (the root is the
+// largest retained app — the next eviction candidate).
+type appMaxHeap []AppSpec
+
+func (h appMaxHeap) Len() int            { return len(h) }
+func (h appMaxHeap) Less(i, j int) bool  { return appLess(&h[j], &h[i]) }
+func (h appMaxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *appMaxHeap) Push(x interface{}) { *h = append(*h, x.(AppSpec)) }
+func (h *appMaxHeap) Pop() interface{} {
+	old := *h
+	n := len(old) - 1
+	x := old[n]
+	*h = old[:n]
+	return x
+}
+
+// rebaseApps shifts already-sorted apps so the earliest arrival is at t = 0.
+func rebaseApps(apps []AppSpec) {
+	if len(apps) == 0 {
+		return
+	}
+	base := apps[0].SubmitTime
+	for i := range apps {
+		apps[i].SubmitTime -= base
+	}
+}
+
+// normalizeImported sorts apps by submission time (ID-tie-broken), rebases
+// the earliest arrival to 0 and applies the MaxApps cap. Used by the
+// grouping (Alibaba-style) adapter, whose apps only exist after the full
+// pass; the row-per-job adapter caps online through topKApps instead.
+func normalizeImported(tr *Trace, maxApps int) {
+	sort.SliceStable(tr.Apps, func(i, j int) bool { return appLess(&tr.Apps[i], &tr.Apps[j]) })
+	if maxApps > 0 && len(tr.Apps) > maxApps {
+		tr.Apps = tr.Apps[:maxApps]
+	}
+	rebaseApps(tr.Apps)
+}

@@ -16,12 +16,24 @@ import (
 
 // FormatVersion identifies the current on-disk trace format. Writers always
 // emit it; readers accept any version in SupportedVersions.
-const FormatVersion = 1
+//
+// Version history:
+//
+//	v1 — apps with per-job work/gang/parallelism fields.
+//	v2 — adds the optional per-app placement block (PlacementSpec: profile
+//	     name, per-machine GPU minimum, machine-spread cap) and the per-job
+//	     max_machines constraint. v1 is a strict subset of v2, so v1 traces
+//	     upgrade losslessly on read.
+const FormatVersion = 2
+
+// formatVersionV1 is the pre-placement-block format, still replayable.
+const formatVersionV1 = 1
 
 // SupportedVersions lists the format versions this build can replay, oldest
-// first. Today the v1 JSON shape is the only one, but importers and readers
-// negotiate through this list so a future v2 can keep v1 traces loadable.
-func SupportedVersions() []int { return []int{FormatVersion} }
+// first. Readers negotiate through this list: v1 traces (no placement data)
+// decode losslessly under v2 code, and anything else is rejected with an
+// UnsupportedVersionError at decode time.
+func SupportedVersions() []int { return []int{formatVersionV1, FormatVersion} }
 
 // versionSupported reports whether v is a replayable format version.
 func versionSupported(v int) bool {
@@ -42,10 +54,35 @@ type Trace struct {
 
 // AppSpec describes one application in a trace.
 type AppSpec struct {
-	ID         string    `json:"id"`
-	SubmitTime float64   `json:"submit_time"`
-	Model      string    `json:"model"`
-	Jobs       []JobSpec `json:"jobs"`
+	ID         string  `json:"id"`
+	SubmitTime float64 `json:"submit_time"`
+	Model      string  `json:"model"`
+	// Placement is the optional v2 placement block: the app's
+	// placement-sensitivity profile and the locality constraints its jobs
+	// default to. Traces declaring version 1 must not carry it.
+	Placement *PlacementSpec `json:"placement,omitempty"`
+	Jobs      []JobSpec      `json:"jobs"`
+}
+
+// PlacementSpec is the v2 per-app placement block: it puts the constraints
+// that previously had to be injected at import time (ImportOptions.Model) on
+// the wire, so a trace replays with locality-sensitive scheduling anywhere.
+type PlacementSpec struct {
+	// Profile names a placement-sensitivity profile from the catalog (e.g.
+	// "VGG16", "generic-network"). Unlike AppSpec.Model — which falls back
+	// to a generic profile for unknown names — a placement block naming an
+	// unknown profile is a validation error: the block exists to pin
+	// placement behaviour, so a typo must not silently degrade it. Empty
+	// defers to Model.
+	Profile string `json:"profile,omitempty"`
+	// MinGPUsPerMachine is the default per-machine GPU floor for every job
+	// of the app that does not carry its own (§6: machines contributing
+	// fewer GPUs stall the gang). Zero means unconstrained.
+	MinGPUsPerMachine int `json:"min_gpus_per_machine,omitempty"`
+	// MaxMachines is the default machine-spread cap for every job of the
+	// app that does not carry its own: the gang may span at most this many
+	// machines. Zero means unconstrained.
+	MaxMachines int `json:"max_machines,omitempty"`
 }
 
 // JobSpec describes one hyperparameter trial.
@@ -54,9 +91,12 @@ type JobSpec struct {
 	GangSize          int     `json:"gang_size"`
 	MaxParallelism    int     `json:"max_parallelism,omitempty"`
 	MinGPUsPerMachine int     `json:"min_gpus_per_machine,omitempty"`
-	TotalIterations   int     `json:"total_iterations,omitempty"`
-	Quality           float64 `json:"quality"`
-	Seed              int64   `json:"seed"`
+	// MaxMachines caps how many machines the job's gang may span (v2).
+	// Traces declaring version 1 must not carry it.
+	MaxMachines     int     `json:"max_machines,omitempty"`
+	TotalIterations int     `json:"total_iterations,omitempty"`
+	Quality         float64 `json:"quality"`
+	Seed            int64   `json:"seed"`
 }
 
 // FromApps converts in-memory apps into a serialisable trace.
@@ -70,6 +110,7 @@ func FromApps(name string, apps []*workload.App) Trace {
 				GangSize:          j.GangSize,
 				MaxParallelism:    j.MaxParallelism,
 				MinGPUsPerMachine: j.MinGPUsPerMachine,
+				MaxMachines:       j.MaxMachines,
 				TotalIterations:   j.TotalIterations,
 				Quality:           j.Quality,
 				Seed:              j.Seed,
@@ -81,9 +122,11 @@ func FromApps(name string, apps []*workload.App) Trace {
 }
 
 // Validate checks the trace header and app entries against the format
-// contract: a supported version, non-empty unique app IDs, and positive
-// work/gang on every job. Violations surface as the typed errors in
-// errors.go, so callers can distinguish a version mismatch from a
+// contract: a supported version, non-empty unique app IDs, positive
+// work/gang and non-negative constraints on every job, and — version-aware —
+// that v2-only fields (the placement block, per-job max_machines) appear
+// only in traces declaring version 2. Violations surface as the typed errors
+// in errors.go, so callers can distinguish a version mismatch from a
 // structural defect.
 func (t Trace) Validate() error {
 	if !versionSupported(t.Version) {
@@ -98,6 +141,9 @@ func (t Trace) Validate() error {
 			return &DuplicateAppIDError{ID: spec.ID, First: first, Second: i}
 		}
 		seen[spec.ID] = i
+		if err := spec.validatePlacement(t.Version); err != nil {
+			return err
+		}
 		if len(spec.Jobs) == 0 {
 			return &JobError{App: spec.ID, Index: 0, Reason: "app has no jobs"}
 		}
@@ -105,24 +151,67 @@ func (t Trace) Validate() error {
 			if js.TotalWork <= 0 || js.GangSize <= 0 {
 				return &JobError{App: spec.ID, Index: j, Reason: fmt.Sprintf("invalid work/gang %v/%d", js.TotalWork, js.GangSize)}
 			}
+			if js.MinGPUsPerMachine < 0 {
+				return &JobError{App: spec.ID, Index: j, Reason: fmt.Sprintf("negative min_gpus_per_machine %d", js.MinGPUsPerMachine)}
+			}
+			if js.MaxMachines < 0 {
+				return &JobError{App: spec.ID, Index: j, Reason: fmt.Sprintf("negative max_machines %d", js.MaxMachines)}
+			}
+			if t.Version < FormatVersion && js.MaxMachines != 0 {
+				return &JobError{App: spec.ID, Index: j, Reason: fmt.Sprintf("max_machines requires format version %d, trace declares %d", FormatVersion, t.Version)}
+			}
 		}
 	}
 	return nil
 }
 
+// validatePlacement checks an app's placement block against the declared
+// format version: present only under v2, constraint fields non-negative, and
+// the profile name (when set) resolvable in the catalog.
+func (spec AppSpec) validatePlacement(version int) error {
+	p := spec.Placement
+	if p == nil {
+		return nil
+	}
+	if version < FormatVersion {
+		return &PlacementError{App: spec.ID, Reason: fmt.Sprintf("placement block requires format version %d, trace declares %d", FormatVersion, version)}
+	}
+	if p.MinGPUsPerMachine < 0 {
+		return &PlacementError{App: spec.ID, Reason: fmt.Sprintf("negative min_gpus_per_machine %d", p.MinGPUsPerMachine)}
+	}
+	if p.MaxMachines < 0 {
+		return &PlacementError{App: spec.ID, Reason: fmt.Sprintf("negative max_machines %d", p.MaxMachines)}
+	}
+	if p.Profile != "" {
+		if _, ok := placement.ByName(p.Profile); !ok {
+			return &PlacementError{App: spec.ID, Reason: fmt.Sprintf("unknown placement profile %q", p.Profile)}
+		}
+	}
+	return nil
+}
+
+// Upgrade losslessly lifts a validated trace to the current format version
+// in place. v1 is a strict subset of v2 (no placement data), so upgrading
+// only rewrites the version header; Read applies it so every decoded trace
+// is current-format and Write round-trips bit-identically.
+func (t *Trace) Upgrade() {
+	if t.Version < FormatVersion {
+		t.Version = FormatVersion
+	}
+}
+
 // ToApps materialises the trace back into runnable apps with fresh runtime
-// state. Unknown model names fall back to the generic compute-intensive
-// profile.
+// state. The app's profile resolves from the placement block's Profile when
+// present (validated against the catalog), else from Model — unknown model
+// names fall back to the generic compute-intensive profile. Placement-block
+// constraints apply as defaults to every job that does not carry its own.
 func (t Trace) ToApps() ([]*workload.App, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
 	var apps []*workload.App
 	for _, spec := range t.Apps {
-		profile, ok := placement.ByName(spec.Model)
-		if !ok {
-			profile = placement.GenericComputeIntensive
-		}
+		profile := spec.resolveProfile()
 		var jobs []*workload.Job
 		for i, js := range spec.Jobs {
 			j := workload.NewJob(workload.AppID(spec.ID), i, js.TotalWork, js.GangSize)
@@ -131,6 +220,17 @@ func (t Trace) ToApps() ([]*workload.App, error) {
 			}
 			if js.MinGPUsPerMachine > 0 {
 				j.MinGPUsPerMachine = js.MinGPUsPerMachine
+			}
+			if js.MaxMachines > 0 {
+				j.MaxMachines = js.MaxMachines
+			}
+			if p := spec.Placement; p != nil {
+				if j.MinGPUsPerMachine == 0 && p.MinGPUsPerMachine > 0 {
+					j.MinGPUsPerMachine = p.MinGPUsPerMachine
+				}
+				if j.MaxMachines == 0 && p.MaxMachines > 0 {
+					j.MaxMachines = p.MaxMachines
+				}
 			}
 			if js.TotalIterations > 0 {
 				j.TotalIterations = js.TotalIterations
@@ -148,6 +248,22 @@ func (t Trace) ToApps() ([]*workload.App, error) {
 	return apps, nil
 }
 
+// resolveProfile returns the app's placement-sensitivity profile: the
+// placement block's Profile when set (Validate guarantees it resolves), else
+// Model with the historical generic fallback.
+func (spec AppSpec) resolveProfile() placement.Profile {
+	if p := spec.Placement; p != nil && p.Profile != "" {
+		if profile, ok := placement.ByName(p.Profile); ok {
+			return profile
+		}
+	}
+	profile, ok := placement.ByName(spec.Model)
+	if !ok {
+		profile = placement.GenericComputeIntensive
+	}
+	return profile
+}
+
 // Write serialises the trace as indented JSON.
 func (t Trace) Write(w io.Writer) error {
 	enc := json.NewEncoder(w)
@@ -155,9 +271,12 @@ func (t Trace) Write(w io.Writer) error {
 	return enc.Encode(t)
 }
 
-// Read parses and validates a trace from JSON. Unknown format versions and
-// missing or duplicate app IDs are rejected at decode time with the typed
-// errors in errors.go rather than silently accepted and replayed wrong.
+// Read parses and validates a trace from JSON. Unknown format versions,
+// missing or duplicate app IDs, and v2-only fields in v1 traces are rejected
+// at decode time with the typed errors in errors.go rather than silently
+// accepted and replayed wrong. Accepted traces come back upgraded to the
+// current format version (lossless; see Upgrade), so Write on the result
+// emits valid current-format JSON.
 func Read(r io.Reader) (Trace, error) {
 	var t Trace
 	if err := json.NewDecoder(r).Decode(&t); err != nil {
@@ -166,6 +285,7 @@ func Read(r io.Reader) (Trace, error) {
 	if err := t.Validate(); err != nil {
 		return Trace{}, err
 	}
+	t.Upgrade()
 	return t, nil
 }
 

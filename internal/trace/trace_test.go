@@ -129,7 +129,7 @@ func TestReadRejectsGarbage(t *testing.T) {
 // time, with the typed errors callers negotiate on.
 func TestReadValidates(t *testing.T) {
 	var verErr *UnsupportedVersionError
-	if _, err := Read(strings.NewReader(`{"version":2,"apps":[]}`)); !errors.As(err, &verErr) {
+	if _, err := Read(strings.NewReader(`{"version":3,"apps":[]}`)); !errors.As(err, &verErr) {
 		t.Errorf("future version error = %v, want UnsupportedVersionError", err)
 	}
 	if _, err := Read(strings.NewReader(`{"apps":[]}`)); !errors.As(err, &verErr) || verErr.Version != 0 {

@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// v2JSON is a hand-written v2 trace exercising the placement block: an
+// app-level profile + constraint defaults, a per-job override, and a job
+// with its own max_machines.
+const v2JSON = `{
+  "version": 2,
+  "name": "v2-unit",
+  "apps": [
+    {
+      "id": "a",
+      "submit_time": 0,
+      "model": "ResNet50",
+      "placement": {"profile": "VGG16", "min_gpus_per_machine": 2, "max_machines": 1},
+      "jobs": [
+        {"total_work": 40, "gang_size": 4},
+        {"total_work": 20, "gang_size": 2, "min_gpus_per_machine": 1, "max_machines": 3}
+      ]
+    },
+    {
+      "id": "b",
+      "submit_time": 5,
+      "model": "ResNet50",
+      "jobs": [{"total_work": 10, "gang_size": 2, "max_machines": 2}]
+    }
+  ]
+}`
+
+func TestV2PlacementDecode(t *testing.T) {
+	tr, err := Read(strings.NewReader(v2JSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps, err := tr.ToApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The placement block's profile overrides Model.
+	if apps[0].Profile.Name != "VGG16" {
+		t.Errorf("app a profile %q, want placement-block VGG16", apps[0].Profile.Name)
+	}
+	if apps[1].Profile.Name != "ResNet50" {
+		t.Errorf("app b profile %q, want model ResNet50", apps[1].Profile.Name)
+	}
+	// Job 0 inherits the block's constraint defaults.
+	if j := apps[0].Jobs[0]; j.MinGPUsPerMachine != 2 || j.MaxMachines != 1 {
+		t.Errorf("app a job 0 constraints %d/%d, want block defaults 2/1", j.MinGPUsPerMachine, j.MaxMachines)
+	}
+	// Job 1 keeps its own tighter values over the block's.
+	if j := apps[0].Jobs[1]; j.MinGPUsPerMachine != 1 || j.MaxMachines != 3 {
+		t.Errorf("app a job 1 constraints %d/%d, want per-job 1/3", j.MinGPUsPerMachine, j.MaxMachines)
+	}
+	// A job-level constraint without any placement block also lands.
+	if j := apps[1].Jobs[0]; j.MinGPUsPerMachine != 0 || j.MaxMachines != 2 {
+		t.Errorf("app b job 0 constraints %d/%d, want 0/2", j.MinGPUsPerMachine, j.MaxMachines)
+	}
+}
+
+func TestV2ValidateRejects(t *testing.T) {
+	job := `[{"total_work": 1, "gang_size": 1}]`
+	cases := []struct {
+		name string
+		json string
+		want interface{} // pointer to the expected typed error
+	}{
+		{"placement block in v1",
+			`{"version":1,"apps":[{"id":"a","placement":{"max_machines":1},"jobs":` + job + `}]}`,
+			new(*PlacementError)},
+		{"negative block min",
+			`{"version":2,"apps":[{"id":"a","placement":{"min_gpus_per_machine":-1},"jobs":` + job + `}]}`,
+			new(*PlacementError)},
+		{"negative block max",
+			`{"version":2,"apps":[{"id":"a","placement":{"max_machines":-2},"jobs":` + job + `}]}`,
+			new(*PlacementError)},
+		{"unknown block profile",
+			`{"version":2,"apps":[{"id":"a","placement":{"profile":"NoSuchNet"},"jobs":` + job + `}]}`,
+			new(*PlacementError)},
+		{"job max_machines in v1",
+			`{"version":1,"apps":[{"id":"a","jobs":[{"total_work":1,"gang_size":1,"max_machines":2}]}]}`,
+			new(*JobError)},
+		{"negative job max_machines",
+			`{"version":2,"apps":[{"id":"a","jobs":[{"total_work":1,"gang_size":1,"max_machines":-1}]}]}`,
+			new(*JobError)},
+		{"negative job min_gpus_per_machine",
+			`{"version":2,"apps":[{"id":"a","jobs":[{"total_work":1,"gang_size":1,"min_gpus_per_machine":-1}]}]}`,
+			new(*JobError)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(c.json))
+			if err == nil {
+				t.Fatalf("Read accepted %s", c.json)
+			}
+			if !errors.As(err, c.want) {
+				t.Fatalf("error = %v (%T), want %T", err, err, c.want)
+			}
+		})
+	}
+}
+
+// A v1 trace must decode losslessly under v2 code: same apps out of ToApps,
+// version upgraded in place, and the re-encoded form a valid v2 trace.
+func TestV1UpgradeOnRead(t *testing.T) {
+	v1 := `{"version":1,"name":"old","apps":[
+		{"id":"a","submit_time":3,"model":"VGG16","jobs":[
+			{"total_work":10,"gang_size":4,"min_gpus_per_machine":2,"quality":0.5,"seed":7}]}]}`
+	tr, err := Read(strings.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Version != FormatVersion {
+		t.Errorf("Read left version %d, want upgrade to %d", tr.Version, FormatVersion)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"version": 2`) {
+		t.Errorf("re-encoded trace does not declare v2:\n%s", buf.String())
+	}
+	back, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("v2 re-read failed: %v", err)
+	}
+	if !reflect.DeepEqual(tr, back) {
+		t.Fatalf("upgrade round trip changed the trace:\nfirst:  %+v\nsecond: %+v", tr, back)
+	}
+	apps, err := tr.ToApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j := apps[0].Jobs[0]; j.MinGPUsPerMachine != 2 || j.MaxMachines != 0 || j.Quality != 0.5 || j.Seed != 7 {
+		t.Errorf("upgraded job lost v1 fields: %+v", j)
+	}
+}
+
+// FromApps must carry the new constraint fields across a full write/read
+// round trip.
+func TestFromAppsCarriesConstraints(t *testing.T) {
+	apps := genApps(t, 3)
+	apps[0].Jobs[0].MinGPUsPerMachine = 2
+	apps[0].Jobs[0].MaxMachines = 1
+	tr := FromApps("constraints", apps)
+	if tr.Version != FormatVersion {
+		t.Fatalf("FromApps version %d, want %d", tr.Version, FormatVersion)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps2, err := back.ToApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j := apps2[0].Jobs[0]; j.MinGPUsPerMachine != 2 || j.MaxMachines != 1 {
+		t.Errorf("constraints lost in round trip: %+v", j)
+	}
+}
+
+// StripPlacement helper behaviour used by studies: clearing the block (and
+// per-job constraints) must yield a still-valid trace whose apps are
+// unconstrained.
+func TestPlacementStampAndStrip(t *testing.T) {
+	tr, err := ImportPhilly(strings.NewReader(phillyCSV), ImportOptions{
+		Placement: &PlacementSpec{Profile: "VGG16", MinGPUsPerMachine: 2, MaxMachines: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range tr.Apps {
+		if spec.Placement == nil || spec.Placement.Profile != "VGG16" {
+			t.Fatalf("app %d missing stamped placement block: %+v", i, spec)
+		}
+	}
+	// Blocks must not alias each other.
+	tr.Apps[0].Placement.MaxMachines = 9
+	if tr.Apps[1].Placement.MaxMachines == 9 {
+		t.Fatal("stamped placement blocks alias one another")
+	}
+	tr.Apps[0].Placement.MaxMachines = 1
+	apps, err := tr.ToApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j := apps[0].Jobs[0]; j.MinGPUsPerMachine != 2 || j.MaxMachines != 1 {
+		t.Errorf("stamped constraints did not reach the jobs: %+v", j)
+	}
+	if apps[0].Profile.Name != "VGG16" {
+		t.Errorf("stamped profile did not apply: %q", apps[0].Profile.Name)
+	}
+	for i := range tr.Apps {
+		tr.Apps[i].Placement = nil
+	}
+	stripped, err := tr.ToApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j := stripped[0].Jobs[0]; j.MinGPUsPerMachine != 0 || j.MaxMachines != 0 {
+		t.Errorf("stripped trace still constrained: %+v", j)
+	}
+}

@@ -53,6 +53,12 @@ type Job struct {
 	// Allocations violating the constraint cannot make progress, so bids on
 	// them value out at an unbounded ρ. Zero means unconstrained.
 	MinGPUsPerMachine int
+	// MaxMachines is the companion spread constraint (trace v2's placement
+	// block): the job's gang may span at most this many machines (e.g. a
+	// model whose gradient exchange only scales over NVLink/PCIe). Like
+	// MinGPUsPerMachine, violating allocations make no progress. Zero means
+	// unconstrained.
+	MaxMachines int
 	// TotalIterations is the number of SGD iterations TotalWork corresponds
 	// to; used by the tuners' rung boundaries and the loss-curve estimator.
 	TotalIterations int
@@ -306,6 +312,12 @@ func (a *App) Validate() error {
 		}
 		if j.MaxParallelism < 0 {
 			return fmt.Errorf("job %s has negative max parallelism", j.ID)
+		}
+		if j.MinGPUsPerMachine < 0 {
+			return fmt.Errorf("job %s has negative min GPUs per machine", j.ID)
+		}
+		if j.MaxMachines < 0 {
+			return fmt.Errorf("job %s has negative max machines", j.ID)
 		}
 	}
 	return nil

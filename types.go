@@ -64,8 +64,24 @@ type (
 	// TraceFormat names an on-disk trace shape ImportTrace understands.
 	TraceFormat = trace.Format
 	// ImportOptions tune the external-trace importers (time scale, status
-	// filtering, app cap, model stamping).
+	// filtering, app cap, model/placement stamping, progress reporting).
+	// Invalid values (negative or non-finite TimeScale, negative MaxApps)
+	// fail the import with a typed error.
 	ImportOptions = trace.ImportOptions
+	// ImportProgress is one streaming-import progress snapshot (rows and
+	// bytes consumed, apps retained), delivered to the ImportTraceStream
+	// callback.
+	ImportProgress = trace.ImportProgress
+	// PlacementSpec is the trace v2 per-app placement block: the
+	// placement-sensitivity profile name plus the per-machine GPU floor and
+	// machine-spread cap the app's jobs default to. Attach one to an
+	// AppSpec (or stamp imports via ImportOptions.Placement) to carry
+	// locality constraints on the wire.
+	PlacementSpec = trace.PlacementSpec
+	// AppSpec is one application entry of a Trace.
+	AppSpec = trace.AppSpec
+	// JobSpec is one trial entry of an AppSpec.
+	JobSpec = trace.JobSpec
 
 	// SchedulerPolicy is the cross-app scheduling discipline the simulator
 	// invokes at every decision point. Use Policy to construct a registered
@@ -125,6 +141,16 @@ const (
 	TraceFormatAlibaba = trace.FormatAlibaba
 	TraceFormatAuto    = trace.FormatAuto
 )
+
+// TraceFormatVersion is the current native trace format version (v2: the
+// per-app placement block and per-job machine-spread constraint).
+// SupportedTraceVersions lists every version ReadTrace can replay; older
+// versions upgrade losslessly on read.
+const TraceFormatVersion = trace.FormatVersion
+
+// SupportedTraceVersions lists the trace format versions this build replays,
+// oldest first.
+func SupportedTraceVersions() []int { return trace.SupportedVersions() }
 
 // NotFinished marks an app or job that did not complete within a run's
 // horizon (AppRecord.FinishTime and CompletionTime use it).

@@ -83,7 +83,24 @@ func ReadTrace(r io.Reader) (Trace, error) { return trace.Read(r) }
 // task logs (job_name, inst_num, plan_gpu, start/end, status), and
 // TraceFormatAuto sniffs the input. The result validates like any native
 // trace and replays through WithTrace.
+//
+// The CSV adapters stream: rows are parsed one at a time and, for the
+// row-per-job Philly format, an online top-K selection keeps importer memory
+// at O(ImportOptions.MaxApps) regardless of input size — a multi-GB cluster
+// log imports without materialising its rows. Use ImportTraceStream to
+// observe progress.
 func ImportTrace(r io.Reader, format TraceFormat, opts ImportOptions) (Trace, error) {
+	return trace.Import(r, format, opts)
+}
+
+// ImportTraceStream is ImportTrace with progress reporting for long-running
+// streaming imports: onProgress (when non-nil) receives a snapshot of rows,
+// bytes and retained apps about every ImportOptions.ProgressEvery rows
+// (default 100000) and once at end of input, on the importing goroutine.
+func ImportTraceStream(r io.Reader, format TraceFormat, opts ImportOptions, onProgress func(ImportProgress)) (Trace, error) {
+	if onProgress != nil {
+		opts.Progress = onProgress
+	}
 	return trace.Import(r, format, opts)
 }
 
