@@ -9,6 +9,7 @@
 //	themis-sim -cluster sim -policy themis -apps 50
 //	themis-sim -cluster testbed -policy tiresias -apps 30 -scale 0.2
 //	themis-sim -scenario heavy-tailed -apps 40 -policy themis
+//	themis-sim -scenario fitted.json -apps 40 -seed 7
 //	themis-sim -trace trace.json -policy gandiva
 //	themis-sim -trace cluster_log.csv -trace-format auto -max-apps 200
 package main
@@ -35,7 +36,7 @@ func main() {
 		lease       = flag.Float64("lease", 20, "GPU lease duration (minutes)")
 		fairness    = flag.Float64("f", 0.8, "Themis fairness knob")
 		bidError    = flag.Float64("biderror", 0, "Themis bid valuation error θ (Figure 11)")
-		scenario    = flag.String("scenario", "", "generate the workload from a registered scenario: "+strings.Join(themis.Scenarios(), ", "))
+		scenario    = flag.String("scenario", "", "generate the workload from a registered scenario ("+strings.Join(themis.Scenarios(), ", ")+") or from a fit-report file written by 'tracegen fit'")
 		tracePath   = flag.String("trace", "", "replay apps from a trace file instead of generating")
 		traceFormat = flag.String("trace-format", "auto", "trace file format: auto, json, philly or alibaba")
 		maxApps     = flag.Int("max-apps", 0, "cap the number of apps imported from -trace (0: all)")
@@ -72,6 +73,22 @@ func main() {
 		}
 		opts = append(opts, themis.WithTrace(tr))
 	case *scenario != "":
+		// A fit-report file (tracegen fit output) registers as a calibrated
+		// scenario under its path, then runs through the ordinary registry:
+		// the import → fit → register → simulate loop in one invocation.
+		if _, err := themis.DescribeScenario(*scenario); err != nil {
+			if _, statErr := os.Stat(*scenario); statErr == nil {
+				rep, loadErr := themis.LoadFitReport(*scenario)
+				if loadErr != nil {
+					fmt.Fprintln(os.Stderr, "themis-sim:", loadErr)
+					os.Exit(1)
+				}
+				if regErr := themis.RegisterCalibratedScenario(*scenario, rep); regErr != nil {
+					fmt.Fprintln(os.Stderr, "themis-sim:", regErr)
+					os.Exit(1)
+				}
+			}
+		}
 		opts = append(opts, themis.WithScenario(*scenario, themis.ScenarioParams{
 			Seed:             *seed,
 			NumApps:          *numApps,

@@ -1,14 +1,16 @@
 // Command tracegen is the workbench for workload traces: it generates traces
 // from any registered scenario, imports external cluster logs (Philly- and
-// Alibaba-style CSV), validates and describes trace files, and lists the
-// scenario library.
+// Alibaba-style CSV), calibrates scenarios against traces, validates and
+// describes trace files, and lists the scenario library.
 //
 //	tracegen generate -scenario diurnal -apps 100 -out trace.json
 //	tracegen list
 //	tracegen import -in cluster_log.csv -format auto -out trace.json
+//	tracegen fit -in trace.json -out fitted.json
 //	tracegen validate trace.json
 //	tracegen describe trace.json
 //	tracegen describe heavy-tailed
+//	tracegen describe fitted.json
 //
 // Invoked with flags but no subcommand, it behaves like "generate", keeping
 // the original tracegen CLI working.
@@ -18,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"themis"
 )
@@ -36,6 +39,8 @@ func main() {
 		err = runList()
 	case "import":
 		err = runImport(args)
+	case "fit":
+		err = runFit(args)
 	case "validate":
 		err = runValidate(args)
 	case "describe":
@@ -60,8 +65,9 @@ subcommands:
   generate   generate a trace from a registered scenario (default)
   list       list the registered scenarios
   import     normalise an external cluster log (philly/alibaba CSV) into a trace
+  fit        calibrate a scenario against a trace (ScenarioConfig JSON + fit report)
   validate   check trace files against the format contract
-  describe   summarise a trace file or a registered scenario
+  describe   summarise a trace file, a registered scenario or a fit report
 
 run "tracegen <subcommand> -h" for flags.
 `)
@@ -129,6 +135,7 @@ func runImport(args []string) error {
 		timeScale   = fs.Float64("timescale", 0, "minutes per input time unit (0: format convention)")
 		keepAll     = fs.Bool("keep-noncompleted", false, "keep failed/killed rows instead of dropping them")
 		maxApps     = fs.Int("max-apps", 0, "cap the number of imported apps (0: all)")
+		sorted      = fs.Bool("sorted", false, "assert input rows are sorted by submit/start time (streams grouped formats in O(max-apps) memory)")
 		model       = fs.String("model", "", "stamp every app with this model family")
 		profile     = fs.String("placement-profile", "", "stamp every app with a v2 placement block naming this profile")
 		minPerMach  = fs.Int("min-gpus-per-machine", 0, "placement block: per-machine GPU floor for every job (0: none)")
@@ -143,6 +150,7 @@ func runImport(args []string) error {
 		TimeScale:        *timeScale,
 		KeepNonCompleted: *keepAll,
 		MaxApps:          *maxApps,
+		SortedInput:      *sorted,
 		Model:            *model,
 	}
 	if *profile != "" || *minPerMach != 0 || *maxMachines != 0 {
@@ -182,6 +190,64 @@ func runImport(args []string) error {
 	return writeTrace(tr, *out)
 }
 
+// runFit calibrates a scenario against a trace: any input Import accepts
+// (native JSON or a Philly/Alibaba-style CSV) in, fitted ScenarioConfig JSON
+// plus a human-readable fit-quality report out. The output file loads back
+// through themis.LoadFitReport and themis-sim's -scenario flag.
+func runFit(args []string) error {
+	fs := flag.NewFlagSet("fit", flag.ExitOnError)
+	var (
+		in        = fs.String("in", "", "input trace file (default: stdin)")
+		format    = fs.String("format", "auto", "input format: auto, json, philly or alibaba")
+		out       = fs.String("out", "", "output fit-report file (default: stdout)")
+		name      = fs.String("name", "", "provenance source name (default: the trace's name)")
+		timeScale = fs.Float64("timescale", 0, "minutes per input time unit (0: format convention)")
+		keepAll   = fs.Bool("keep-noncompleted", false, "keep failed/killed rows instead of dropping them")
+		maxApps   = fs.Int("max-apps", 0, "cap the number of imported apps before fitting (0: all)")
+		sorted    = fs.Bool("sorted", false, "assert input rows are sorted by submit/start time")
+		report    = fs.Bool("report", true, "print the fit-quality report to stderr")
+	)
+	fs.Parse(args)
+
+	src := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	tr, err := themis.ImportTrace(src, themis.TraceFormat(*format), themis.ImportOptions{
+		TimeScale:        *timeScale,
+		KeepNonCompleted: *keepAll,
+		MaxApps:          *maxApps,
+		SortedInput:      *sorted,
+	})
+	if err != nil {
+		return err
+	}
+	rep, err := themis.FitTrace(tr)
+	if err != nil {
+		return err
+	}
+	if *name != "" {
+		rep.Provenance.Source = *name
+	}
+	rep.Provenance.FittedAt = time.Now().UTC().Format("2006-01-02")
+	if *report {
+		fmt.Fprint(os.Stderr, rep.Render())
+	}
+	if *out == "" {
+		return rep.WriteJSON(os.Stdout)
+	}
+	if err := themis.SaveFitReport(*out, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	return nil
+}
+
 func runValidate(args []string) error {
 	fs := flag.NewFlagSet("validate", flag.ExitOnError)
 	fs.Parse(args)
@@ -215,15 +281,30 @@ func runDescribe(args []string) error {
 	apps := fs.Int("apps", 0, "app count when describing a scenario (0: scenario default)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
-		return fmt.Errorf("describe needs one trace file or scenario name")
+		return fmt.Errorf("describe needs one trace file, fit report or scenario name")
 	}
 	target := fs.Arg(0)
 
-	// A registered scenario name describes the scenario; anything else is a
-	// trace file.
+	// A registered scenario name describes the scenario (calibrated entries
+	// additionally render their full fit report, so provenance is always
+	// visible); a fit-report file renders the calibration; anything else is
+	// a trace file.
 	if desc, err := themis.DescribeScenario(target); err == nil {
 		fmt.Printf("scenario %s: %s\n", target, desc)
+		if rep, ok := themis.ScenarioFit(target); ok {
+			fmt.Print(rep.Render())
+		}
 		generated, err := themis.GenerateScenario(target, themis.ScenarioParams{Seed: *seed, NumApps: *apps})
+		if err != nil {
+			return err
+		}
+		printStats(themis.SummarizeWorkload(generated))
+		return nil
+	}
+	if rep, err := themis.LoadFitReport(target); err == nil {
+		fmt.Printf("fit report %s\n", target)
+		fmt.Print(rep.Render())
+		generated, err := themis.ComposeWorkload(applyParams(rep.Config, *seed, *apps))
 		if err != nil {
 			return err
 		}
@@ -242,6 +323,18 @@ func runDescribe(args []string) error {
 	fmt.Printf("trace %q (version %d)\n", tr.Name, tr.Version)
 	printStats(themis.SummarizeWorkload(materialised))
 	return nil
+}
+
+// applyParams overrides a fitted config's seed and app count for describe's
+// sample generation.
+func applyParams(cfg themis.ScenarioConfig, seed int64, apps int) themis.ScenarioConfig {
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	if apps != 0 {
+		cfg.NumApps = apps
+	}
+	return cfg
 }
 
 func doneSuffix(done bool) string {

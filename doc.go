@@ -56,9 +56,21 @@
 // the simulator's placement scoring, so a constrained trace replays with
 // locality-sensitive scheduling anywhere. v1 traces load unchanged
 // (lossless upgrade-on-read; SupportedTraceVersions lists both).
-// cmd/tracegen is the CLI workbench for all of this, and cmd/themis-sim
-// replays traces (-trace/-trace-format) and registered scenarios
-// (-scenario) directly.
+//
+// The calibration subsystem closes the loop between real traces and
+// synthetic scenarios: FitScenario (or FitTrace) learns a full
+// ScenarioConfig from an observed workload — arrival-process fitting
+// (Poisson rate, diurnal day shape, bursty spikes), job-size law selection
+// (lognormal vs Pareto by AIC, KS distances reported) and gang-population
+// estimation — returning a FitReport with goodness-of-fit evidence and
+// provenance. RegisterCalibratedScenario installs the fitted scenario in
+// the registry, where WithScenario, Grid and RunSweep treat it like any
+// built-in while DescribeScenario and ScenarioFit keep its provenance
+// visible; experiments.CalibratedStudy quantifies how well the fitted twin
+// stands in for its source trace. cmd/tracegen is the CLI workbench for all
+// of this (generate/list/import/fit/validate/describe), and cmd/themis-sim
+// replays traces (-trace/-trace-format), registered scenarios (-scenario)
+// and fit reports (-scenario fitted.json) directly.
 //
 // The companion public packages are themis/experiments (one constructor per
 // figure of the paper's evaluation) and themis/daemon (the distributed

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"themis"
+	"themis/internal/fit"
+)
+
+// CalibratedRow is one policy's cell of a CalibratedStudy: the policy's
+// replay of the real trace, its runs over the fitted twin's seeds, and the
+// divergence between the two outcome distributions.
+type CalibratedRow struct {
+	Policy string
+	// Real is the policy's replay of the input trace.
+	Real *themis.Report
+	// Fitted holds one report per seed of the fitted twin scenario.
+	Fitted []*themis.Report
+	// Divergence compares the real run's outcome distributions against the
+	// fitted runs' pooled distributions.
+	Divergence Divergence
+}
+
+// Divergence summarises how far a fitted twin's outcome distributions sit
+// from the real trace's, per policy. Distances are two-sample
+// Kolmogorov–Smirnov statistics in [0, 1] over finished apps (0 when either
+// side finished none).
+type Divergence struct {
+	// FairnessKS is the KS distance between the finish-time-fairness (ρ)
+	// distributions.
+	FairnessKS float64
+	// JCTKS is the KS distance between the app completion-time
+	// distributions.
+	JCTKS float64
+	// MeanJCTRatio is fitted mean JCT / real mean JCT (0 when undefined).
+	MeanJCTRatio float64
+	// MaxFairnessRatio is fitted max ρ / real max ρ (0 when undefined).
+	MaxFairnessRatio float64
+	// RealFinished and FittedFinished count the finished apps behind the
+	// distributions (fitted pooled across seeds).
+	RealFinished, FittedFinished int
+}
+
+// CalibratedStudyResult is the outcome of a CalibratedStudy: the calibration
+// itself plus one row per policy.
+type CalibratedStudyResult struct {
+	// Fit is the calibration the twin scenario was generated from.
+	Fit *themis.FitReport
+	// Seeds are the fitted twin's generation seeds, as run.
+	Seeds []int64
+	// Rows holds one entry per policy, in input policy order.
+	Rows []CalibratedRow
+}
+
+// CalibratedStudy closes the calibration loop: it fits a scenario to the
+// input trace, then runs every named policy both on the real trace and on
+// len(seeds) fresh realizations of the fitted twin, all through the parallel
+// sweep engine, and reports the divergence of the fairness and JCT
+// distributions — the paper-methodology check that a calibrated synthetic
+// family actually stands in for the trace it was learned from. An empty
+// policy list defaults to every registered policy; empty seeds default to
+// 1, 2, 3. Rows come back in policy order regardless of worker count.
+func CalibratedStudy(ctx context.Context, workers int, tr themis.Trace, policies []string, seeds []int64, base ...themis.Option) (*CalibratedStudyResult, error) {
+	if len(policies) == 0 {
+		policies = themis.Policies()
+	}
+	if len(seeds) == 0 {
+		seeds = []int64{1, 2, 3}
+	}
+	rep, err := themis.FitTrace(tr)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: calibrated study: %w", err)
+	}
+
+	// One spec per policy replaying the real trace, then one per
+	// policy × seed over a freshly generated twin (runs mutate app state, so
+	// every cell gets its own workload).
+	specs := make([]themis.SweepSpec, 0, len(policies)*(1+len(seeds)))
+	for _, policy := range policies {
+		opts := append(append([]themis.Option{}, base...), themis.WithPolicy(policy), themis.WithTrace(tr))
+		specs = append(specs, themis.SweepSpec{Name: policy + "/real", Options: opts})
+	}
+	for _, policy := range policies {
+		for _, seed := range seeds {
+			cfg := rep.Config
+			cfg.Seed = seed
+			twin, err := themis.ComposeWorkload(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: calibrated study: generating twin (seed %d): %w", seed, err)
+			}
+			opts := append(append([]themis.Option{}, base...), themis.WithPolicy(policy), themis.WithApps(twin...))
+			specs = append(specs, themis.SweepSpec{Name: fmt.Sprintf("%s/fitted/seed-%d", policy, seed), Options: opts})
+		}
+	}
+	results, err := themis.RunSweep(ctx, workers, specs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: calibrated study: %w", err)
+	}
+
+	out := &CalibratedStudyResult{Fit: rep, Seeds: append([]int64(nil), seeds...)}
+	for i, policy := range policies {
+		row := CalibratedRow{Policy: policy, Real: results[i].Report}
+		for j := range seeds {
+			row.Fitted = append(row.Fitted, results[len(policies)+i*len(seeds)+j].Report)
+		}
+		row.Divergence = diverge(row.Real, row.Fitted)
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// diverge compares one real report's finished-app distributions against the
+// pooled fitted reports'.
+func diverge(real *themis.Report, fitted []*themis.Report) Divergence {
+	realRho, realJCT := finishedValues(real)
+	var fitRho, fitJCT []float64
+	for _, f := range fitted {
+		rho, jct := finishedValues(f)
+		fitRho = append(fitRho, rho...)
+		fitJCT = append(fitJCT, jct...)
+	}
+	d := Divergence{
+		FairnessKS:     fit.KSTwoSample(realRho, fitRho),
+		JCTKS:          fit.KSTwoSample(realJCT, fitJCT),
+		RealFinished:   len(realRho),
+		FittedFinished: len(fitRho),
+	}
+	if m := mean(realJCT); m > 0 {
+		d.MeanJCTRatio = mean(fitJCT) / m
+	}
+	if m := maxOf(realRho); m > 0 {
+		d.MaxFairnessRatio = maxOf(fitRho) / m
+	}
+	return d
+}
+
+// finishedValues extracts the finished apps' fairness and completion-time
+// samples from a report.
+func finishedValues(rep *themis.Report) (rho, jct []float64) {
+	for _, rec := range rep.Finished() {
+		rho = append(rho, rec.FinishTimeFairness)
+		jct = append(jct, rec.CompletionTime)
+	}
+	return rho, jct
+}
+
+// RenderDivergence formats the per-policy divergence summary, the textual
+// form the golden fit reports pin.
+func (r *CalibratedStudyResult) RenderDivergence() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "divergence (real vs fitted twin, %d seed", len(r.Seeds))
+	if len(r.Seeds) != 1 {
+		fmt.Fprintf(&b, "s")
+	}
+	fmt.Fprintf(&b, ")\n")
+	for _, row := range r.Rows {
+		d := row.Divergence
+		fmt.Fprintf(&b, "policy %-14s fairness KS %.6g, JCT KS %.6g, mean JCT ratio %.6g, max rho ratio %.6g (finished real %d, fitted %d)\n",
+			row.Policy, d.FairnessKS, d.JCTKS, d.MeanJCTRatio, d.MaxFairnessRatio, d.RealFinished, d.FittedFinished)
+	}
+	return b.String()
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+func maxOf(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"context"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"themis"
+)
+
+// updateGolden regenerates the golden fit reports:
+//
+//	go test ./experiments/ -run TestGoldenFitReports -update-golden
+//
+// Only run it on a build whose calibration output is known-good; the
+// checked-in files pin both the fitted-parameter estimates for the canonical
+// v1 test traces and the real-vs-fitted divergence summary of
+// CalibratedStudy over them.
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden fit reports")
+
+// goldenTracePath resolves the shared v1 trace corpus.
+func goldenTracePath(name string) string {
+	return filepath.Join("..", "internal", "trace", "testdata", "v1", name+".json")
+}
+
+// Every canonical v1 trace must calibrate to a bit-identical fit report, and
+// CalibratedStudy's real-vs-fitted divergence summary must replay
+// bit-identically too. Numbers render at six significant digits; fitting and
+// the simulator are deterministic, so the comparison is byte-exact.
+func TestGoldenFitReports(t *testing.T) {
+	for _, name := range []string{"philly-small", "multi-job"} {
+		t.Run(name, func(t *testing.T) {
+			tr, err := themis.LoadTrace(goldenTracePath(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Policies: themis plus one baseline that replays constrained
+			// traces to completion (tiresias loops forever on philly-small's
+			// min-GPUs-per-machine job — see ROADMAP). The horizon is a
+			// backstop so golden regeneration can never hang.
+			res, err := CalibratedStudy(context.Background(), 2, tr,
+				[]string{"themis", "gandiva"}, []int64{1, 2, 3},
+				themis.WithCluster("testbed"), themis.WithHorizon(50000))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.Fit.Render() + "\n" + res.RenderDivergence()
+
+			goldenPath := filepath.Join("testdata", "golden", name+".fit.golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update-golden to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("fit report diverged from golden\n--- got ---\n%s--- want ---\n%s", got, string(want))
+			}
+		})
+	}
+}
+
+// CalibratedStudy's structure: rows per policy in order, one fitted report
+// per seed, divergence populated, and the twin workloads actually distinct
+// across seeds.
+func TestCalibratedStudyShape(t *testing.T) {
+	tr, err := themis.LoadTrace(goldenTracePath("philly-small"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies := []string{"themis", "gandiva"}
+	seeds := []int64{4, 5}
+	res, err := CalibratedStudy(context.Background(), 4, tr, policies, seeds,
+		themis.WithCluster("testbed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fit == nil {
+		t.Fatal("no fit report")
+	}
+	if res.Fit.Provenance.Source != "philly-small" {
+		t.Errorf("provenance source = %q, want philly-small", res.Fit.Provenance.Source)
+	}
+	if len(res.Rows) != len(policies) {
+		t.Fatalf("%d rows, want %d", len(res.Rows), len(policies))
+	}
+	for i, row := range res.Rows {
+		if row.Policy != policies[i] {
+			t.Errorf("row %d policy = %s, want %s", i, row.Policy, policies[i])
+		}
+		if row.Real == nil {
+			t.Fatalf("row %d has no real report", i)
+		}
+		if len(row.Fitted) != len(seeds) {
+			t.Fatalf("row %d has %d fitted reports, want %d", i, len(row.Fitted), len(seeds))
+		}
+		if row.Real.Summary.AppsTotal != len(tr.Apps) {
+			t.Errorf("real run simulated %d apps, want %d", row.Real.Summary.AppsTotal, len(tr.Apps))
+		}
+		for j, f := range row.Fitted {
+			if f.Summary.AppsTotal != len(tr.Apps) {
+				t.Errorf("fitted run %d simulated %d apps, want the trace's %d", j, f.Summary.AppsTotal, len(tr.Apps))
+			}
+		}
+		// Different seeds must produce different twin realizations.
+		if len(row.Fitted) == 2 && row.Fitted[0].Summary.GPUTime == row.Fitted[1].Summary.GPUTime {
+			t.Errorf("row %d: fitted twins identical across seeds", i)
+		}
+		d := row.Divergence
+		for _, ks := range []float64{d.FairnessKS, d.JCTKS} {
+			if ks < 0 || ks > 1 || math.IsNaN(ks) {
+				t.Errorf("row %d KS out of range: %+v", i, d)
+			}
+		}
+		if d.RealFinished == 0 || d.FittedFinished == 0 {
+			t.Errorf("row %d: no finished apps behind divergence: %+v", i, d)
+		}
+	}
+	if !strings.Contains(res.RenderDivergence(), "policy themis") {
+		t.Errorf("RenderDivergence missing policy line:\n%s", res.RenderDivergence())
+	}
+}
+
+// Context cancellation propagates out of the underlying sweep.
+func TestCalibratedStudyCancel(t *testing.T) {
+	tr, err := themis.LoadTrace(goldenTracePath("philly-small"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CalibratedStudy(ctx, 2, tr, []string{"themis"}, []int64{1}); err == nil {
+		t.Fatal("cancelled study succeeded")
+	}
+}

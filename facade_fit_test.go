@@ -1,0 +1,168 @@
+package themis
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+)
+
+// Acceptance: FitScenario on the output of GenerateScenario must recover the
+// arrival-pattern kind and size-law kind of every built-in scenario family,
+// with rate/shape parameters within the tolerances documented in
+// internal/fit (MLE knobs within ~15%, day-shape and burst knobs within
+// ~25–35%). The built-ins' default 50 apps are far below the detectors'
+// documented minimum samples, so the families are generated at 2000 apps.
+func TestFitRecoversBuiltinScenarioFamilies(t *testing.T) {
+	cases := []struct {
+		scenario string
+		arrival  ArrivalPattern
+		size     SizePattern
+	}{
+		{"paper-mix", ArrivalPoisson, SizeLognormal},
+		{"diurnal", ArrivalDiurnal, SizeLognormal},
+		{"heavy-tailed", ArrivalPoisson, SizePareto},
+		{"bursty", ArrivalBursty, SizeLognormal},
+		{"mixed-gangs", ArrivalPoisson, SizeLognormal},
+	}
+	for _, tc := range cases {
+		t.Run(tc.scenario, func(t *testing.T) {
+			apps, err := GenerateScenario(tc.scenario, ScenarioParams{Seed: 17, NumApps: 2000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := FitScenario(apps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Arrival.Pattern != tc.arrival {
+				t.Errorf("arrival = %s, want %s (amplitude %v, IoD %v, burst fraction %v)",
+					rep.Arrival.Pattern, tc.arrival, rep.Arrival.DiurnalAmplitude,
+					rep.Arrival.IndexOfDispersion, rep.Arrival.BurstFraction)
+			}
+			if rep.Size.Law != tc.size {
+				t.Errorf("size law = %s, want %s (lognormal AIC %v, pareto AIC %v)",
+					rep.Size.Law, tc.size, rep.Size.Lognormal.AIC, rep.Size.Pareto.AIC)
+			}
+
+			// Every built-in shares the paper's 20-minute mean inter-arrival.
+			if got := rep.Config.MeanInterArrival; math.Abs(got-20) > 20*0.25 {
+				t.Errorf("MeanInterArrival = %v, want 20 ± 25%%", got)
+			}
+			switch tc.scenario {
+			case "diurnal":
+				if got := rep.Config.DiurnalPeakToTrough; math.Abs(got-4) > 4*0.25 {
+					t.Errorf("DiurnalPeakToTrough = %v, want 4 ± 25%%", got)
+				}
+			case "heavy-tailed":
+				if got := rep.Size.ParetoAlpha; math.Abs(got-1.5) > 1.5*0.15 {
+					t.Errorf("ParetoAlpha = %v, want 1.5 ± 15%%", got)
+				}
+				if got := rep.Size.ParetoMin; math.Abs(got-15) > 15*0.10 {
+					t.Errorf("ParetoMin = %v, want 15 ± 10%%", got)
+				}
+			case "bursty":
+				if got := float64(rep.Config.BurstApps); math.Abs(got-8) > 8*0.35 {
+					t.Errorf("BurstApps = %v, want 8 ± 35%%", got)
+				}
+				if got := rep.Config.BurstFraction; math.Abs(got-0.5) > 0.12 {
+					t.Errorf("BurstFraction = %v, want 0.5 ± 0.12", got)
+				}
+			case "mixed-gangs":
+				wantSizes := []int{1, 2, 4, 8}
+				if len(rep.Gangs) != len(wantSizes) {
+					t.Fatalf("fitted %d gang sizes, want %d: %+v", len(rep.Gangs), len(wantSizes), rep.Gangs)
+				}
+				for i, g := range rep.Gangs {
+					if g.Size != wantSizes[i] {
+						t.Errorf("gang[%d].Size = %d, want %d", i, g.Size, wantSizes[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// A calibrated scenario registers like any built-in: WithScenario resolves
+// it, Grid expands it, DescribeScenario renders its provenance and
+// ScenarioFit returns the full report.
+func TestRegisterCalibratedScenario(t *testing.T) {
+	apps, err := GenerateScenario("heavy-tailed", ScenarioParams{Seed: 3, NumApps: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := FitScenario(apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Provenance.Source = "facade-test-trace"
+	rep.Provenance.FittedAt = "2026-07-30"
+
+	const name = "calibrated-facade-test"
+	if err := RegisterCalibratedScenario(name, rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterCalibratedScenario(name, rep); err == nil {
+		t.Error("duplicate calibrated registration succeeded")
+	}
+	if err := RegisterCalibratedScenario("calibrated-nil", nil); err == nil {
+		t.Error("nil-report registration succeeded")
+	}
+
+	desc, err := DescribeScenario(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"calibrated from", "facade-test-trace", "fitted 2026-07-30", "pareto sizes", "KS"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("DescribeScenario = %q, missing %q", desc, want)
+		}
+	}
+	if _, ok := ScenarioFit(name); !ok {
+		t.Error("ScenarioFit does not return the calibrated report")
+	}
+	if _, ok := ScenarioFit("paper-mix"); ok {
+		t.Error("ScenarioFit returned a report for a built-in")
+	}
+
+	// The calibrated entry drives a simulation through WithScenario...
+	sim, err := NewSimulation(
+		WithCluster(ClusterTestbed),
+		WithScenario(name, ScenarioParams{NumApps: 8}),
+		WithSeed(5),
+		WithHorizon(4000),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repSim, err := sim.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repSim.Apps) != 8 {
+		t.Errorf("calibrated scenario run has %d apps, want 8", len(repSim.Apps))
+	}
+
+	// ...and expands through the Grid sweep axis like any built-in.
+	specs, err := Grid{
+		Policies:  []string{"themis"},
+		Scenarios: []string{name},
+		Seeds:     []int64{1, 2},
+		Params:    ScenarioParams{NumApps: 6},
+	}.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("Grid expanded to %d specs, want 2", len(specs))
+	}
+	results, err := RunSweep(context.Background(), 2, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Report == nil {
+			t.Fatalf("sweep cell %d has no report", i)
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package fit
+
+import (
+	"math"
+	"sort"
+
+	"themis/internal/workload"
+)
+
+// Arrival-process estimation: Poisson rate MLE, burstiness via the index of
+// dispersion plus spike clustering, and diurnal day-shape estimation via
+// time-of-day rate binning whose first Fourier harmonic feeds the Lewis
+// thinning generator's peak-to-trough knob.
+
+const (
+	// diurnalPeriod is the day length (minutes) fitted configurations use;
+	// detection is fixed to this standard period — traces periodic at other
+	// frequencies classify as Poisson or bursty.
+	diurnalPeriod = 1440
+	// diurnalBins is the number of time-of-day rate bins the day shape is
+	// estimated over (hourly).
+	diurnalBins = 24
+	// diurnalAmpThreshold is the minimum first-harmonic relative amplitude
+	// classified as diurnal. 0.3 corresponds to a peak-to-trough ratio of
+	// ~1.9 and sits far above Poisson sampling noise for the sample sizes
+	// diurnal detection requires.
+	diurnalAmpThreshold = 0.3
+	// minDiurnalArrivals is the sample size below which the harmonic
+	// amplitude is too noisy to trust (noise scales as sqrt(2/n)).
+	minDiurnalArrivals = 200
+	// minPatternArrivals is the sample size below which only the Poisson
+	// rate is estimated.
+	minPatternArrivals = 32
+	// burstIoDThreshold is the minimum index of dispersion of windowed
+	// arrival counts classified as bursty (1 for a Poisson process).
+	burstIoDThreshold = 1.8
+	// burstFractionThreshold is the minimum fraction of apps arriving inside
+	// detected spikes for the bursty classification.
+	burstFractionThreshold = 0.15
+	// clusterGapFraction sets the spike-clustering gap threshold as a
+	// fraction of the mean inter-arrival time.
+	clusterGapFraction = 0.1
+	// minSpikeSize is the smallest arrival cluster counted as a load spike;
+	// smaller clusters are ordinary Poisson coincidences.
+	minSpikeSize = 4
+)
+
+// ArrivalFit is the fitted arrival process plus the evidence behind the
+// pattern choice.
+type ArrivalFit struct {
+	// Pattern is the selected arrival process.
+	Pattern workload.ArrivalPattern `json:"pattern"`
+	// Samples is the number of arrivals the fit saw.
+	Samples int `json:"samples"`
+	// Span is the observation window in minutes (last − first arrival).
+	Span float64 `json:"span"`
+	// MeanInterArrival is the rate MLE in minutes (span / (n−1) for Poisson
+	// and diurnal; the background process's mean for bursty). Zero when the
+	// input carries no rate information (fewer than two arrivals).
+	MeanInterArrival float64 `json:"mean_interarrival"`
+	// ExponentialKS is the Kolmogorov–Smirnov distance between the observed
+	// inter-arrival times and the fitted exponential law — the Poisson
+	// goodness-of-fit evidence.
+	ExponentialKS float64 `json:"exponential_ks"`
+	// IndexOfDispersion is the variance-to-mean ratio of windowed arrival
+	// counts (1 for Poisson; ≫1 under bursts or strong rate modulation).
+	IndexOfDispersion float64 `json:"index_of_dispersion"`
+	// DiurnalAmplitude is the relative first-harmonic amplitude of the
+	// time-of-day arrival rate at the standard day period.
+	DiurnalAmplitude float64 `json:"diurnal_amplitude,omitempty"`
+	// PeakToTrough is the day-shape ratio implied by DiurnalAmplitude.
+	PeakToTrough float64 `json:"peak_to_trough,omitempty"`
+	// BurstFraction, BurstApps, BurstInterval and BurstSpread are the spike
+	// parameters estimated from arrival clusters (meaningful evidence even
+	// when the pattern resolves to something other than bursty).
+	BurstFraction float64 `json:"burst_fraction,omitempty"`
+	BurstApps     float64 `json:"burst_apps,omitempty"`
+	BurstInterval float64 `json:"burst_interval,omitempty"`
+	BurstSpread   float64 `json:"burst_spread,omitempty"`
+}
+
+// fitArrival estimates the arrival process from sorted submission times.
+func fitArrival(times []float64, prov *Provenance) ArrivalFit {
+	fit := ArrivalFit{Pattern: workload.ArrivalPoisson, Samples: len(times)}
+	if len(times) < 2 {
+		prov.note("fewer than two arrivals: arrival rate left to defaults")
+		return fit
+	}
+	fit.Span = times[len(times)-1] - times[0]
+	if fit.Span <= 0 {
+		prov.note("all arrivals simultaneous: arrival rate left to defaults")
+		return fit
+	}
+	meanIA := fit.Span / float64(len(times)-1)
+	fit.MeanInterArrival = meanIA
+	fit.ExponentialKS = exponentialKS(times, meanIA)
+	fit.IndexOfDispersion = indexOfDispersion(times, fit.Span)
+
+	if len(times) < minPatternArrivals {
+		prov.note("too few arrivals for pattern detection: Poisson assumed")
+		return fit
+	}
+
+	clusters, clustered := spikeClusters(times, clusterGapFraction*meanIA)
+	fit.BurstFraction = float64(clustered) / float64(len(times))
+	if len(clusters) > 0 {
+		var sizes, spreads float64
+		for _, c := range clusters {
+			k := float64(c.size)
+			sizes += k
+			// The range of k uniform points underestimates the spike window
+			// by (k−1)/(k+1); invert that bias.
+			spreads += (c.last - c.first) * (k + 1) / (k - 1)
+		}
+		fit.BurstApps = sizes / float64(len(clusters))
+		fit.BurstSpread = spreads / float64(len(clusters))
+		if len(clusters) > 1 {
+			fit.BurstInterval = (clusters[len(clusters)-1].first - clusters[0].first) / float64(len(clusters)-1)
+		} else {
+			fit.BurstInterval = fit.Span
+		}
+	}
+
+	if fit.Span >= diurnalPeriod && len(times) >= minDiurnalArrivals {
+		fit.DiurnalAmplitude = diurnalAmplitude(times, fit.Span)
+		amp := math.Min(fit.DiurnalAmplitude, 0.96)
+		fit.PeakToTrough = (1 + amp) / (1 - amp)
+	} else {
+		prov.note("observation span or sample size too small for diurnal detection")
+	}
+
+	switch {
+	case fit.DiurnalAmplitude >= diurnalAmpThreshold:
+		fit.Pattern = workload.ArrivalDiurnal
+	case fit.IndexOfDispersion >= burstIoDThreshold && fit.BurstFraction >= burstFractionThreshold:
+		fit.Pattern = workload.ArrivalBursty
+		// The fitted background rate excludes spike arrivals: the generator
+		// lays down (1−BurstFraction)·n background arrivals at this mean.
+		if bg := backgroundMeanIA(times, clusters); bg > 0 {
+			fit.MeanInterArrival = bg
+		}
+	}
+	return fit
+}
+
+// indexOfDispersion computes var/mean of arrival counts over equal windows
+// tiling the observation span. The window count scales with the sample so the
+// expected count per window stays moderate.
+func indexOfDispersion(times []float64, span float64) float64 {
+	bins := len(times) / 8
+	if bins < 8 {
+		bins = 8
+	}
+	if bins > 256 {
+		bins = 256
+	}
+	counts := make([]float64, bins)
+	t0 := times[0]
+	for _, t := range times {
+		b := int((t - t0) / span * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	m := mean(counts)
+	if m == 0 {
+		return 0
+	}
+	var ss float64
+	for _, c := range counts {
+		d := c - m
+		ss += d * d
+	}
+	return ss / float64(len(counts)) / m
+}
+
+// exponentialKS is the one-sample KS distance of the inter-arrival times
+// against Exp(mean = meanIA). The gaps arise in time order, so they are
+// sorted first — ksDistance walks an ascending empirical CDF.
+func exponentialKS(times []float64, meanIA float64) float64 {
+	if meanIA <= 0 || len(times) < 2 {
+		return 0
+	}
+	gaps := make([]float64, 0, len(times)-1)
+	for i := 1; i < len(times); i++ {
+		gaps = append(gaps, times[i]-times[i-1])
+	}
+	sort.Float64s(gaps)
+	return ksDistance(gaps, func(x float64) float64 {
+		return 1 - math.Exp(-x/meanIA)
+	})
+}
+
+// spikeCluster is one maximal run of arrivals separated by gaps below the
+// clustering threshold, large enough to count as a load spike.
+type spikeCluster struct {
+	first, last float64
+	size        int
+}
+
+// spikeClusters groups sorted arrivals into spikes: maximal runs whose
+// consecutive gaps are ≤ gapThreshold, kept when they hold ≥ minSpikeSize
+// apps. It returns the spikes and the total number of apps inside them.
+func spikeClusters(times []float64, gapThreshold float64) ([]spikeCluster, int) {
+	var clusters []spikeCluster
+	clustered := 0
+	start := 0
+	flush := func(end int) { // [start, end) is one run
+		if n := end - start; n >= minSpikeSize {
+			clusters = append(clusters, spikeCluster{first: times[start], last: times[end-1], size: n})
+			clustered += n
+		}
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i]-times[i-1] > gapThreshold {
+			flush(i)
+			start = i
+		}
+	}
+	flush(len(times))
+	return clusters, clustered
+}
+
+// backgroundMeanIA estimates the mean inter-arrival of the non-spike traffic:
+// the span MLE over arrivals outside every detected cluster.
+func backgroundMeanIA(times []float64, clusters []spikeCluster) float64 {
+	inSpike := func(t float64) bool {
+		for _, c := range clusters {
+			if t >= c.first && t <= c.last {
+				return true
+			}
+		}
+		return false
+	}
+	var first, last float64
+	n := 0
+	for _, t := range times {
+		if inSpike(t) {
+			continue
+		}
+		if n == 0 {
+			first = t
+		}
+		last = t
+		n++
+	}
+	if n < 2 || last <= first {
+		return 0
+	}
+	return (last - first) / float64(n-1)
+}
+
+// diurnalAmplitude estimates the relative amplitude of the first harmonic of
+// the arrival rate at the standard day period, via coverage-corrected
+// time-of-day rate binning: arrivals are folded modulo the period into
+// diurnalBins bins, each bin's count is normalised by how much of the
+// observation window falls into it, and the binned rates' first Fourier
+// coefficient yields the amplitude the Lewis-thinning generator would need to
+// reproduce the shape. For λ(t) = λ̄(1 + a·sin(2πt/P)) the estimate converges
+// to a.
+func diurnalAmplitude(times []float64, span float64) float64 {
+	const p = float64(diurnalPeriod)
+	binWidth := p / diurnalBins
+	t0 := times[0]
+
+	counts := make([]float64, diurnalBins)
+	for _, t := range times {
+		b := int(math.Mod(t-t0, p) / binWidth)
+		if b >= diurnalBins {
+			b = diurnalBins - 1
+		}
+		counts[b]++
+	}
+
+	// Coverage of each time-of-day bin by the window [0, span): every full
+	// period covers each bin once; the remainder covers a prefix.
+	full := math.Floor(span / p)
+	rem := span - full*p
+	rates := make([]float64, diurnalBins)
+	var rateSum float64
+	for b := range rates {
+		cov := full * binWidth
+		lo, hi := float64(b)*binWidth, float64(b+1)*binWidth
+		if rem > lo {
+			cov += math.Min(rem, hi) - lo
+		}
+		if cov <= 0 {
+			return 0 // span < one bin; caller guards span ≥ p anyway
+		}
+		rates[b] = counts[b] / cov
+		rateSum += rates[b]
+	}
+	rBar := rateSum / diurnalBins
+	if rBar == 0 {
+		return 0
+	}
+
+	var re, im float64
+	for b := range rates {
+		theta := 2 * math.Pi * (float64(b) + 0.5) / diurnalBins
+		w := rates[b]/rBar - 1
+		re += w * math.Cos(theta)
+		im += w * math.Sin(theta)
+	}
+	return 2 / float64(diurnalBins) * math.Hypot(re, im)
+}

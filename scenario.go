@@ -40,6 +40,9 @@ type ScenarioFactory func(params ScenarioParams) ([]*App, error)
 type scenarioEntry struct {
 	description string
 	factory     ScenarioFactory
+	// fit carries the calibration report of scenarios registered through
+	// RegisterCalibratedScenario; nil for built-ins and plain registrations.
+	fit *FitReport
 }
 
 var (
@@ -52,6 +55,13 @@ var (
 // cmd/tracegen. The description is surfaced by DescribeScenario and the
 // tracegen list subcommand. Registering a name twice is an error.
 func RegisterScenario(name, description string, factory ScenarioFactory) error {
+	return registerScenario(name, description, factory, nil)
+}
+
+// registerScenario is the shared registration path; fit is non-nil for
+// calibrated scenarios (RegisterCalibratedScenario) and surfaces through
+// DescribeScenario and ScenarioFit.
+func registerScenario(name, description string, factory ScenarioFactory, fit *FitReport) error {
 	if name == "" || factory == nil {
 		return fmt.Errorf("themis: scenario registration needs a name and a factory")
 	}
@@ -60,7 +70,7 @@ func RegisterScenario(name, description string, factory ScenarioFactory) error {
 	if _, dup := scenarios[name]; dup {
 		return fmt.Errorf("themis: scenario %q already registered", name)
 	}
-	scenarios[name] = scenarioEntry{description: description, factory: factory}
+	scenarios[name] = scenarioEntry{description: description, factory: factory, fit: fit}
 	return nil
 }
 
