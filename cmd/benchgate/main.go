@@ -1,0 +1,207 @@
+// Command benchgate compares two `go test -json -bench` output streams — a
+// checked-in baseline and the current run — and fails when a benchmark has
+// slowed down beyond tolerance.
+//
+// Raw ns/op is not comparable across machines, so the gate normalises: each
+// benchmark's slowdown ratio (current/baseline ns/op) is divided by the
+// median ratio across all shared benchmarks. A uniformly slower machine moves
+// every ratio equally and cancels out; only benchmarks that regressed
+// relative to the rest of the suite trip the gate.
+//
+//	go test -run '^$' -bench . -benchtime 1x -json ./internal/sim/ ./internal/pack/ > BENCH_current.json
+//	benchgate -baseline BENCH_baseline.json -current BENCH_current.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "baseline `go test -json` bench stream")
+		currentPath  = flag.String("current", "", "current `go test -json` bench stream to gate")
+		tolerance    = flag.Float64("tolerance", 0.15, "maximum allowed median-normalised slowdown (0.15 = 15%)")
+	)
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+	baseline, err := loadBench(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	current, err := loadBench(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	report, failed := gate(baseline, current, *tolerance)
+	fmt.Print(report)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// benchLine matches a full textual benchmark result line:
+// "BenchmarkName-8    10    123456 ns/op ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+// nsPerOp extracts the timing from a result fragment: "1   7177466 ns/op ...".
+var nsPerOp = regexp.MustCompile(`(?:^|\s)([0-9.]+) ns/op`)
+
+// loadBench extracts benchmark name → ns/op from a `go test -json` stream.
+// The test2json encoder splits a benchmark's name and its result line across
+// separate output events, so the event's Test field — the canonical name,
+// free of the "-N" GOMAXPROCS suffix — is the reliable key. Plain `go test
+// -bench` text output works too: full result lines are scanned directly,
+// with the GOMAXPROCS suffix stripped. A benchmark appearing multiple times
+// keeps its minimum (the least noisy sample).
+func loadBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := make(map[string]float64)
+	record := func(name string, ns float64) {
+		if ns <= 0 {
+			return
+		}
+		if prev, ok := out[name]; !ok || ns < prev {
+			out[name] = ns
+		}
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		var event struct {
+			Action string `json:"Action"`
+			Test   string `json:"Test"`
+			Output string `json:"Output"`
+		}
+		if strings.HasPrefix(line, "{") && json.Unmarshal([]byte(line), &event) == nil {
+			if event.Action != "output" || !strings.Contains(event.Output, "ns/op") {
+				continue
+			}
+			if event.Test != "" {
+				if m := nsPerOp.FindStringSubmatch(event.Output); m != nil {
+					if ns, err := strconv.ParseFloat(m[1], 64); err == nil {
+						record(event.Test, ns)
+					}
+				}
+				continue
+			}
+			line = strings.TrimSpace(event.Output)
+		}
+		if m := benchLine.FindStringSubmatch(line); m != nil {
+			if ns, err := strconv.ParseFloat(m[2], 64); err == nil {
+				record(trimProcSuffix(m[1]), ns)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark results found in %s", path)
+	}
+	return out, nil
+}
+
+// trimProcSuffix drops the trailing "-N" GOMAXPROCS marker from a benchmark
+// name, if present.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// gate compares current against baseline and renders a verdict table. It
+// fails when any shared benchmark's median-normalised slowdown exceeds
+// 1+tolerance. Benchmarks present on only one side are reported but never
+// fail the gate (they have nothing to regress against).
+func gate(baseline, current map[string]float64, tolerance float64) (string, bool) {
+	var shared []string
+	for name := range current {
+		if _, ok := baseline[name]; ok {
+			shared = append(shared, name)
+		}
+	}
+	sort.Strings(shared)
+	if len(shared) == 0 {
+		return "benchgate: no benchmarks shared between baseline and current\n", true
+	}
+
+	ratios := make([]float64, len(shared))
+	for i, name := range shared {
+		ratios[i] = current[name] / baseline[name]
+	}
+	med := median(ratios)
+
+	var b strings.Builder
+	failed := false
+	fmt.Fprintf(&b, "benchgate: %d shared benchmarks, median ratio %.3f, tolerance %.0f%%\n",
+		len(shared), med, tolerance*100)
+	for i, name := range shared {
+		normalized := ratios[i] / med
+		verdict := "ok"
+		if normalized > 1+tolerance {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Fprintf(&b, "  %-60s %12.0f -> %12.0f ns/op  ratio %.3f  normalized %.3f  %s\n",
+			name, baseline[name], current[name], ratios[i], normalized, verdict)
+	}
+	for _, name := range sortedKeys(current) {
+		if _, ok := baseline[name]; !ok {
+			fmt.Fprintf(&b, "  %-60s (new, not in baseline)\n", name)
+		}
+	}
+	for _, name := range sortedKeys(baseline) {
+		if _, ok := current[name]; !ok {
+			fmt.Fprintf(&b, "  %-60s (missing from current run)\n", name)
+		}
+	}
+	if failed {
+		fmt.Fprintf(&b, "benchgate: FAIL — benchmark(s) slowed down >%.0f%% beyond the suite median\n", tolerance*100)
+	} else {
+		fmt.Fprintf(&b, "benchgate: ok\n")
+	}
+	return b.String(), failed
+}
+
+func median(values []float64) float64 {
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkSimEventCore/heap/apps-64-8": "BenchmarkSimEventCore/heap/apps-64",
+		"BenchmarkPackSimCluster-16":           "BenchmarkPackSimCluster",
+		"BenchmarkNoSuffix":                    "BenchmarkNoSuffix",
+		"BenchmarkTrailing-dash":               "BenchmarkTrailing-dash",
+	}
+	for in, want := range cases {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLoadBenchParsesJSONAndText(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	content := strings.Join([]string{
+		// test2json splits name and result: the Test field carries the name.
+		`{"Action":"output","Package":"p","Test":"BenchmarkA/sub","Output":"   10   1500 ns/op\n"}`,
+		`{"Action":"run","Package":"p"}`,
+		`BenchmarkB-8   100   250.5 ns/op   12 B/op`,
+		`{"Action":"output","Package":"p","Output":"ok  \tp\t0.5s\n"}`,
+		// Combined name+result in one event still parses via the Test field.
+		`{"Action":"output","Package":"p","Test":"BenchmarkA/sub","Output":"BenchmarkA/sub      \t   10   1200 ns/op\n"}`,
+	}, "\n")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkA/sub"] != 1200 { // duplicate keeps the minimum
+		t.Errorf("BenchmarkA/sub = %v, want 1200", got["BenchmarkA/sub"])
+	}
+	if got["BenchmarkB"] != 250.5 {
+		t.Errorf("BenchmarkB = %v, want 250.5", got["BenchmarkB"])
+	}
+}
+
+func TestGateNormalisesMachineSpeed(t *testing.T) {
+	baseline := map[string]float64{"a": 100, "b": 200, "c": 400}
+	// Current machine is uniformly 3x slower: every ratio is 3, the median
+	// normalises them all to 1, and the gate passes.
+	current := map[string]float64{"a": 300, "b": 600, "c": 1200}
+	report, failed := gate(baseline, current, 0.15)
+	if failed {
+		t.Errorf("uniform slowdown tripped the gate:\n%s", report)
+	}
+}
+
+func TestGateCatchesRelativeRegression(t *testing.T) {
+	baseline := map[string]float64{"a": 100, "b": 200, "c": 400}
+	// Same 3x machine, but "c" additionally regressed 2x relative to peers.
+	current := map[string]float64{"a": 300, "b": 600, "c": 2400}
+	report, failed := gate(baseline, current, 0.15)
+	if !failed {
+		t.Errorf("relative regression passed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "FAIL") {
+		t.Errorf("report does not flag the failure:\n%s", report)
+	}
+}
+
+func TestGateIgnoresUnsharedBenchmarks(t *testing.T) {
+	baseline := map[string]float64{"a": 100, "gone": 50}
+	current := map[string]float64{"a": 100, "new": 75}
+	report, failed := gate(baseline, current, 0.15)
+	if failed {
+		t.Errorf("unshared benchmarks tripped the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "new, not in baseline") || !strings.Contains(report, "missing from current") {
+		t.Errorf("report does not mention unshared benchmarks:\n%s", report)
+	}
+}

@@ -8,6 +8,7 @@
 //
 //	themis-sim -cluster sim -policy themis -apps 50
 //	themis-sim -cluster testbed -policy tiresias -apps 30 -scale 0.2
+//	themis-sim -cluster sim-fabric -packer pack-to-empty -apps 50
 //	themis-sim -scenario heavy-tailed -apps 40 -policy themis
 //	themis-sim -scenario fitted.json -apps 40 -seed 7
 //	themis-sim -trace trace.json -policy gandiva
@@ -26,8 +27,9 @@ import (
 
 func main() {
 	var (
-		clusterKind = flag.String("cluster", "sim", "cluster topology: 'sim' (256 GPUs) or 'testbed' (50 GPUs)")
+		clusterKind = flag.String("cluster", "sim", "cluster topology: "+strings.Join(themis.Clusters(), ", "))
 		policyName  = flag.String("policy", "themis", "scheduling policy: "+strings.Join(themis.Policies(), ", "))
+		packerName  = flag.String("packer", "", "placement engine for policy grants: "+strings.Join(themis.Packers(), ", ")+" (empty: policies place their own)")
 		numApps     = flag.Int("apps", 30, "number of apps to generate (ignored with -trace)")
 		seed        = flag.Int64("seed", 1, "workload generation seed")
 		scale       = flag.Float64("scale", 1.0, "job duration scale factor")
@@ -54,6 +56,7 @@ func main() {
 		themis.WithFairnessKnob(*fairness),
 		themis.WithBidError(*bidError),
 		themis.WithHorizon(*horizon),
+		themis.WithPacker(*packerName),
 	}
 	switch {
 	case *tracePath != "" && *scenario != "":
@@ -135,6 +138,9 @@ func run(clusterKind string, perApp bool, opts []themis.Option) error {
 	fmt.Printf("mean completion time %.1f min (p95 %.1f)\n", sum.MeanCompletionTime, sum.P95CompletionTime)
 	fmt.Printf("mean placement score %.3f\n", sum.MeanPlacementScore)
 	fmt.Printf("cluster GPU time     %.0f GPU-min\n", sum.GPUTime)
+	fr := rep.Fragmentation
+	fmt.Printf("fragmentation        score mean %.3f / peak %.3f (free GPUs %.1f; largest blocks: machine %.1f, rack %.1f, domain %.1f)\n",
+		fr.MeanScore, fr.PeakScore, fr.MeanFreeGPUs, fr.MeanLargestMachineBlock, fr.MeanLargestRackBlock, fr.MeanLargestDomainBlock)
 
 	if st := rep.Auction; st != nil {
 		fmt.Printf("auctions             %d (offers %d, GPUs auctioned %d, leftover %d)\n",

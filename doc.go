@@ -34,8 +34,8 @@
 // cancels the rest. The sweep engine also powers themis/experiments: every
 // figure constructor fans its {parameter, seed, scheme} grid across
 // Options.Workers goroutines with results identical to a sequential run.
-// The Grid type expands a Policies × Scenarios × Seeds cross product into
-// sweep specs declaratively.
+// The Grid type expands a Policies × Clusters × Scenarios × Seeds cross
+// product into sweep specs declaratively.
 //
 // Workloads come from a scenario library mirroring the policy registry:
 // GenerateScenario("paper-mix"|"diurnal"|"heavy-tailed"|"bursty"|
@@ -52,10 +52,25 @@
 //
 // Traces use format v2: an optional per-app PlacementSpec block carries the
 // placement-sensitivity profile name and locality constraints (per-machine
-// GPU floor, machine-spread cap) on the wire, and ToApps threads them into
-// the simulator's placement scoring, so a constrained trace replays with
-// locality-sensitive scheduling anywhere. v1 traces load unchanged
-// (lossless upgrade-on-read; SupportedTraceVersions lists both).
+// GPU floor, machine-spread cap, fabric-domain and GPU-flavor affinities)
+// on the wire, and ToApps threads them into the simulator's placement
+// scoring, so a constrained trace replays with locality-sensitive
+// scheduling anywhere. v1 traces load unchanged (lossless upgrade-on-read;
+// SupportedTraceVersions lists both).
+//
+// Clusters are hierarchical and registered like policies: Cluster builds a
+// registered topology by name ("sim", "testbed", or the three-fabric-domain
+// "sim-fabric"), RegisterCluster extends the registry, and BuildTopology
+// constructs one from a declarative TopologySpec — regions of named fabric
+// domains of racks of machine groups, the names resolving trace placement
+// blocks and job affinities. LiftTopology exposes the indexed hierarchy
+// view (TopologyTree) over any topology. Placement values the hierarchy
+// (slot / machine / rack / domain / cross-domain locality), and WithPacker
+// routes every policy grant through a registered placement engine — the
+// built-in "pack-to-empty" packs gangs machine- and domain-local,
+// spilling across domains by free capacity — while Report.Fragmentation
+// summarises, time-weighted, how the free pool fragmented across the
+// hierarchy during the run.
 //
 // The calibration subsystem closes the loop between real traces and
 // synthetic scenarios: FitScenario (or FitTrace) learns a full

@@ -38,12 +38,14 @@ func TestGoldenFitReports(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			// Policies: themis plus one baseline that replays constrained
-			// traces to completion (tiresias loops forever on philly-small's
-			// min-GPUs-per-machine job — see ROADMAP). The horizon is a
-			// backstop so golden regeneration can never hang.
+			// Policies: themis plus two baselines. Tiresias once looped
+			// forever on philly-small's min-GPUs-per-machine job; the
+			// simulator's constrained-grant repair fixed that (see the
+			// regression test in internal/schedulers), so it replays here
+			// again. The horizon is a backstop so golden regeneration can
+			// never hang.
 			res, err := CalibratedStudy(context.Background(), 2, tr,
-				[]string{"themis", "gandiva"}, []int64{1, 2, 3},
+				[]string{"themis", "gandiva", "tiresias"}, []int64{1, 2, 3},
 				themis.WithCluster("testbed"), themis.WithHorizon(50000))
 			if err != nil {
 				t.Fatal(err)

@@ -1,0 +1,196 @@
+package themis
+
+// Golden determinism tests for the hierarchical topology path: a hand-built
+// workload with fabric-domain affinities and per-machine floors replays on
+// the multi-domain "sim-fabric" cluster, with and without the pack-to-empty
+// engine, and the Reports — fragmentation stats included — are compared
+// byte-for-byte against snapshots. Where golden_test.go pins the flat-cluster
+// event core, these pin the domain-aware valuation (the "cross-domain"
+// locality level), constraint-aware splitting, grant re-materialisation and
+// the fragmentation accounting.
+//
+// Regenerate deliberately with:
+//
+//	go test -run TestGoldenFabricReports -update .
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fabricGoldenApps hand-builds a fixed workload exercising the hierarchy:
+// domain-pinned apps (including one pinned to the small mixed pod), a
+// machine-floor gang, and unconstrained fillers that the packer is free to
+// re-home.
+func fabricGoldenApps(t testing.TB) []*App {
+	t.Helper()
+	model := func(name string) Profile {
+		p, err := Model(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	type jobSpec struct {
+		work   float64
+		gang   int
+		domain string
+		minPer int
+	}
+	mkApp := func(id AppID, submit float64, profile string, jobs ...jobSpec) *App {
+		trials := make([]*Job, len(jobs))
+		for i, js := range jobs {
+			j := NewJob(id, i, js.work, js.gang)
+			j.DomainAffinity = js.domain
+			j.MinGPUsPerMachine = js.minPer
+			trials[i] = j
+		}
+		app, err := NewApp(id, submit, model(profile), trials)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return app
+	}
+	return []*App{
+		mkApp("pinned-a", 0, "VGG16",
+			jobSpec{work: 240, gang: 8, domain: "pod-a"},
+			jobSpec{work: 160, gang: 4, domain: "pod-a"}),
+		mkApp("pinned-c", 5, "ResNet50",
+			jobSpec{work: 120, gang: 4, domain: "pod-c"},
+			jobSpec{work: 120, gang: 2, domain: "pod-c"}),
+		mkApp("floor", 10, "VGG16",
+			jobSpec{work: 200, gang: 4, minPer: 2},
+			jobSpec{work: 100, gang: 4, minPer: 2}),
+		mkApp("free-1", 15, "Inceptionv3",
+			jobSpec{work: 180, gang: 4},
+			jobSpec{work: 90, gang: 2},
+			jobSpec{work: 60, gang: 1}),
+		mkApp("free-2", 20, "DeepSpeech",
+			jobSpec{work: 150, gang: 8}),
+		mkApp("free-3", 25, "ResNet50",
+			jobSpec{work: 80, gang: 2},
+			jobSpec{work: 80, gang: 2}),
+	}
+}
+
+// fabricGoldenVariants names the pinned configurations: the Themis policy on
+// the three-domain cluster, with the policy's own placement and with grants
+// re-materialised by the pack-to-empty engine.
+var fabricGoldenVariants = []struct {
+	name   string
+	packer string
+}{
+	{"fabric-themis", ""},
+	{"fabric-themis-packed", PackerPackToEmpty},
+}
+
+func TestGoldenFabricReports(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("golden snapshots are byte-exact only on amd64 (running on %s)", runtime.GOARCH)
+	}
+	for _, v := range fabricGoldenVariants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			opts := []Option{
+				WithCluster(ClusterSimFabric),
+				WithApps(fabricGoldenApps(t)...),
+				WithPolicy("themis"),
+				WithSeed(7),
+				WithHorizon(20000),
+			}
+			if v.packer != "" {
+				opts = append(opts, WithPacker(v.packer))
+			}
+			sim, err := NewSimulation(opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			report, err := sim.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := serializeReport(report) + serializeFragmentation(report)
+			path := filepath.Join("testdata", "golden", v.name+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading golden snapshot (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("fabric report %s diverged from golden snapshot %s\n%s",
+					v.name, path, diffSnippet(string(want), got))
+			}
+		})
+	}
+}
+
+// serializeFragmentation renders Report.Fragmentation in the goldens' stable
+// float form. It is appended to serializeReport only by the fabric goldens:
+// the flat-cluster snapshots predate fragmentation tracking and stay
+// byte-identical.
+func serializeFragmentation(r *Report) string {
+	var b strings.Builder
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	f := r.Fragmentation
+	fmt.Fprintf(&b, "frag free=%s score-mean=%s score-peak=%s\n",
+		g(f.MeanFreeGPUs), g(f.MeanScore), g(f.PeakScore))
+	fmt.Fprintf(&b, "frag blocks machine=%s rack=%s domain=%s\n",
+		g(f.MeanLargestMachineBlock), g(f.MeanLargestRackBlock), g(f.MeanLargestDomainBlock))
+	return b.String()
+}
+
+// TestFabricDomainPinningRespected asserts the replayed goldens' substance
+// independent of snapshots: every app (domain-pinned ones included) finishes,
+// and pack-to-empty achieves its objective — keeping the free pool
+// consolidated into larger domain-level empty blocks than the policy's own
+// placement leaves behind.
+func TestFabricDomainPinningRespected(t *testing.T) {
+	run := func(packer string) *Report {
+		opts := []Option{
+			WithCluster(ClusterSimFabric),
+			WithApps(fabricGoldenApps(t)...),
+			WithPolicy("themis"),
+			WithSeed(7),
+			WithHorizon(20000),
+		}
+		if packer != "" {
+			opts = append(opts, WithPacker(packer))
+		}
+		sim, err := NewSimulation(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sim.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	plain := run("")
+	packed := run(PackerPackToEmpty)
+	for _, rep := range []*Report{plain, packed} {
+		if rep.Summary.AppsFinished != rep.Summary.AppsTotal {
+			t.Fatalf("only %d/%d apps finished on sim-fabric", rep.Summary.AppsFinished, rep.Summary.AppsTotal)
+		}
+		if rep.Fragmentation.MeanLargestDomainBlock < rep.Fragmentation.MeanLargestRackBlock {
+			t.Errorf("fragmentation blocks unordered: domain %v < rack %v",
+				rep.Fragmentation.MeanLargestDomainBlock, rep.Fragmentation.MeanLargestRackBlock)
+		}
+	}
+	if packed.Fragmentation.MeanLargestDomainBlock+1e-9 < plain.Fragmentation.MeanLargestDomainBlock {
+		t.Errorf("pack-to-empty left the free pool more fragmented: largest domain block packed %v < plain %v",
+			packed.Fragmentation.MeanLargestDomainBlock, plain.Fragmentation.MeanLargestDomainBlock)
+	}
+}

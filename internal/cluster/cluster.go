@@ -19,6 +19,14 @@ type MachineID int
 // RackID identifies a rack. IDs are dense, starting at 0.
 type RackID int
 
+// DomainID identifies a fabric domain: a group of racks sharing a fast
+// interconnect fabric (a pod or NVLink/InfiniBand spine). IDs are dense,
+// starting at 0. Flat topologies place every rack in domain 0, so a Topology
+// built without explicit domains behaves exactly as it did before domains
+// existed — the hierarchy only differentiates once a topology declares more
+// than one domain (see the topology package's Spec and Lift).
+type DomainID int
+
 // GPUType labels the accelerator model installed in a machine. The scheduler
 // treats all GPUs as interchangeable for capacity purposes (as the paper
 // does), but the type is carried through for reporting.
@@ -35,8 +43,12 @@ const (
 
 // Machine describes one server in the cluster.
 type Machine struct {
-	ID       MachineID
-	Rack     RackID
+	ID   MachineID
+	Rack RackID
+	// Domain is the fabric domain housing the machine's rack. The zero value
+	// places the machine in domain 0, so flat topologies form a single-domain
+	// hierarchy automatically. All machines of one rack must share a domain.
+	Domain   DomainID
 	NumGPUs  int
 	SlotSize int // GPUs per NVLink slot; NumGPUs is a multiple of SlotSize
 	GPU      GPUType
@@ -58,13 +70,16 @@ func (m Machine) Validate() error {
 
 // Topology is an immutable description of the cluster hardware.
 type Topology struct {
-	machines []Machine
-	byRack   map[RackID][]MachineID
-	total    int
+	machines    []Machine
+	byRack      map[RackID][]MachineID
+	byDomain    map[DomainID][]MachineID
+	domainNames map[DomainID]string
+	total       int
 }
 
 // NewTopology builds a Topology from a set of machines. Machine IDs must be
-// dense (0..n-1) and unique.
+// dense (0..n-1) and unique, domain IDs non-negative, and every rack must lie
+// entirely within one fabric domain.
 func NewTopology(machines []Machine) (*Topology, error) {
 	if len(machines) == 0 {
 		return nil, fmt.Errorf("topology needs at least one machine")
@@ -72,8 +87,10 @@ func NewTopology(machines []Machine) (*Topology, error) {
 	t := &Topology{
 		machines: make([]Machine, len(machines)),
 		byRack:   make(map[RackID][]MachineID),
+		byDomain: make(map[DomainID][]MachineID),
 	}
 	seen := make(map[MachineID]bool, len(machines))
+	rackDomain := make(map[RackID]DomainID)
 	for _, m := range machines {
 		if err := m.Validate(); err != nil {
 			return nil, err
@@ -84,12 +101,23 @@ func NewTopology(machines []Machine) (*Topology, error) {
 		if seen[m.ID] {
 			return nil, fmt.Errorf("duplicate machine ID %d", m.ID)
 		}
+		if m.Domain < 0 {
+			return nil, fmt.Errorf("machine %d: negative fabric domain %d", m.ID, m.Domain)
+		}
+		if d, ok := rackDomain[m.Rack]; ok && d != m.Domain {
+			return nil, fmt.Errorf("rack %d straddles fabric domains %d and %d", m.Rack, d, m.Domain)
+		}
+		rackDomain[m.Rack] = m.Domain
 		seen[m.ID] = true
 		t.machines[m.ID] = m
 		t.byRack[m.Rack] = append(t.byRack[m.Rack], m.ID)
+		t.byDomain[m.Domain] = append(t.byDomain[m.Domain], m.ID)
 		t.total += m.NumGPUs
 	}
 	for _, ids := range t.byRack {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
+	for _, ids := range t.byDomain {
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	}
 	return t, nil
@@ -134,6 +162,85 @@ func (t *Topology) Racks() []RackID {
 
 // Rack returns the rack housing machine id.
 func (t *Topology) Rack(id MachineID) RackID { return t.machines[id].Rack }
+
+// NumDomains returns the number of fabric domains in the cluster. Flat
+// topologies report 1.
+func (t *Topology) NumDomains() int { return len(t.byDomain) }
+
+// Domain returns the fabric domain housing machine id.
+func (t *Topology) Domain(id MachineID) DomainID { return t.machines[id].Domain }
+
+// Domains returns all fabric-domain IDs in ascending order.
+func (t *Topology) Domains() []DomainID {
+	out := make([]DomainID, 0, len(t.byDomain))
+	for d := range t.byDomain {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MachinesInDomain returns the machine IDs in a fabric domain, ordered by ID.
+func (t *Topology) MachinesInDomain(d DomainID) []MachineID {
+	ids := t.byDomain[d]
+	out := make([]MachineID, len(ids))
+	copy(out, ids)
+	return out
+}
+
+// RacksInDomain returns the rack IDs inside a fabric domain, ascending.
+func (t *Topology) RacksInDomain(d DomainID) []RackID {
+	seen := make(map[RackID]bool)
+	var out []RackID
+	for _, id := range t.byDomain[d] {
+		r := t.machines[id].Rack
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SetDomainName attaches a human-readable name to a fabric domain, used by
+// trace placement blocks to target domains by name. Unknown domains are
+// rejected so topology builders catch typos early.
+func (t *Topology) SetDomainName(d DomainID, name string) error {
+	if _, ok := t.byDomain[d]; !ok {
+		return fmt.Errorf("cluster: no fabric domain %d", d)
+	}
+	if t.domainNames == nil {
+		t.domainNames = make(map[DomainID]string)
+	}
+	t.domainNames[d] = name
+	return nil
+}
+
+// DomainName returns the name of a fabric domain, defaulting to
+// "domain-<id>" when none was set.
+func (t *Topology) DomainName(d DomainID) string {
+	if name, ok := t.domainNames[d]; ok {
+		return name
+	}
+	return fmt.Sprintf("domain-%d", d)
+}
+
+// DomainByName resolves a fabric domain by its name, accepting both assigned
+// names and the "domain-<id>" defaults.
+func (t *Topology) DomainByName(name string) (DomainID, bool) {
+	for d, n := range t.domainNames {
+		if n == name {
+			return d, true
+		}
+	}
+	for d := range t.byDomain {
+		if fmt.Sprintf("domain-%d", d) == name {
+			return d, true
+		}
+	}
+	return 0, false
+}
 
 // Config describes a synthetic cluster to construct. It is the programmatic
 // equivalent of a cluster spec file.

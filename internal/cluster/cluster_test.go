@@ -200,7 +200,7 @@ func TestLocality(t *testing.T) {
 		{Alloc{0: 2}, LocalitySlot, 1.0},
 		{Alloc{0: 4}, LocalityMachine, 0.9},
 		{Alloc{0: 2, 1: 2}, LocalityRack, 0.7},
-		{Alloc{0: 2, 2: 2}, LocalityNone, 0.5},
+		{Alloc{0: 2, 2: 2}, LocalityDomain, 0.5},
 	}
 	for _, c := range cases {
 		if got := LocalityOf(topo, c.alloc); got != c.want {
@@ -211,8 +211,97 @@ func TestLocality(t *testing.T) {
 		}
 	}
 	st := Spread(topo, Alloc{0: 1, 1: 1, 2: 1})
-	if st.Machines != 3 || st.Racks != 2 || st.Locality != LocalityNone {
+	if st.Machines != 3 || st.Racks != 2 || st.Domains != 1 || st.Locality != LocalityDomain {
 		t.Errorf("Spread = %+v", st)
+	}
+}
+
+func TestLocalityMultiDomain(t *testing.T) {
+	// two fabric domains, two racks each, one 4-GPU machine per rack
+	var machines []Machine
+	for i := 0; i < 4; i++ {
+		machines = append(machines, Machine{
+			ID: MachineID(i), Rack: RackID(i), Domain: DomainID(i / 2),
+			NumGPUs: 4, SlotSize: 2,
+		})
+	}
+	topo, err := NewTopology(machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.NumDomains(); got != 2 {
+		t.Fatalf("NumDomains = %d, want 2", got)
+	}
+	cases := []struct {
+		alloc Alloc
+		want  Locality
+		score float64
+	}{
+		{Alloc{0: 2, 1: 2}, LocalityDomain, 0.5},
+		{Alloc{0: 2, 2: 2}, LocalityNone, 0.35},
+		{Alloc{2: 2, 3: 2}, LocalityDomain, 0.5},
+	}
+	for _, c := range cases {
+		if got := LocalityOf(topo, c.alloc); got != c.want {
+			t.Errorf("LocalityOf(%v) = %v, want %v", c.alloc, got, c.want)
+		}
+		if got := PlacementScore(topo, c.alloc); got != c.score {
+			t.Errorf("PlacementScore(%v) = %v, want %v", c.alloc, got, c.score)
+		}
+	}
+	st := Spread(topo, Alloc{0: 1, 2: 1})
+	if st.Domains != 2 || st.Locality != LocalityNone {
+		t.Errorf("Spread = %+v", st)
+	}
+}
+
+func TestTopologyDomainAccessors(t *testing.T) {
+	machines := []Machine{
+		{ID: 0, Rack: 0, Domain: 0, NumGPUs: 4, SlotSize: 2},
+		{ID: 1, Rack: 0, Domain: 0, NumGPUs: 4, SlotSize: 2},
+		{ID: 2, Rack: 1, Domain: 1, NumGPUs: 2, SlotSize: 2},
+	}
+	topo, err := NewTopology(machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.Domains(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Domains = %v", got)
+	}
+	if got := topo.MachinesInDomain(0); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("MachinesInDomain(0) = %v", got)
+	}
+	if got := topo.RacksInDomain(1); len(got) != 1 || got[0] != 1 {
+		t.Errorf("RacksInDomain(1) = %v", got)
+	}
+	if got := topo.DomainName(1); got != "domain-1" {
+		t.Errorf("default DomainName = %q", got)
+	}
+	if err := topo.SetDomainName(1, "pod-east"); err != nil {
+		t.Fatalf("SetDomainName: %v", err)
+	}
+	if got := topo.DomainName(1); got != "pod-east" {
+		t.Errorf("DomainName after set = %q", got)
+	}
+	if d, ok := topo.DomainByName("pod-east"); !ok || d != 1 {
+		t.Errorf("DomainByName(pod-east) = %d, %v", d, ok)
+	}
+	if d, ok := topo.DomainByName("domain-0"); !ok || d != 0 {
+		t.Errorf("DomainByName(domain-0) = %d, %v", d, ok)
+	}
+	if _, ok := topo.DomainByName("nope"); ok {
+		t.Error("DomainByName(nope) should miss")
+	}
+	if err := topo.SetDomainName(7, "x"); err == nil {
+		t.Error("SetDomainName on unknown domain should fail")
+	}
+	// a rack straddling two domains must be rejected
+	bad := []Machine{
+		{ID: 0, Rack: 0, Domain: 0, NumGPUs: 4, SlotSize: 2},
+		{ID: 1, Rack: 0, Domain: 1, NumGPUs: 4, SlotSize: 2},
+	}
+	if _, err := NewTopology(bad); err == nil {
+		t.Error("rack straddling domains should be rejected")
 	}
 }
 
@@ -221,7 +310,8 @@ func TestLocalityString(t *testing.T) {
 		LocalitySlot:    "slot",
 		LocalityMachine: "machine",
 		LocalityRack:    "rack",
-		LocalityNone:    "cross-rack",
+		LocalityDomain:  "cross-rack",
+		LocalityNone:    "cross-domain",
 		Locality(99):    "unknown",
 	}
 	for l, want := range names {

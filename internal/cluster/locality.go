@@ -13,7 +13,13 @@ const (
 	LocalityMachine
 	// LocalityRack: GPUs span machines within one rack.
 	LocalityRack
-	// LocalityNone: GPUs span racks.
+	// LocalityDomain: GPUs span racks within one fabric domain. On flat
+	// (single-domain) topologies this is the worst reachable level and keeps
+	// the score the pre-hierarchy cross-rack level had, so flat results are
+	// unchanged by the domain layer.
+	LocalityDomain
+	// LocalityNone: GPUs span fabric domains. Only reachable on topologies
+	// declaring more than one domain.
 	LocalityNone
 )
 
@@ -26,8 +32,10 @@ func (l Locality) String() string {
 		return "machine"
 	case LocalityRack:
 		return "rack"
-	case LocalityNone:
+	case LocalityDomain:
 		return "cross-rack"
+	case LocalityNone:
+		return "cross-domain"
 	default:
 		return "unknown"
 	}
@@ -54,22 +62,32 @@ func LocalityOf(topo *Topology, alloc Alloc) Locality {
 		return LocalityMachine
 	}
 	rack := topo.Rack(machines[0])
+	sameRack := true
+	domain := topo.Domain(machines[0])
 	for _, id := range machines[1:] {
 		if topo.Rack(id) != rack {
+			sameRack = false
+		}
+		if topo.Domain(id) != domain {
 			return LocalityNone
 		}
 	}
-	return LocalityRack
+	if sameRack {
+		return LocalityRack
+	}
+	return LocalityDomain
 }
 
-// PlacementScore maps an allocation to the paper's 4-level placement score
-// (§8.1 Metrics): 1.0 for slot locality, decreasing for machine, rack and
-// cross-rack spreads. A score of 1.0 indicates tightly packed GPUs.
+// PlacementScore maps an allocation to the paper's placement score (§8.1
+// Metrics): 1.0 for slot locality, decreasing for machine, rack, cross-rack
+// and cross-domain spreads. A score of 1.0 indicates tightly packed GPUs.
 func PlacementScore(topo *Topology, alloc Alloc) float64 {
 	return LocalityScore(LocalityOf(topo, alloc))
 }
 
 // LocalityScore returns the placement score associated with a locality level.
+// LocalityDomain keeps the value the flat model assigned to cross-rack
+// spreads; the cross-domain LocalityNone level scores strictly lower.
 func LocalityScore(l Locality) float64 {
 	switch l {
 	case LocalitySlot:
@@ -78,8 +96,10 @@ func LocalityScore(l Locality) float64 {
 		return 0.9
 	case LocalityRack:
 		return 0.7
-	default:
+	case LocalityDomain:
 		return 0.5
+	default:
+		return 0.35
 	}
 }
 
@@ -88,6 +108,7 @@ type SpreadStats struct {
 	GPUs     int
 	Machines int
 	Racks    int
+	Domains  int
 	Locality Locality
 	Score    float64
 }
@@ -96,14 +117,17 @@ type SpreadStats struct {
 func Spread(topo *Topology, alloc Alloc) SpreadStats {
 	machines := alloc.Machines()
 	racks := make(map[RackID]bool)
+	domains := make(map[DomainID]bool)
 	for _, m := range machines {
 		racks[topo.Rack(m)] = true
+		domains[topo.Domain(m)] = true
 	}
 	loc := LocalityOf(topo, alloc)
 	return SpreadStats{
 		GPUs:     alloc.Total(),
 		Machines: len(machines),
 		Racks:    len(racks),
+		Domains:  len(domains),
 		Locality: loc,
 		Score:    LocalityScore(loc),
 	}

@@ -93,10 +93,12 @@ func (e *RhoEstimator) TShared(now float64, total cluster.Alloc) float64 {
 	for idx, j := range active {
 		alloc := split[idx]
 		g := alloc.Total()
-		// A job whose allocation violates its placement constraint has
-		// S = 0 (§6): it contributes no finish time, so a bid built on such
-		// an allocation values out at an unbounded ρ.
-		if g == 0 || !placement.SatisfiesConstraints(alloc, j.MinGPUsPerMachine, j.MaxMachines) {
+		// A job whose allocation violates its placement constraint — the §6
+		// floor/cap or a trace v2 domain/flavor affinity — has S = 0: it
+		// contributes no finish time, so a bid built on such an allocation
+		// values out at an unbounded ρ.
+		c, ok := j.PlacementConstraint(e.Topo)
+		if g == 0 || !ok || !placement.Satisfies(e.Topo, alloc, c) {
 			continue
 		}
 		s := e.App.Profile.SOf(e.Topo, alloc)
@@ -164,6 +166,12 @@ func (e *RhoEstimator) splitAcrossJobs(total cluster.Alloc, active []*workload.J
 			want = j.GangSize
 		}
 		picked := placement.Pick(e.Topo, remaining, cluster.NewAlloc(), want)
+		if c, ok := j.PlacementConstraint(e.Topo); ok && !c.IsZero() && !placement.Satisfies(e.Topo, picked, c) {
+			// The unconstrained pick would strand these GPUs on an unrunnable
+			// shape; re-pick constraint-aware so the bid values what the
+			// simulator's job split would actually run.
+			picked = placement.PickConstrained(e.Topo, remaining, cluster.NewAlloc(), want, c)
+		}
 		out[idx] = picked
 		var err error
 		remaining, err = remaining.Sub(picked)

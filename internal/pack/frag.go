@@ -1,0 +1,122 @@
+package pack
+
+import (
+	"sort"
+
+	"themis/internal/cluster"
+	"themis/internal/topology"
+)
+
+// Bucket is one bar of a residual-capacity histogram: Count units of the
+// level (machines, racks or domains) currently hold exactly Residual free
+// GPUs.
+type Bucket struct {
+	Residual int
+	Count    int
+}
+
+// Histogram is the residual-capacity distribution at one topology level,
+// buckets sorted by ascending residual.
+type Histogram struct {
+	Level   string // "machine", "rack" or "domain"
+	Buckets []Bucket
+}
+
+// Fragmentation summarises how the free capacity of a cluster is scattered
+// across the hierarchy. A perfectly defragmented cluster concentrates all
+// free GPUs in few machines of one domain; a fragmented one strands them in
+// small per-machine residuals no gang can use.
+type Fragmentation struct {
+	// FreeGPUs is the total free capacity the histograms describe.
+	FreeGPUs int
+	// LargestMachineBlock is the largest free GPU count on any one machine —
+	// the biggest gang placeable at machine locality.
+	LargestMachineBlock int
+	// LargestDomainBlock is the largest free GPU count within any one fabric
+	// domain — the biggest gang placeable without a cross-domain cut.
+	LargestDomainBlock int
+	// Score is 1 − LargestMachineBlock/FreeGPUs: the fraction of free
+	// capacity a machine-local gang cannot reach. 0 means all free GPUs sit
+	// on one machine (or the cluster is fully busy); values near 1 mean the
+	// free capacity is dust.
+	Score float64
+	// Levels holds the per-level residual histograms (machine, rack,
+	// domain), units with zero residual included.
+	Levels []Histogram
+}
+
+// Analyze computes the fragmentation of a free vector over the tree.
+func Analyze(tree *topology.Tree, free cluster.Alloc) Fragmentation {
+	topo := tree.Topology()
+
+	machineFree := make([]int, topo.NumMachines())
+	for m, n := range free {
+		if n > 0 {
+			machineFree[m] = n
+		}
+	}
+	rackFree := tree.FreeByRack(free)
+	domainFree := tree.FreeByDomain(free)
+
+	f := Fragmentation{
+		Levels: []Histogram{
+			histogram("machine", machineFree),
+			histogram("rack", intsOfRackMap(rackFree)),
+			histogram("domain", intsOfDomainMap(domainFree)),
+		},
+	}
+	for _, n := range machineFree {
+		f.FreeGPUs += n
+		if n > f.LargestMachineBlock {
+			f.LargestMachineBlock = n
+		}
+	}
+	for _, n := range domainFree {
+		if n > f.LargestDomainBlock {
+			f.LargestDomainBlock = n
+		}
+	}
+	if f.FreeGPUs > 0 {
+		f.Score = 1 - float64(f.LargestMachineBlock)/float64(f.FreeGPUs)
+	}
+	return f
+}
+
+func histogram(level string, residuals []int) Histogram {
+	counts := make(map[int]int)
+	for _, r := range residuals {
+		counts[r]++
+	}
+	buckets := make([]Bucket, 0, len(counts))
+	for r, c := range counts {
+		buckets = append(buckets, Bucket{Residual: r, Count: c})
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].Residual < buckets[j].Residual })
+	return Histogram{Level: level, Buckets: buckets}
+}
+
+func intsOfRackMap(m map[cluster.RackID]int) []int {
+	keys := make([]cluster.RackID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+func intsOfDomainMap(m map[cluster.DomainID]int) []int {
+	keys := make([]cluster.DomainID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}

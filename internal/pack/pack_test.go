@@ -1,0 +1,380 @@
+package pack
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"strings"
+	"testing"
+
+	"themis/internal/cluster"
+	"themis/internal/placement"
+	"themis/internal/topology"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden placement plans")
+
+// buildFabric builds a test fleet of one rack per fabric domain, with the
+// given machine count per domain and 4 GPUs (slot 2) per machine.
+func buildFabric(t testing.TB, domainSizes ...int) *topology.Tree {
+	t.Helper()
+	var domains []topology.DomainSpec
+	for i, n := range domainSizes {
+		domains = append(domains, topology.DomainSpec{
+			Name: fmt.Sprintf("pod-%d", i),
+			Racks: []topology.RackSpec{{
+				Machines: []topology.MachineGroup{{Count: n, GPUs: 4, SlotSize: 2, Flavor: cluster.GPUTypeP100}},
+			}},
+		})
+	}
+	tree, err := topology.Spec{
+		Name:    "fabric",
+		Regions: []topology.RegionSpec{{Name: "r0", Domains: domains}},
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func fullyFree(tree *topology.Tree) cluster.Alloc {
+	free := cluster.NewAlloc()
+	for _, m := range tree.Topology().Machines() {
+		free[m.ID] = m.NumGPUs
+	}
+	return free
+}
+
+func TestPackPrefersLeastResidualFittingDomain(t *testing.T) {
+	tree := buildFabric(t, 4, 3, 2) // capacities 16, 12, 8
+	e := New(tree)
+	// 6 GPUs fit in every domain; the 8-GPU domain 2 has least residual.
+	plan := e.Pack(fullyFree(tree), Request{GPUs: 6})
+	if plan.Granted != 6 || plan.Domains != 1 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	for _, m := range plan.Alloc.Machines() {
+		if tree.Topology().Domain(m) != 2 {
+			t.Errorf("expected pack into domain 2 (least residual): %v", plan.Alloc)
+		}
+	}
+}
+
+func TestPackNoCutWhenDomainFits(t *testing.T) {
+	tree := buildFabric(t, 4, 3, 2)
+	e := New(tree)
+	// Drain domain 2 entirely and domain 1 partially; an 8-GPU gang still
+	// fits whole in domain 0 and must not be cut.
+	free := fullyFree(tree)
+	delete(free, 7) // domain 2
+	delete(free, 8)
+	free[4] = 1 // domain 1 mostly busy
+	plan := e.Pack(free, Request{GPUs: 8})
+	if plan.Granted != 8 {
+		t.Fatalf("granted %d, want 8", plan.Granted)
+	}
+	if plan.Domains != 1 {
+		t.Errorf("gang cut across %d domains despite a fitting domain: %v", plan.Domains, plan.Alloc)
+	}
+}
+
+func TestPackSpillsByDescendingCapacity(t *testing.T) {
+	tree := buildFabric(t, 4, 3, 2) // 16 + 12 + 8 GPUs
+	e := New(tree)
+	// 20 GPUs fit in no single domain: expect domain 0 filled whole (16)
+	// and the rest from domain 1, leaving domain 2 untouched — two cuts,
+	// not three.
+	plan := e.Pack(fullyFree(tree), Request{GPUs: 20})
+	if plan.Granted != 20 {
+		t.Fatalf("granted %d, want 20", plan.Granted)
+	}
+	if plan.Domains != 2 {
+		t.Errorf("spill spans %d domains, want 2: %v", plan.Domains, plan.Alloc)
+	}
+	for _, m := range plan.Alloc.Machines() {
+		if tree.Topology().Domain(m) == 2 {
+			t.Errorf("smallest domain should stay empty: %v", plan.Alloc)
+		}
+	}
+}
+
+func TestPackExtendsAnchorInPlace(t *testing.T) {
+	tree := buildFabric(t, 4, 3, 2)
+	e := New(tree)
+	free := fullyFree(tree)
+	anchor := cluster.Alloc{4: 2} // domain 1
+	free[4] = 2
+	plan := e.Pack(free, Request{GPUs: 4, Anchor: anchor})
+	if plan.Granted != 4 {
+		t.Fatalf("granted %d, want 4", plan.Granted)
+	}
+	for _, m := range plan.Alloc.Machines() {
+		if tree.Topology().Domain(m) != 1 {
+			t.Errorf("extension left the anchor's domain: %v", plan.Alloc)
+		}
+	}
+	if plan.Alloc[4] != 2 {
+		t.Errorf("anchor machine should fill first: %v", plan.Alloc)
+	}
+}
+
+func TestPackHonorsConstraints(t *testing.T) {
+	tree := buildFabric(t, 4, 3, 2)
+	e := New(tree)
+	free := fullyFree(tree)
+	free[0] = 1 // a 1-GPU hole the floor must skip
+
+	c := placement.Constraint{MinGPUsPerMachine: 2}
+	alloc := e.Place(free, cluster.NewAlloc(), 9, c)
+	if !placement.Satisfies(tree.Topology(), alloc, c) {
+		t.Errorf("floor violated: %v", alloc)
+	}
+
+	c = placement.Constraint{Domain: 1, HasDomain: true}
+	alloc = e.Place(free, cluster.NewAlloc(), 20, c)
+	for _, m := range alloc.Machines() {
+		if tree.Topology().Domain(m) != 1 {
+			t.Errorf("domain affinity violated: %v", alloc)
+		}
+	}
+	if alloc.Total() != 12 {
+		t.Errorf("domain 1 holds 12 GPUs, granted %d", alloc.Total())
+	}
+
+	c = placement.Constraint{MaxMachines: 2}
+	alloc = e.Place(free, cluster.NewAlloc(), 12, c)
+	if len(alloc.Machines()) > 2 {
+		t.Errorf("machine cap violated: %v", alloc)
+	}
+}
+
+// TestPackDeterministic asserts the engine is a pure function of its inputs
+// under map-iteration shuffling: free vectors built in random insertion
+// orders (and re-run many times so Go's randomised map iteration varies)
+// always produce identical plans.
+func TestPackDeterministic(t *testing.T) {
+	tree := buildFabric(t, 4, 3, 2)
+	e := New(tree)
+	rng := rand.New(rand.NewSource(42))
+	topo := tree.Topology()
+	for trial := 0; trial < 50; trial++ {
+		// random free vector
+		ids := make([]cluster.MachineID, topo.NumMachines())
+		for i := range ids {
+			ids[i] = cluster.MachineID(i)
+		}
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		free := cluster.NewAlloc()
+		for _, id := range ids {
+			if n := rng.Intn(topo.Machine(id).NumGPUs + 1); n > 0 {
+				free[id] = n
+			}
+		}
+		anchor := cluster.NewAlloc()
+		if trial%3 == 0 && free.Total() > 0 {
+			m := free.Machines()[0]
+			anchor[m] = 1
+		}
+		want := 1 + rng.Intn(12)
+		c := placement.Constraint{}
+		if trial%4 == 0 {
+			c.MinGPUsPerMachine = 2
+		}
+		first := e.Place(free.Clone(), anchor.Clone(), want, c)
+		for rep := 0; rep < 5; rep++ {
+			// rebuild the maps in a fresh random order
+			shuffled := cluster.NewAlloc()
+			perm := rng.Perm(len(ids))
+			for _, k := range perm {
+				if n, ok := free[ids[k]]; ok {
+					shuffled[ids[k]] = n
+				}
+			}
+			got := e.Place(shuffled, anchor.Clone(), want, c)
+			if !got.Equal(first) {
+				t.Fatalf("trial %d rep %d: nondeterministic plan:\n  first %v\n  got   %v\n  free %v want %d", trial, rep, first, got, free, want)
+			}
+		}
+	}
+}
+
+// TestPackConservation asserts the engine never invents capacity: the plan
+// fits within free, never exceeds the request, and grants the full request
+// whenever enough unconstrained capacity exists.
+func TestPackConservation(t *testing.T) {
+	tree := buildFabric(t, 4, 3, 2)
+	e := New(tree)
+	rng := rand.New(rand.NewSource(99))
+	topo := tree.Topology()
+	for trial := 0; trial < 200; trial++ {
+		free := cluster.NewAlloc()
+		for i := 0; i < topo.NumMachines(); i++ {
+			if n := rng.Intn(topo.Machine(cluster.MachineID(i)).NumGPUs + 1); n > 0 {
+				free[cluster.MachineID(i)] = n
+			}
+		}
+		want := rng.Intn(40)
+		got := e.Place(free, cluster.NewAlloc(), want, placement.Constraint{})
+		if got.Total() > want {
+			t.Fatalf("granted %d > requested %d", got.Total(), want)
+		}
+		for m, n := range got {
+			if n > free[m] {
+				t.Fatalf("machine %d: granted %d > free %d", m, n, free[m])
+			}
+			if n < 0 {
+				t.Fatalf("machine %d: negative grant %d", m, n)
+			}
+		}
+		expect := want
+		if free.Total() < want {
+			expect = free.Total()
+		}
+		if got.Total() != expect {
+			t.Fatalf("granted %d, want %d (free %d, requested %d)", got.Total(), expect, free.Total(), want)
+		}
+	}
+}
+
+func TestAnalyzeFragmentation(t *testing.T) {
+	tree := buildFabric(t, 2, 1) // 8 + 4 GPUs
+	free := cluster.Alloc{0: 1, 1: 3, 2: 4}
+	f := Analyze(tree, free)
+	if f.FreeGPUs != 8 {
+		t.Errorf("FreeGPUs = %d, want 8", f.FreeGPUs)
+	}
+	if f.LargestMachineBlock != 4 {
+		t.Errorf("LargestMachineBlock = %d, want 4", f.LargestMachineBlock)
+	}
+	if f.LargestDomainBlock != 4 {
+		t.Errorf("LargestDomainBlock = %d, want 4", f.LargestDomainBlock)
+	}
+	if got := 1 - 4.0/8.0; f.Score != got {
+		t.Errorf("Score = %v, want %v", f.Score, got)
+	}
+	if len(f.Levels) != 3 {
+		t.Fatalf("Levels = %v", f.Levels)
+	}
+	machine := f.Levels[0]
+	if machine.Level != "machine" || len(machine.Buckets) != 3 {
+		t.Errorf("machine histogram = %+v", machine)
+	}
+	// machine residuals: 1, 3, 4 → three buckets of count 1
+	for _, b := range machine.Buckets {
+		if b.Count != 1 {
+			t.Errorf("machine bucket %+v, want count 1", b)
+		}
+	}
+	domain := f.Levels[2]
+	if domain.Level != "domain" || len(domain.Buckets) != 1 || domain.Buckets[0].Residual != 4 || domain.Buckets[0].Count != 2 {
+		t.Errorf("domain histogram = %+v", domain)
+	}
+}
+
+func TestAnalyzeEmptyFree(t *testing.T) {
+	tree := buildFabric(t, 2)
+	f := Analyze(tree, cluster.NewAlloc())
+	if f.FreeGPUs != 0 || f.Score != 0 || f.LargestMachineBlock != 0 {
+		t.Errorf("busy-cluster fragmentation = %+v", f)
+	}
+}
+
+// TestGoldenPlans pins the engine's plans on the paper's sim and testbed
+// topologies: a fixed scripted sequence of requests drains each cluster and
+// the resulting plans are compared line-for-line against a snapshot.
+// Regenerate deliberately with:
+//
+//	go test -run TestGoldenPlans -update ./internal/pack/
+func TestGoldenPlans(t *testing.T) {
+	cases := []struct {
+		name string
+		tree *topology.Tree
+	}{
+		{"sim", topology.Lift(cluster.SimulationCluster())},
+		{"testbed", topology.Lift(cluster.TestbedCluster())},
+		{"fabric", buildFabric(t, 4, 3, 2)},
+	}
+	requests := []Request{
+		{GPUs: 8},
+		{GPUs: 4, Constraint: placement.Constraint{MinGPUsPerMachine: 2}},
+		{GPUs: 16},
+		{GPUs: 2, Constraint: placement.Constraint{MaxMachines: 1}},
+		{GPUs: 12},
+		{GPUs: 1},
+		{GPUs: 6, Constraint: placement.Constraint{MinGPUsPerMachine: 2, MaxMachines: 3}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			e := New(c.tree)
+			free := fullyFree(c.tree)
+			var b strings.Builder
+			for i, req := range requests {
+				plan := e.Pack(free, req)
+				var err error
+				free, err = free.Sub(plan.Alloc)
+				if err != nil {
+					t.Fatalf("request %d: plan exceeds free: %v", i, err)
+				}
+				fmt.Fprintf(&b, "req %d want %d: granted=%d domains=%d locality=%s alloc=%s\n",
+					i, req.GPUs, plan.Granted, plan.Domains, plan.Locality, plan.Alloc.String())
+			}
+			got := b.String()
+			path := filepath.Join("testdata", c.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("plans diverge from golden %s:\ngot:\n%s\nwant:\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+func BenchmarkPackSimCluster(b *testing.B) {
+	tree := topology.Lift(cluster.SimulationCluster())
+	e := New(tree)
+	free := fullyFree(tree)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Place(free, cluster.NewAlloc(), 16, placement.Constraint{})
+	}
+}
+
+func BenchmarkPackConstrained(b *testing.B) {
+	tree := topology.Lift(cluster.SimulationCluster())
+	e := New(tree)
+	free := fullyFree(tree)
+	c := placement.Constraint{MinGPUsPerMachine: 2, MaxMachines: 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Place(free, cluster.NewAlloc(), 16, c)
+	}
+}
+
+func BenchmarkAnalyzeFragmentation(b *testing.B) {
+	tree := topology.Lift(cluster.SimulationCluster())
+	free := fullyFree(tree)
+	delete(free, 3)
+	free[10] = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Analyze(tree, free)
+	}
+}

@@ -68,14 +68,39 @@ func Pick(topo *cluster.Topology, free cluster.Alloc, anchor cluster.Alloc, coun
 		}
 	}
 
-	// Pass 3: pack into as few machines as possible. Prefer the rack with
-	// the most aggregate free GPUs so multi-machine spills stay rack-local.
+	// Pass 3: pack into as few machines as possible, filling one fabric
+	// domain before spilling into the next. Domains the anchor already
+	// touches come first, then domains by aggregate free GPUs; within a
+	// domain, prefer the rack with the most aggregate free GPUs so
+	// multi-machine spills stay rack-local. On single-domain (flat)
+	// topologies the domain loop is a no-op and the order reduces to the
+	// pre-hierarchy rack packing.
+	anchorDomains := make(map[cluster.DomainID]bool)
+	for _, m := range anchor.Machines() {
+		anchorDomains[topo.Domain(m)] = true
+	}
 	rackFree := make(map[cluster.RackID]int)
+	domainFree := make(map[cluster.DomainID]int)
 	for m, n := range remaining {
 		if n > 0 {
 			rackFree[topo.Rack(m)] += n
+			domainFree[topo.Domain(m)] += n
 		}
 	}
+	domains := make([]cluster.DomainID, 0, len(domainFree))
+	for d := range domainFree {
+		domains = append(domains, d)
+	}
+	sort.Slice(domains, func(i, j int) bool {
+		di, dj := domains[i], domains[j]
+		if anchorDomains[di] != anchorDomains[dj] {
+			return anchorDomains[di]
+		}
+		if domainFree[di] != domainFree[dj] {
+			return domainFree[di] > domainFree[dj]
+		}
+		return di < dj
+	})
 	racks := make([]cluster.RackID, 0, len(rackFree))
 	for r := range rackFree {
 		racks = append(racks, r)
@@ -86,14 +111,16 @@ func Pick(topo *cluster.Topology, free cluster.Alloc, anchor cluster.Alloc, coun
 		}
 		return racks[i] < racks[j]
 	})
-	for _, r := range racks {
-		for _, m := range machinesByFree(remaining) {
-			if topo.Rack(m) != r {
-				continue
-			}
-			take(m)
-			if need == 0 {
-				return picked
+	for _, d := range domains {
+		for _, r := range racks {
+			for _, m := range machinesByFree(remaining) {
+				if topo.Rack(m) != r || topo.Domain(m) != d {
+					continue
+				}
+				take(m)
+				if need == 0 {
+					return picked
+				}
 			}
 		}
 	}
@@ -151,6 +178,161 @@ func SatisfiesMaxMachines(alloc cluster.Alloc, max int) bool {
 // placement sensitivity 0 and cannot make progress.
 func SatisfiesConstraints(alloc cluster.Alloc, minPerMachine, maxMachines int) bool {
 	return SatisfiesMinPerMachine(alloc, minPerMachine) && SatisfiesMaxMachines(alloc, maxMachines)
+}
+
+// Constraint is the full placement-constraint set a job can carry: the §6
+// per-machine GPU floor and machine-spread cap, plus the trace v2 affinity
+// constraints binding the job to one fabric domain or GPU flavor. The zero
+// value is unconstrained.
+type Constraint struct {
+	// MinGPUsPerMachine is the per-machine GPU floor; <= 1 means none.
+	MinGPUsPerMachine int
+	// MaxMachines caps how many machines the GPUs may span; <= 0 means none.
+	MaxMachines int
+	// Domain restricts the job to machines of one fabric domain when
+	// HasDomain is set.
+	Domain    cluster.DomainID
+	HasDomain bool
+	// Flavor restricts the job to machines carrying one GPU model; empty
+	// means any.
+	Flavor cluster.GPUType
+}
+
+// IsZero reports whether the constraint set is fully unconstrained.
+func (c Constraint) IsZero() bool {
+	return c.MinGPUsPerMachine <= 1 && c.MaxMachines <= 0 && !c.HasDomain && c.Flavor == ""
+}
+
+// Admits reports whether machine m may hold any of the job's GPUs under the
+// constraint's domain and flavor affinities.
+func (c Constraint) Admits(topo *cluster.Topology, m cluster.MachineID) bool {
+	if c.HasDomain && topo.Domain(m) != c.Domain {
+		return false
+	}
+	if c.Flavor != "" && topo.Machine(m).GPU != c.Flavor {
+		return false
+	}
+	return true
+}
+
+// Feasible reports whether any allocation at all can satisfy the constraint
+// on topo: at least one admitted machine exists with capacity for the
+// per-machine floor. Jobs with infeasible constraints can never run and must
+// be rejected rather than scheduled (they would otherwise starve forever —
+// the tiresias-loop bug).
+func (c Constraint) Feasible(topo *cluster.Topology) bool {
+	min := c.MinGPUsPerMachine
+	if min < 1 {
+		min = 1
+	}
+	for _, m := range topo.Machines() {
+		if c.Admits(topo, m.ID) && m.NumGPUs >= min {
+			return true
+		}
+	}
+	return false
+}
+
+// Satisfies reports whether alloc meets the full constraint set on topo.
+// An empty allocation trivially satisfies any constraint.
+func Satisfies(topo *cluster.Topology, alloc cluster.Alloc, c Constraint) bool {
+	if !SatisfiesConstraints(alloc, c.MinGPUsPerMachine, c.MaxMachines) {
+		return false
+	}
+	if c.HasDomain || c.Flavor != "" {
+		for m, n := range alloc {
+			if n > 0 && !c.Admits(topo, m) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// PickConstrained greedily selects up to count GPUs from free like Pick, but
+// only produces allocations that keep anchor+picked within the constraint
+// set: machines outside the job's domain/flavor affinity are never used, no
+// machine ends up under the per-machine GPU floor, and the combined spread
+// stays within the machine cap. The result may hold fewer than count GPUs —
+// possibly zero — when the constraint admits nothing better; callers decide
+// whether a partial gang is worth running.
+func PickConstrained(topo *cluster.Topology, free cluster.Alloc, anchor cluster.Alloc, count int, c Constraint) cluster.Alloc {
+	if c.IsZero() {
+		return Pick(topo, free, anchor, count)
+	}
+	eligible := cluster.NewAlloc()
+	for m, n := range free {
+		if n > 0 && c.Admits(topo, m) {
+			eligible[m] = n
+		}
+	}
+	minPer := c.MinGPUsPerMachine
+	if minPer < 1 {
+		minPer = 1
+	}
+	usedMachines := func(picked cluster.Alloc) int {
+		used := make(map[cluster.MachineID]bool)
+		for m, n := range anchor {
+			if n > 0 {
+				used[m] = true
+			}
+		}
+		for m, n := range picked {
+			if n > 0 {
+				used[m] = true
+			}
+		}
+		return len(used)
+	}
+	picked := cluster.NewAlloc()
+	need := count
+	take := func(m cluster.MachineID) {
+		if need <= 0 {
+			return
+		}
+		n := eligible[m]
+		if n <= 0 {
+			return
+		}
+		if n > need {
+			n = need
+		}
+		base := anchor[m] + picked[m]
+		if base+n < minPer {
+			return // would leave the machine under the per-machine floor
+		}
+		if c.MaxMachines > 0 && base == 0 && usedMachines(picked) >= c.MaxMachines {
+			return // a fresh machine would exceed the spread cap
+		}
+		picked[m] += n
+		eligible[m] -= n
+		need -= n
+	}
+
+	// Same preference ladder as Pick: anchor machines, anchor racks, then
+	// domain-then-rack packing over the rest.
+	for _, m := range sortedMachineIDs(anchor) {
+		take(m)
+	}
+	if need > 0 {
+		anchorRacks := make(map[cluster.RackID]bool)
+		for _, m := range anchor.Machines() {
+			anchorRacks[topo.Rack(m)] = true
+		}
+		if len(anchorRacks) > 0 {
+			for _, m := range machinesByFree(eligible) {
+				if anchorRacks[topo.Rack(m)] {
+					take(m)
+				}
+			}
+		}
+	}
+	if need > 0 {
+		for _, m := range machinesByFree(eligible) {
+			take(m)
+		}
+	}
+	return picked
 }
 
 // machinesByFree returns the machines with free GPUs sorted by descending

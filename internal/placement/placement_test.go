@@ -233,3 +233,134 @@ func TestFigure2ModelsOrder(t *testing.T) {
 		}
 	}
 }
+
+func multiDomainTopo(t *testing.T) *cluster.Topology {
+	t.Helper()
+	// two domains x two racks x two machines x 4 GPUs
+	var machines []cluster.Machine
+	for i := 0; i < 8; i++ {
+		machines = append(machines, cluster.Machine{
+			ID: cluster.MachineID(i), Rack: cluster.RackID(i / 2),
+			Domain: cluster.DomainID(i / 4), NumGPUs: 4, SlotSize: 2,
+			GPU: cluster.GPUTypeP100,
+		})
+	}
+	topo, err := cluster.NewTopology(machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestPickFillsDomainBeforeSpilling(t *testing.T) {
+	topo := multiDomainTopo(t)
+	// Domain 0 has 6 free GPUs (4+2), domain 1 has 8. A 6-GPU pick should
+	// stay entirely inside domain 1 rather than straddle the fabric.
+	free := cluster.Alloc{0: 4, 1: 2, 4: 4, 5: 4}
+	got := Pick(topo, free, cluster.NewAlloc(), 6)
+	if got.Total() != 6 {
+		t.Fatalf("picked %d GPUs, want 6", got.Total())
+	}
+	for _, m := range got.Machines() {
+		if topo.Domain(m) != 1 {
+			t.Errorf("pick straddles domains: %v", got)
+		}
+	}
+}
+
+func TestPickPrefersAnchorDomain(t *testing.T) {
+	topo := multiDomainTopo(t)
+	free := cluster.Alloc{2: 2, 4: 4}
+	anchor := cluster.Alloc{0: 2}
+	got := Pick(topo, free, anchor, 2)
+	if got[2] != 2 {
+		t.Errorf("pick should stay in anchor's domain 0: %v", got)
+	}
+}
+
+func TestConstraintSatisfies(t *testing.T) {
+	topo := multiDomainTopo(t)
+	cases := []struct {
+		name  string
+		alloc cluster.Alloc
+		c     Constraint
+		want  bool
+	}{
+		{"zero constraint", cluster.Alloc{0: 1, 4: 1}, Constraint{}, true},
+		{"min ok", cluster.Alloc{0: 2, 1: 2}, Constraint{MinGPUsPerMachine: 2}, true},
+		{"min violated", cluster.Alloc{0: 2, 1: 1}, Constraint{MinGPUsPerMachine: 2}, false},
+		{"max ok", cluster.Alloc{0: 2, 1: 2}, Constraint{MaxMachines: 2}, true},
+		{"max violated", cluster.Alloc{0: 1, 1: 1, 2: 1}, Constraint{MaxMachines: 2}, false},
+		{"domain ok", cluster.Alloc{0: 2, 3: 2}, Constraint{Domain: 0, HasDomain: true}, true},
+		{"domain violated", cluster.Alloc{0: 2, 4: 2}, Constraint{Domain: 0, HasDomain: true}, false},
+		{"flavor ok", cluster.Alloc{0: 2}, Constraint{Flavor: cluster.GPUTypeP100}, true},
+		{"flavor violated", cluster.Alloc{0: 2}, Constraint{Flavor: cluster.GPUTypeK80}, false},
+		{"empty alloc", cluster.Alloc{}, Constraint{MinGPUsPerMachine: 8, Flavor: cluster.GPUTypeK80}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Satisfies(topo, c.alloc, c.c); got != c.want {
+				t.Errorf("Satisfies(%v, %+v) = %v, want %v", c.alloc, c.c, got, c.want)
+			}
+		})
+	}
+}
+
+func TestConstraintFeasible(t *testing.T) {
+	topo := multiDomainTopo(t)
+	if !(Constraint{MinGPUsPerMachine: 4}).Feasible(topo) {
+		t.Error("min=4 should be feasible on 4-GPU machines")
+	}
+	if (Constraint{MinGPUsPerMachine: 5}).Feasible(topo) {
+		t.Error("min=5 should be infeasible on 4-GPU machines")
+	}
+	if (Constraint{Flavor: cluster.GPUTypeK80}).Feasible(topo) {
+		t.Error("K80 flavor should be infeasible on an all-P100 cluster")
+	}
+	if !(Constraint{Domain: 1, HasDomain: true}).Feasible(topo) {
+		t.Error("domain 1 exists and should be feasible")
+	}
+	if (Constraint{Domain: 7, HasDomain: true}).Feasible(topo) {
+		t.Error("domain 7 does not exist")
+	}
+}
+
+func TestPickConstrained(t *testing.T) {
+	topo := multiDomainTopo(t)
+	free := cluster.Alloc{0: 4, 1: 1, 2: 2, 4: 4, 5: 4}
+
+	// min-per-machine: machine 1's lone free GPU must not be used.
+	got := PickConstrained(topo, free, cluster.NewAlloc(), 6, Constraint{MinGPUsPerMachine: 2})
+	if !Satisfies(topo, got, Constraint{MinGPUsPerMachine: 2}) {
+		t.Errorf("min constraint violated: %v", got)
+	}
+	if got.Total() != 6 {
+		t.Errorf("picked %d, want 6", got.Total())
+	}
+
+	// domain affinity: only domain-0 machines may appear even though domain 1
+	// has more free capacity.
+	got = PickConstrained(topo, free, cluster.NewAlloc(), 6, Constraint{Domain: 0, HasDomain: true})
+	for _, m := range got.Machines() {
+		if topo.Domain(m) != 0 {
+			t.Errorf("domain constraint violated: %v", got)
+		}
+	}
+	if got.Total() != 6 {
+		t.Errorf("picked %d, want 6 (domain 0 has 7 free)", got.Total())
+	}
+
+	// machine cap: at most 2 machines used including the anchor's.
+	anchor := cluster.Alloc{0: 2}
+	got = PickConstrained(topo, free, anchor, 8, Constraint{MaxMachines: 2})
+	if !Satisfies(topo, got.Add(anchor), Constraint{MaxMachines: 2}) {
+		t.Errorf("max-machines violated: picked %v anchor %v", got, anchor)
+	}
+
+	// infeasible: wanting 1 GPU under a floor of 2 yields nothing on fresh
+	// machines.
+	got = PickConstrained(topo, cluster.Alloc{3: 1}, cluster.NewAlloc(), 1, Constraint{MinGPUsPerMachine: 2})
+	if got.Total() != 0 {
+		t.Errorf("expected empty pick, got %v", got)
+	}
+}

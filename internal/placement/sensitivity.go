@@ -29,12 +29,14 @@ type Profile struct {
 	// Figure 2's absolute throughputs.
 	ImagesPerSecPerGPU float64
 	// Slowdown maps a locality level to S ∈ (0, 1]. Missing levels fall back
-	// to the cross-rack value.
+	// to the cross-domain (LocalityNone) value, so legacy profiles written
+	// before the fabric-domain level behave as if cross-rack and cross-domain
+	// were one level — exactly the flat model they were calibrated against.
 	Slowdown map[cluster.Locality]float64
 }
 
 // S returns the slowdown factor for an allocation with the given locality.
-// It returns 1 for unknown localities only if no cross-rack value is set.
+// It returns 1 for unknown localities only if no cross-domain value is set.
 func (p Profile) S(l cluster.Locality) float64 {
 	if v, ok := p.Slowdown[l]; ok {
 		return v
@@ -70,7 +72,7 @@ func (p Profile) Speedup(topo *cluster.Topology, alloc cluster.Alloc) float64 {
 // monotonically non-increasing as locality widens.
 func (p Profile) Validate() error {
 	prev := 1.0
-	for _, l := range []cluster.Locality{cluster.LocalitySlot, cluster.LocalityMachine, cluster.LocalityRack, cluster.LocalityNone} {
+	for _, l := range []cluster.Locality{cluster.LocalitySlot, cluster.LocalityMachine, cluster.LocalityRack, cluster.LocalityDomain, cluster.LocalityNone} {
 		s := p.S(l)
 		if s <= 0 || s > 1 {
 			return fmt.Errorf("profile %s: S(%s)=%v outside (0,1]", p.Name, l, s)
@@ -99,7 +101,8 @@ var (
 			cluster.LocalitySlot:    1.0,
 			cluster.LocalityMachine: 0.96,
 			cluster.LocalityRack:    0.58,
-			cluster.LocalityNone:    0.42,
+			cluster.LocalityDomain:  0.42,
+			cluster.LocalityNone:    0.34,
 		},
 	}
 	// VGG19 is slightly heavier than VGG16 with the same sensitivity shape.
@@ -109,7 +112,8 @@ var (
 			cluster.LocalitySlot:    1.0,
 			cluster.LocalityMachine: 0.96,
 			cluster.LocalityRack:    0.60,
-			cluster.LocalityNone:    0.44,
+			cluster.LocalityDomain:  0.44,
+			cluster.LocalityNone:    0.36,
 		},
 	}
 	// AlexNet has enormous fully-connected layers relative to its compute,
@@ -120,7 +124,8 @@ var (
 			cluster.LocalitySlot:    1.0,
 			cluster.LocalityMachine: 0.93,
 			cluster.LocalityRack:    0.48,
-			cluster.LocalityNone:    0.34,
+			cluster.LocalityDomain:  0.34,
+			cluster.LocalityNone:    0.27,
 		},
 	}
 	// InceptionV3 is mildly placement-sensitive.
@@ -130,7 +135,8 @@ var (
 			cluster.LocalitySlot:    1.0,
 			cluster.LocalityMachine: 0.99,
 			cluster.LocalityRack:    0.88,
-			cluster.LocalityNone:    0.78,
+			cluster.LocalityDomain:  0.78,
+			cluster.LocalityNone:    0.70,
 		},
 	}
 	// ResNet50 has no placement preference (Figure 2).
@@ -140,7 +146,8 @@ var (
 			cluster.LocalitySlot:    1.0,
 			cluster.LocalityMachine: 1.0,
 			cluster.LocalityRack:    0.97,
-			cluster.LocalityNone:    0.94,
+			cluster.LocalityDomain:  0.94,
+			cluster.LocalityNone:    0.90,
 		},
 	}
 	// ResNet152 is a deeper, still compute-bound ResNet used to diversify
@@ -151,7 +158,8 @@ var (
 			cluster.LocalitySlot:    1.0,
 			cluster.LocalityMachine: 1.0,
 			cluster.LocalityRack:    0.95,
-			cluster.LocalityNone:    0.90,
+			cluster.LocalityDomain:  0.90,
+			cluster.LocalityNone:    0.85,
 		},
 	}
 	// GNMT models a recurrent machine-translation workload: moderately
@@ -162,7 +170,8 @@ var (
 			cluster.LocalitySlot:    1.0,
 			cluster.LocalityMachine: 0.95,
 			cluster.LocalityRack:    0.65,
-			cluster.LocalityNone:    0.50,
+			cluster.LocalityDomain:  0.50,
+			cluster.LocalityNone:    0.40,
 		},
 	}
 	// DeepSpeech models a speech-recognition workload.
@@ -172,7 +181,8 @@ var (
 			cluster.LocalitySlot:    1.0,
 			cluster.LocalityMachine: 0.99,
 			cluster.LocalityRack:    0.85,
-			cluster.LocalityNone:    0.72,
+			cluster.LocalityDomain:  0.72,
+			cluster.LocalityNone:    0.63,
 		},
 	}
 )
@@ -233,7 +243,8 @@ var (
 			cluster.LocalitySlot:    1.0,
 			cluster.LocalityMachine: 0.95,
 			cluster.LocalityRack:    0.55,
-			cluster.LocalityNone:    0.40,
+			cluster.LocalityDomain:  0.40,
+			cluster.LocalityNone:    0.32,
 		},
 	}
 	GenericComputeIntensive = Profile{
@@ -242,7 +253,8 @@ var (
 			cluster.LocalitySlot:    1.0,
 			cluster.LocalityMachine: 1.0,
 			cluster.LocalityRack:    0.96,
-			cluster.LocalityNone:    0.92,
+			cluster.LocalityDomain:  0.92,
+			cluster.LocalityNone:    0.88,
 		},
 	}
 )

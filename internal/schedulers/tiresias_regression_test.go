@@ -1,0 +1,57 @@
+package schedulers
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	"themis/internal/cluster"
+	"themis/internal/sim"
+	"themis/internal/trace"
+)
+
+// TestTiresiasConstrainedTraceTerminates is the regression test for the
+// tiresias infinite loop on constrained traces: philly-small's j-3 carries a
+// min-2-GPUs-per-machine constraint, and tiresias's spread-first placement
+// kept offering it one GPU per machine — a shape the job can never run on —
+// so a horizonless run churned leases forever. The constrained-grant repair
+// in the simulator now re-picks such grants (or withholds them), so the run
+// must terminate on its own, with the constrained app actually finishing.
+func TestTiresiasConstrainedTraceTerminates(t *testing.T) {
+	f, err := os.Open("../trace/testdata/v1/philly-small.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps, err := tr.ToApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(sim.Config{
+		Topology: cluster.TestbedCluster(),
+		Apps:     apps,
+		Policy:   NewTiresias(),
+		// Deliberately no Horizon: termination is the property under test.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The timeout turns a regression back into a loop failure instead of a
+	// hung test binary.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := s.Run(ctx)
+	if err != nil {
+		t.Fatalf("horizonless tiresias run on philly-small did not terminate cleanly: %v", err)
+	}
+	for _, rec := range res.Apps {
+		if rec.FinishTime < 0 {
+			t.Errorf("app %s never finished (finish=%v); constrained grants are being stranded again", rec.App, rec.FinishTime)
+		}
+	}
+}

@@ -66,6 +66,10 @@ type AppState struct {
 	// pure functions of job progress, so Update/Done on a clean app is a
 	// no-op and is skipped.
 	tunerDirty bool
+	// constrained caches whether any job carries placement constraints.
+	// Unconstrained apps (the overwhelmingly common case) skip the
+	// grant-repair machinery entirely.
+	constrained bool
 }
 
 // runnableJob is one cached (job, GPUs, slowdown) triple of the runnable set.
@@ -93,7 +97,34 @@ func newAppState(app *workload.App, tuner hyperparam.Tuner, topo *cluster.Topolo
 	st.completionEv = event{kind: evCompletion, app: st, index: -1}
 	st.TIdealAtArrival = idealRunningTime(app)
 	app.TIdeal = st.TIdealAtArrival
+	for _, j := range app.Jobs {
+		if c, ok := j.PlacementConstraint(topo); !ok || !c.IsZero() {
+			st.constrained = true
+			break
+		}
+	}
 	return st
+}
+
+// rejectInfeasible kills, at arrival time, every job whose placement
+// constraints no allocation on this topology can ever satisfy (per-machine
+// floor above the largest machine, unknown domain name, absent GPU flavor).
+// Left alive, such jobs would starve forever while their app's leases churn —
+// the tiresias infinite-loop bug on constrained traces. It reports whether
+// any job was killed.
+func (st *AppState) rejectInfeasible(now float64) bool {
+	if !st.constrained {
+		return false
+	}
+	killed := false
+	for _, j := range st.App.ActiveJobs() {
+		c, ok := j.PlacementConstraint(st.topo)
+		if !ok || !c.Feasible(st.topo) {
+			j.Kill(now)
+			killed = true
+		}
+	}
+	return killed
 }
 
 // idealRunningTime is the paper's T_ID estimate (§5.2 step 5): the minimum
@@ -209,7 +240,7 @@ func (st *AppState) refreshRunnable(now float64) {
 	for _, j := range st.App.ActiveJobs() {
 		alloc := st.jobAllocs[j.ID]
 		g := alloc.Total()
-		if g == 0 || !placement.SatisfiesConstraints(alloc, j.MinGPUsPerMachine, j.MaxMachines) {
+		if g == 0 || !st.jobCanRun(j, alloc) {
 			continue
 		}
 		st.runnable = append(st.runnable, runnableJob{job: j, g: g, s: st.App.Profile.SOf(st.topo, alloc)})
@@ -241,10 +272,19 @@ func (st *AppState) project(now float64) {
 // placement-sensitively, honouring per-job parallelism limits. Jobs nearest
 // completion are placed first (they determine the app's finish time).
 func (st *AppState) resplit() {
-	st.jobAllocs = make(map[workload.JobID]cluster.Alloc)
+	st.jobAllocs = st.splitHeld(st.Held)
+}
+
+// splitHeld computes the greedy placement-sensitive job split of an app-level
+// allocation. Jobs whose unconstrained pick violates their placement
+// constraints are re-picked constraint-aware, so GPUs a job cannot use in the
+// shape offered flow to the app's other jobs instead of being stranded on an
+// unrunnable split.
+func (st *AppState) splitHeld(held cluster.Alloc) map[workload.JobID]cluster.Alloc {
+	split := make(map[workload.JobID]cluster.Alloc)
 	active := st.App.ActiveJobs()
-	if len(active) == 0 || st.Held.Total() == 0 {
-		return
+	if len(active) == 0 || held.Total() == 0 {
+		return split
 	}
 	order := make([]*workload.Job, len(active))
 	copy(order, active)
@@ -255,23 +295,99 @@ func (st *AppState) resplit() {
 			}
 		}
 	}
-	remaining := st.Held.Clone()
+	remaining := held.Clone()
 	for _, j := range order {
 		want := j.MaxParallelism
 		if want <= 0 {
 			want = j.GangSize
 		}
+		c, ok := j.PlacementConstraint(st.topo)
+		if !ok {
+			// Unresolvable domain affinity: the job can never run here and is
+			// rejected at arrival; assign it nothing meanwhile.
+			continue
+		}
 		picked := placement.Pick(st.topo, remaining, cluster.NewAlloc(), want)
+		if !c.IsZero() && !placement.Satisfies(st.topo, picked, c) {
+			picked = placement.PickConstrained(st.topo, remaining, cluster.NewAlloc(), want, c)
+		}
 		if picked.Total() == 0 {
 			continue
 		}
-		st.jobAllocs[j.ID] = picked
+		split[j.ID] = picked
 		var err error
 		remaining, err = remaining.Sub(picked)
 		if err != nil {
 			panic("sim: resplit internal inconsistency: " + err.Error())
 		}
 	}
+	return split
+}
+
+// usableWith reports whether granting extra on top of the app's current
+// holding would leave at least one job runnable under its placement
+// constraints. schedule uses it to detect grants a constrained app cannot
+// convert into progress.
+func (st *AppState) usableWith(extra cluster.Alloc) bool {
+	split := st.splitHeld(st.Held.Add(extra))
+	for _, j := range st.App.ActiveJobs() {
+		alloc := split[j.ID]
+		if alloc.Total() == 0 {
+			continue
+		}
+		c, ok := j.PlacementConstraint(st.topo)
+		if !ok {
+			continue
+		}
+		if placement.Satisfies(st.topo, alloc, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// packConstraint derives the app-level constraint handed to a Packer when
+// re-materialising this app's grant. Per-job floors and caps are enforced by
+// the job split, not here; but domain and flavor affinities shared by every
+// active job admit or reject whole machines, so surfacing them lets the
+// packer avoid machines none of the app's jobs may use. When the app has
+// exactly one active job, its full constraint set applies.
+func (st *AppState) packConstraint() placement.Constraint {
+	active := st.App.ActiveJobs()
+	if len(active) == 0 {
+		return placement.Constraint{}
+	}
+	first, ok := active[0].PlacementConstraint(st.topo)
+	if !ok {
+		return placement.Constraint{}
+	}
+	if len(active) == 1 {
+		return first
+	}
+	shared := placement.Constraint{Domain: first.Domain, HasDomain: first.HasDomain, Flavor: first.Flavor}
+	for _, j := range active[1:] {
+		c, ok := j.PlacementConstraint(st.topo)
+		if !ok {
+			c = placement.Constraint{}
+		}
+		if c.HasDomain != shared.HasDomain || c.Domain != shared.Domain {
+			shared.HasDomain = false
+			shared.Domain = 0
+		}
+		if c.Flavor != shared.Flavor {
+			shared.Flavor = ""
+		}
+	}
+	return shared
+}
+
+// jobCanRun reports whether alloc lets j make progress: the full §6 / trace
+// v2 constraint set (per-machine floor, spread cap, domain and flavor
+// affinity) must hold. For unconstrained jobs this reduces to the plain
+// min/max check the flat model used.
+func (st *AppState) jobCanRun(j *workload.Job, alloc cluster.Alloc) bool {
+	c, ok := j.PlacementConstraint(st.topo)
+	return ok && placement.Satisfies(st.topo, alloc, c)
 }
 
 // advance integrates all runnable jobs' progress over [from, to] and, when
@@ -313,7 +429,7 @@ func (st *AppState) nextCompletion(now float64) (float64, bool) {
 	for _, j := range st.App.ActiveJobs() {
 		alloc := st.jobAllocs[j.ID]
 		g := alloc.Total()
-		if g == 0 || !placement.SatisfiesConstraints(alloc, j.MinGPUsPerMachine, j.MaxMachines) {
+		if g == 0 || !st.jobCanRun(j, alloc) {
 			continue
 		}
 		s := st.App.Profile.SOf(st.topo, alloc)

@@ -53,12 +53,89 @@ type Result struct {
 	// PeakContention is the maximum over time of (aggregate unmet + held
 	// demand) / cluster GPUs, matching the paper's contention statistic.
 	PeakContention float64
+	// Fragmentation summarises, time-weighted over the run, how the free
+	// capacity was scattered across the topology hierarchy.
+	Fragmentation FragStats
 
 	Apps     []AppRecord
 	Timeline []AllocationEvent
 
 	records map[workload.AppID]*appAccumulator
 	topo    *cluster.Topology
+
+	// frag is the free-pool fragmentation snapshot for the current interval,
+	// recomputed lazily (fragDirty) after allocation changes; fragWeight and
+	// the frag* sums accumulate the time-weighted statistics. The Mean* block
+	// fields of Fragmentation hold weighted sums until finalize normalises
+	// them.
+	frag         fragSnapshot
+	fragDirty    bool
+	fragWeight   float64
+	fragSumScore float64 // Σ score·dt
+	fragSumFree  float64 // Σ freeGPUs·dt
+}
+
+// FragStats is the run-level fragmentation summary of the free GPU pool: the
+// per-level largest free blocks say how big a gang could have been placed
+// machine-, rack- or domain-local at a typical instant, and the score says
+// what fraction of free capacity a machine-local gang could not reach
+// (0 = all free GPUs on one machine, →1 = free capacity is dust).
+type FragStats struct {
+	// MeanFreeGPUs is the time-weighted mean number of free GPUs.
+	MeanFreeGPUs float64
+	// MeanScore and PeakScore track 1 − largestMachineBlock/freeGPUs over
+	// time (0 whenever the cluster is fully busy).
+	MeanScore float64
+	PeakScore float64
+	// MeanLargestMachineBlock, MeanLargestRackBlock and
+	// MeanLargestDomainBlock are the time-weighted mean largest free blocks
+	// at each level of the hierarchy.
+	MeanLargestMachineBlock float64
+	MeanLargestRackBlock    float64
+	MeanLargestDomainBlock  float64
+}
+
+// fragSnapshot is the free pool's fragmentation at one instant.
+type fragSnapshot struct {
+	freeGPUs       int
+	largestMachine int
+	largestRack    int
+	largestDomain  int
+	score          float64
+}
+
+// snapshotFrag computes the free-pool fragmentation from the cluster state.
+// It runs only on intervals following an allocation change.
+func snapshotFrag(topo *cluster.Topology, cs *cluster.State) fragSnapshot {
+	var snap fragSnapshot
+	rackFree := make(map[cluster.RackID]int)
+	domainFree := make(map[cluster.DomainID]int)
+	for _, m := range topo.Machines() {
+		n := cs.FreeOn(m.ID)
+		if n <= 0 {
+			continue
+		}
+		snap.freeGPUs += n
+		if n > snap.largestMachine {
+			snap.largestMachine = n
+		}
+		rackFree[m.Rack] += n
+		domainFree[m.Domain] += n
+	}
+	for _, n := range rackFree {
+		if n > snap.largestRack {
+			snap.largestRack = n
+		}
+	}
+	for _, n := range domainFree {
+		if n > snap.largestDomain {
+			snap.largestDomain = n
+		}
+	}
+	if snap.freeGPUs > 0 {
+		snap.score = 1 - float64(snap.largestMachine)/float64(snap.freeGPUs)
+	}
+	return snap
 }
 
 // appAccumulator holds in-flight per-app accounting during the run.
@@ -76,6 +153,7 @@ func newResult(cfg Config) *Result {
 		TotalGPUs: cfg.Topology.TotalGPUs(),
 		records:   make(map[workload.AppID]*appAccumulator),
 		topo:      cfg.Topology,
+		fragDirty: true,
 	}
 }
 
@@ -95,11 +173,13 @@ func (r *Result) noteArrival(now float64, st *AppState) {
 
 func (r *Result) noteAllocation(now float64, st *AppState, held cluster.Alloc) {
 	r.acc(st)
+	r.fragDirty = true
 	r.Timeline = append(r.Timeline, AllocationEvent{Time: now, App: st.App.ID, GPUs: held.Total()})
 }
 
 func (r *Result) noteFinish(now float64, st *AppState) {
 	r.acc(st)
+	r.fragDirty = true
 	r.Timeline = append(r.Timeline, AllocationEvent{Time: now, App: st.App.ID, GPUs: 0})
 }
 
@@ -118,6 +198,21 @@ func (r *Result) noteInterval(from, to float64, cs *cluster.State, active []*App
 		if c := float64(used) / float64(r.TotalGPUs); c > r.PeakContention {
 			r.PeakContention = c
 		}
+	}
+	// Allocations are constant over the interval, so one snapshot (refreshed
+	// only after allocation changes) weighted by dt accrues exactly.
+	if r.fragDirty {
+		r.frag = snapshotFrag(r.topo, cs)
+		r.fragDirty = false
+	}
+	r.fragWeight += dt
+	r.fragSumFree += float64(r.frag.freeGPUs) * dt
+	r.fragSumScore += r.frag.score * dt
+	r.Fragmentation.MeanLargestMachineBlock += float64(r.frag.largestMachine) * dt
+	r.Fragmentation.MeanLargestRackBlock += float64(r.frag.largestRack) * dt
+	r.Fragmentation.MeanLargestDomainBlock += float64(r.frag.largestDomain) * dt
+	if r.frag.score > r.Fragmentation.PeakScore {
+		r.Fragmentation.PeakScore = r.frag.score
 	}
 	// Apps holding GPUs are exactly the active apps with a non-empty Held
 	// (finished apps release everything), and every accumulation below is
@@ -142,6 +237,13 @@ func (r *Result) noteInterval(from, to float64, cs *cluster.State, active []*App
 // finalize converts accumulators into AppRecords at the end of the run.
 func (r *Result) finalize(now float64, apps []*AppState) {
 	r.Makespan = now
+	if w := r.fragWeight; w > 0 {
+		r.Fragmentation.MeanFreeGPUs = r.fragSumFree / w
+		r.Fragmentation.MeanScore = r.fragSumScore / w
+		r.Fragmentation.MeanLargestMachineBlock /= w
+		r.Fragmentation.MeanLargestRackBlock /= w
+		r.Fragmentation.MeanLargestDomainBlock /= w
+	}
 	r.Apps = r.Apps[:0]
 	for _, st := range apps {
 		acc := r.acc(st)

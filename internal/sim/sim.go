@@ -22,6 +22,7 @@ import (
 
 	"themis/internal/cluster"
 	"themis/internal/hyperparam"
+	"themis/internal/placement"
 	"themis/internal/workload"
 )
 
@@ -35,6 +36,19 @@ type Policy interface {
 	// disjoint, lie within free, and only name apps present in the view.
 	// A non-nil error aborts the simulation run.
 	Allocate(now float64, free cluster.Alloc, view *View) (map[workload.AppID]cluster.Alloc, error)
+}
+
+// Packer re-materialises policy grants onto concrete GPUs in a
+// topology-aware way. Policies decide *how many* GPUs each app receives;
+// when a Packer is configured, it decides *which* GPUs, drawing from the
+// app's grant plus whatever free capacity no app was granted this round.
+// pack.Engine.Place implements this contract with the deterministic
+// pack-to-empty heuristic over the hierarchical topology.
+type Packer interface {
+	// Place selects up to want GPUs from free for an app anchored at anchor
+	// under constraint c. The result must lie within free, never violate c
+	// when combined with anchor, and be deterministic in its inputs.
+	Place(free, anchor cluster.Alloc, want int, c placement.Constraint) cluster.Alloc
 }
 
 // Config describes one simulation run.
@@ -64,6 +78,10 @@ type Config struct {
 	// failure-aware scheduling to future work; the injector lets schedulers
 	// be studied under failures anyway).
 	Failures []Failure
+	// Packer optionally re-materialises each policy grant onto concrete GPUs
+	// (see the Packer interface). Nil keeps the policy's own placement — the
+	// flat model's behaviour.
+	Packer Packer
 
 	// legacyScan switches the simulator to the pre-heap event core, which
 	// rediscovers the next event each round by scanning every app and lease.
@@ -244,6 +262,12 @@ func (s *Simulator) processArrivals() {
 		s.activeList = append(s.activeList, st)
 		s.insertActiveSorted(st)
 		s.result.noteArrival(s.now, st)
+		// Jobs whose constraints no allocation on this topology can satisfy
+		// are rejected now rather than starved forever; the app's tuner then
+		// observes the kills (and finishes the app if nothing is left).
+		if st.rejectInfeasible(s.now) {
+			st.tunerDirty = true
+		}
 	}
 }
 
@@ -458,6 +482,25 @@ func (s *Simulator) schedule() (bool, error) {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	// leftover tracks the free GPUs no app was granted this round; the packer
+	// and the constrained-grant repair draw replacement GPUs from it. It is
+	// computed lazily: rounds without a packer or constrained grantee (the
+	// common case) never build it.
+	var leftover cluster.Alloc
+	takeLeftover := func() (cluster.Alloc, error) {
+		if leftover != nil {
+			return leftover, nil
+		}
+		l := free.Clone()
+		for _, id := range ids {
+			var err error
+			if l, err = l.Sub(grants[id]); err != nil {
+				return nil, fmt.Errorf("sim: policy %s grants exceed the free pool: %w", s.cfg.Policy.Name(), err)
+			}
+		}
+		leftover = l
+		return leftover, nil
+	}
 	for _, id := range ids {
 		alloc := grants[id]
 		if alloc.Total() == 0 {
@@ -466,6 +509,29 @@ func (s *Simulator) schedule() (bool, error) {
 		st, ok := s.active[id]
 		if !ok {
 			return changed, fmt.Errorf("sim: policy %s allocated to unknown app %s", s.cfg.Policy.Name(), id)
+		}
+		if s.cfg.Packer != nil {
+			l, err := takeLeftover()
+			if err != nil {
+				return changed, err
+			}
+			alloc, leftover = s.repack(st, alloc, l)
+		}
+		// A grant a constrained app cannot convert into a single runnable job
+		// would hold GPUs without progress until the lease lapses, and a
+		// policy that keeps offering the same shape would churn leases forever
+		// (the tiresias loop on constrained traces). Re-pick such grants
+		// constraint-aware from the grant plus the round's leftover pool; if
+		// no usable shape exists, skip the grant and leave the GPUs free.
+		if st.constrained && alloc.Total() > 0 && !st.usableWith(alloc) {
+			l, err := takeLeftover()
+			if err != nil {
+				return changed, err
+			}
+			alloc, leftover = s.repairGrant(st, alloc, l)
+		}
+		if alloc.Total() == 0 {
+			continue
 		}
 		if err := s.cs.Grant(string(id), alloc); err != nil {
 			return changed, fmt.Errorf("sim: policy %s produced an infeasible allocation for %s: %w", s.cfg.Policy.Name(), id, err)
@@ -477,6 +543,79 @@ func (s *Simulator) schedule() (bool, error) {
 		changed = true
 	}
 	return changed, nil
+}
+
+// repack lets the configured Packer re-materialise an app's grant onto
+// concrete GPUs, drawing from the grant plus the round's leftover free pool.
+// It returns the placed allocation (never more GPUs than the policy granted)
+// and the updated leftover pool.
+func (s *Simulator) repack(st *AppState, alloc, leftover cluster.Alloc) (cluster.Alloc, cluster.Alloc) {
+	pool := alloc.Add(leftover)
+	placed := s.cfg.Packer.Place(pool, st.Held, alloc.Total(), st.packConstraint())
+	rest, err := pool.Sub(placed)
+	if err != nil {
+		// The Packer contract (placed within free) was violated; fall back to
+		// the policy's own placement rather than corrupting the pool.
+		return alloc, leftover
+	}
+	return placed, rest
+}
+
+// repairGrant re-picks a grant a constrained app cannot use: drawing from the
+// grant plus the leftover pool, it assembles per-job constraint-satisfying
+// shapes (least remaining work first, like the job split) up to the granted
+// GPU budget. It returns the repaired allocation — possibly empty when no
+// usable shape exists — and the updated leftover pool.
+func (s *Simulator) repairGrant(st *AppState, alloc, leftover cluster.Alloc) (cluster.Alloc, cluster.Alloc) {
+	pool := alloc.Add(leftover)
+	budget := alloc.Total()
+	repaired := cluster.NewAlloc()
+	remaining := pool.Clone()
+	order := st.App.ActiveJobs()
+	for i := 0; i < len(order); i++ {
+		for k := i + 1; k < len(order); k++ {
+			if order[k].RemainingWork() < order[i].RemainingWork() {
+				order[i], order[k] = order[k], order[i]
+			}
+		}
+	}
+	for _, j := range order {
+		if budget <= 0 {
+			break
+		}
+		c, ok := j.PlacementConstraint(st.topo)
+		if !ok {
+			continue
+		}
+		want := j.MaxParallelism
+		if want <= 0 {
+			want = j.GangSize
+		}
+		if want > budget {
+			want = budget
+		}
+		picked := placement.PickConstrained(st.topo, remaining, cluster.NewAlloc(), want, c)
+		if picked.Total() == 0 {
+			continue
+		}
+		repaired = repaired.Add(picked)
+		var err error
+		if remaining, err = remaining.Sub(picked); err != nil {
+			panic("sim: grant repair internal inconsistency: " + err.Error())
+		}
+		budget -= picked.Total()
+	}
+	rest, err := pool.Sub(repaired)
+	if err != nil {
+		panic("sim: grant repair internal inconsistency: " + err.Error())
+	}
+	if repaired.Total() > 0 && !st.usableWith(repaired) {
+		// The repair did not produce a usable shape either (the app-level
+		// split can interleave jobs differently); granting it would only
+		// churn leases, so leave everything in the free pool.
+		return cluster.NewAlloc(), pool
+	}
+	return repaired, rest
 }
 
 // grantLease records a new lease over alloc for st, expiring one lease

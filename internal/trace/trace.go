@@ -21,9 +21,10 @@ import (
 //
 //	v1 — apps with per-job work/gang/parallelism fields.
 //	v2 — adds the optional per-app placement block (PlacementSpec: profile
-//	     name, per-machine GPU minimum, machine-spread cap) and the per-job
-//	     max_machines constraint. v1 is a strict subset of v2, so v1 traces
-//	     upgrade losslessly on read.
+//	     name, per-machine GPU minimum, machine-spread cap, and the fabric
+//	     domain / GPU-flavor affinities) and the per-job max_machines
+//	     constraint. v1 is a strict subset of v2, so v1 traces upgrade
+//	     losslessly on read.
 const FormatVersion = 2
 
 // formatVersionV1 is the pre-placement-block format, still replayable.
@@ -83,6 +84,15 @@ type PlacementSpec struct {
 	// app that does not carry its own: the gang may span at most this many
 	// machines. Zero means unconstrained.
 	MaxMachines int `json:"max_machines,omitempty"`
+	// Domain names the fabric domain the app's jobs must run inside,
+	// matched against the topology's domain names ("pod-a", or the default
+	// "domain-<id>"). Empty means any domain. Resolution happens at replay
+	// time against the run's topology: names the topology does not declare
+	// make the app's jobs infeasible there.
+	Domain string `json:"domain,omitempty"`
+	// Flavor names the GPU model the app's jobs require (e.g. "V100").
+	// Empty means any flavor.
+	Flavor string `json:"flavor,omitempty"`
 }
 
 // JobSpec describes one hyperparameter trial.
@@ -104,6 +114,14 @@ func FromApps(name string, apps []*workload.App) Trace {
 	t := Trace{Version: FormatVersion, Name: name}
 	for _, a := range apps {
 		spec := AppSpec{ID: string(a.ID), SubmitTime: a.SubmitTime, Model: a.Profile.Name}
+		// Domain/flavor affinities are app-level in the wire format (they
+		// arrive via the placement block and apply to every job), so the
+		// first job's affinity round-trips the block.
+		if len(a.Jobs) > 0 {
+			if j0 := a.Jobs[0]; j0.DomainAffinity != "" || j0.FlavorAffinity != "" {
+				spec.Placement = &PlacementSpec{Domain: j0.DomainAffinity, Flavor: j0.FlavorAffinity}
+			}
+		}
 		for _, j := range a.Jobs {
 			spec.Jobs = append(spec.Jobs, JobSpec{
 				TotalWork:         j.TotalWork,
@@ -231,6 +249,8 @@ func (t Trace) ToApps() ([]*workload.App, error) {
 				if j.MaxMachines == 0 && p.MaxMachines > 0 {
 					j.MaxMachines = p.MaxMachines
 				}
+				j.DomainAffinity = p.Domain
+				j.FlavorAffinity = p.Flavor
 			}
 			if js.TotalIterations > 0 {
 				j.TotalIterations = js.TotalIterations

@@ -211,3 +211,64 @@ func TestPlacementStampAndStrip(t *testing.T) {
 		t.Errorf("stripped trace still constrained: %+v", j)
 	}
 }
+
+func TestV2DomainFlavorAffinity(t *testing.T) {
+	src := `{
+	  "version": 2,
+	  "apps": [
+	    {
+	      "id": "a",
+	      "submit_time": 0,
+	      "model": "ResNet50",
+	      "placement": {"domain": "pod-a", "flavor": "V100"},
+	      "jobs": [{"total_work": 10, "gang_size": 2}]
+	    },
+	    {
+	      "id": "b",
+	      "submit_time": 1,
+	      "model": "ResNet50",
+	      "jobs": [{"total_work": 10, "gang_size": 2}]
+	    }
+	  ]
+	}`
+	tr, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps, err := tr.ToApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j := apps[0].Jobs[0]; j.DomainAffinity != "pod-a" || j.FlavorAffinity != "V100" {
+		t.Errorf("app a affinities %q/%q, want pod-a/V100", j.DomainAffinity, j.FlavorAffinity)
+	}
+	if j := apps[1].Jobs[0]; j.DomainAffinity != "" || j.FlavorAffinity != "" {
+		t.Errorf("app b should be unconstrained, got %q/%q", j.DomainAffinity, j.FlavorAffinity)
+	}
+
+	// Affinities round-trip through FromApps.
+	rt := FromApps("rt", apps)
+	if p := rt.Apps[0].Placement; p == nil || p.Domain != "pod-a" || p.Flavor != "V100" {
+		t.Errorf("FromApps placement = %+v", rt.Apps[0].Placement)
+	}
+	if rt.Apps[1].Placement != nil {
+		t.Errorf("unconstrained app grew a placement block: %+v", rt.Apps[1].Placement)
+	}
+	var buf bytes.Buffer
+	if err := rt.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Apps[0].Placement, rt.Apps[0].Placement) {
+		t.Errorf("write/read round-trip changed placement: %+v vs %+v", back.Apps[0].Placement, rt.Apps[0].Placement)
+	}
+
+	// A v1 trace must not carry affinities (the whole block is v2-gated).
+	v1 := `{"version":1,"apps":[{"id":"a","placement":{"domain":"pod-a"},"jobs":[{"total_work":1,"gang_size":1}]}]}`
+	if _, err := Read(strings.NewReader(v1)); err == nil {
+		t.Error("v1 trace with a domain affinity should be rejected")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"themis/internal/cluster"
 	"themis/internal/placement"
 )
 
@@ -59,6 +60,14 @@ type Job struct {
 	// MinGPUsPerMachine, violating allocations make no progress. Zero means
 	// unconstrained.
 	MaxMachines int
+	// DomainAffinity names the fabric domain the job must run inside (trace
+	// v2 placement block; matched against Topology.DomainName). Empty means
+	// any domain. Names unresolvable on the run's topology make the job
+	// infeasible — the simulator rejects it at arrival.
+	DomainAffinity string
+	// FlavorAffinity names the GPU model (cluster.GPUType) the job requires;
+	// empty means any flavor.
+	FlavorAffinity string
 	// TotalIterations is the number of SGD iterations TotalWork corresponds
 	// to; used by the tuners' rung boundaries and the loss-curve estimator.
 	TotalIterations int
@@ -114,6 +123,26 @@ func (j *Job) RemainingWork() float64 {
 
 // Active reports whether the job still needs GPUs (not done, not killed).
 func (j *Job) Active() bool { return !j.Killed && j.DoneAt == NotFinished }
+
+// PlacementConstraint resolves the job's placement constraints against a
+// topology. The boolean is false when DomainAffinity names a domain the
+// topology does not have — such a job can never run on this cluster and
+// should be rejected rather than scheduled.
+func (j *Job) PlacementConstraint(topo *cluster.Topology) (placement.Constraint, bool) {
+	c := placement.Constraint{
+		MinGPUsPerMachine: j.MinGPUsPerMachine,
+		MaxMachines:       j.MaxMachines,
+		Flavor:            cluster.GPUType(j.FlavorAffinity),
+	}
+	if j.DomainAffinity != "" {
+		d, ok := topo.DomainByName(j.DomainAffinity)
+		if !ok {
+			return c, false
+		}
+		c.Domain, c.HasDomain = d, true
+	}
+	return c, true
+}
 
 // Progress returns the fraction of the trial's work completed, in [0, 1].
 func (j *Job) Progress() float64 {

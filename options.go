@@ -27,6 +27,8 @@ type settings struct {
 	policyCfg    PolicyConfig
 	policyCfgSet bool // a policy-level knob option was used
 
+	packerName string // "" = policies place their own grants
+
 	leaseDuration   float64
 	restartOverhead float64
 	horizon         float64
@@ -48,8 +50,9 @@ func defaultSettings() *settings {
 	}
 }
 
-// WithCluster selects a built-in topology by name: "sim" (256 GPUs) or
-// "testbed" (50 GPUs, the default).
+// WithCluster selects a registered topology by name: "testbed" (50 GPUs, the
+// default), "sim" (256 GPUs), "sim-fabric" (the same 256 GPUs across three
+// fabric domains), or anything added via RegisterCluster.
 func WithCluster(name string) Option {
 	return func(s *settings) error {
 		if _, err := Cluster(name); err != nil {

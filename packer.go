@@ -1,0 +1,107 @@
+package themis
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"themis/internal/pack"
+	"themis/internal/topology"
+)
+
+// PackerPackToEmpty is the built-in deterministic pack-to-empty placement
+// engine: it re-materialises every grant next to the app's held GPUs, then
+// onto the best-fit fabric domain, spilling across domains by free capacity.
+const PackerPackToEmpty = "pack-to-empty"
+
+// PackerFactory builds a Packer for the topology a simulation runs on.
+type PackerFactory func(topo *Topology) Packer
+
+type packerEntry struct {
+	description string
+	factory     PackerFactory
+}
+
+var (
+	packerMu       sync.RWMutex
+	packerRegistry = map[string]packerEntry{}
+)
+
+// RegisterPacker adds a named placement engine, making it available to
+// WithPacker and cmd/themis-sim's -packer flag. Registering a name twice is
+// an error.
+func RegisterPacker(name, description string, factory PackerFactory) error {
+	if name == "" || factory == nil {
+		return fmt.Errorf("themis: packer registration needs a name and a factory")
+	}
+	packerMu.Lock()
+	defer packerMu.Unlock()
+	if _, dup := packerRegistry[name]; dup {
+		return fmt.Errorf("themis: packer %q already registered", name)
+	}
+	packerRegistry[name] = packerEntry{description: description, factory: factory}
+	return nil
+}
+
+// Packers lists the registered packer names, sorted.
+func Packers() []string {
+	packerMu.RLock()
+	defer packerMu.RUnlock()
+	names := make([]string, 0, len(packerRegistry))
+	for name := range packerRegistry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DescribePacker returns a registered packer's one-line description.
+func DescribePacker(name string) (string, error) {
+	packerMu.RLock()
+	defer packerMu.RUnlock()
+	entry, ok := packerRegistry[name]
+	if !ok {
+		return "", fmt.Errorf("themis: unknown packer %q (registered: %v)", name, Packers())
+	}
+	return entry.description, nil
+}
+
+// buildPacker constructs a registered packer for a concrete topology.
+func buildPacker(name string, topo *Topology) (Packer, error) {
+	packerMu.RLock()
+	entry, ok := packerRegistry[name]
+	packerMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("themis: unknown packer %q (registered: %v)", name, Packers())
+	}
+	return entry.factory(topo), nil
+}
+
+// WithPacker routes every grant the policy makes through a registered
+// placement engine (see Packers): the policy still decides how many GPUs
+// each app gets, the packer decides which GPUs. The paper's policies place
+// greedily on their own; PackerPackToEmpty instead packs gangs machine- and
+// domain-local, which shows up in Report.Fragmentation and the apps'
+// placement scores.
+func WithPacker(name string) Option {
+	return func(s *settings) error {
+		if name == "" {
+			s.packerName = ""
+			return nil
+		}
+		if _, err := DescribePacker(name); err != nil {
+			return err
+		}
+		s.packerName = name
+		return nil
+	}
+}
+
+func init() {
+	if err := RegisterPacker(PackerPackToEmpty,
+		"deterministic pack-to-empty: anchor to held GPUs, best-fit domain, spill by free capacity",
+		func(topo *Topology) Packer { return pack.New(topology.Lift(topo)) },
+	); err != nil {
+		panic(err)
+	}
+}

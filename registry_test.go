@@ -1,0 +1,146 @@
+package themis
+
+import (
+	"strings"
+	"testing"
+)
+
+// The cluster registry: built-ins present, descriptions resolvable, built
+// topologies structurally sound, duplicates and unknowns rejected.
+func TestClusterRegistry(t *testing.T) {
+	names := Clusters()
+	for _, want := range []string{ClusterSim, ClusterTestbed, ClusterSimFabric} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("built-in cluster %q missing from Clusters() = %v", want, names)
+		}
+		if desc, err := DescribeCluster(want); err != nil || desc == "" {
+			t.Errorf("DescribeCluster(%q) = %q, %v", want, desc, err)
+		}
+	}
+	if _, err := Cluster("no-such-cluster"); err == nil || !strings.Contains(err.Error(), "no-such-cluster") {
+		t.Errorf("unknown cluster error = %v, want it to name the cluster", err)
+	}
+	if err := RegisterCluster(ClusterSim, "dup", func() (*Topology, error) { return nil, nil }); err == nil {
+		t.Error("duplicate cluster registration succeeded")
+	}
+	if err := RegisterCluster("", "desc", nil); err == nil {
+		t.Error("empty cluster registration succeeded")
+	}
+}
+
+// sim-fabric must hold the same fleet as sim, re-homed into three named
+// domains the placement layer can resolve.
+func TestSimFabricMatchesSimFleet(t *testing.T) {
+	sim, err := Cluster(ClusterSim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabric, err := Cluster(ClusterSimFabric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.TotalGPUs() != fabric.TotalGPUs() || sim.NumMachines() != fabric.NumMachines() {
+		t.Errorf("sim-fabric fleet %d GPUs / %d machines, want sim's %d / %d",
+			fabric.TotalGPUs(), fabric.NumMachines(), sim.TotalGPUs(), sim.NumMachines())
+	}
+	tree := LiftTopology(fabric)
+	if got := len(tree.Regions()); got != 1 {
+		t.Fatalf("sim-fabric has %d regions, want 1", got)
+	}
+	for _, pod := range []string{"pod-a", "pod-b", "pod-c"} {
+		if _, ok := fabric.DomainByName(pod); !ok {
+			t.Errorf("sim-fabric missing fabric domain %q", pod)
+		}
+	}
+}
+
+// The packer registry: the built-in engine present, unknowns rejected by
+// WithPacker at construction time, empty name meaning "policy places".
+func TestPackerRegistry(t *testing.T) {
+	found := false
+	for _, n := range Packers() {
+		if n == PackerPackToEmpty {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("built-in packer %q missing from Packers() = %v", PackerPackToEmpty, Packers())
+	}
+	if desc, err := DescribePacker(PackerPackToEmpty); err != nil || desc == "" {
+		t.Errorf("DescribePacker(%q) = %q, %v", PackerPackToEmpty, desc, err)
+	}
+	if _, err := NewSimulation(WithApps(smokeApps(t)...), WithPacker("no-such-packer")); err == nil {
+		t.Error("unknown packer accepted by NewSimulation")
+	}
+	if err := RegisterPacker(PackerPackToEmpty, "dup", func(*Topology) Packer { return nil }); err == nil {
+		t.Error("duplicate packer registration succeeded")
+	}
+	if _, err := NewSimulation(WithApps(smokeApps(t)...), WithPacker("")); err != nil {
+		t.Errorf("empty packer name rejected: %v", err)
+	}
+}
+
+// smokeApps builds a minimal valid workload for construction-error tests.
+func smokeApps(t *testing.T) []*App {
+	t.Helper()
+	app, err := NewApp("smoke", 0, mustModel(t, "ResNet50"), []*Job{NewJob("smoke", 0, 10, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*App{app}
+}
+
+func mustModel(t *testing.T, name string) Profile {
+	t.Helper()
+	p, err := Model(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// The Grid's Clusters axis: expansion order, spec naming and the WithCluster
+// option landing in each spec; unknown clusters fail Specs() up front.
+func TestGridClustersAxis(t *testing.T) {
+	specs, err := Grid{
+		Policies: []string{"themis", "gandiva"},
+		Clusters: []string{ClusterTestbed, ClusterSimFabric},
+		Seeds:    []int64{1},
+		Base:     []Option{WithWorkload(WorkloadSpec{NumApps: 1})},
+	}.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{
+		"themis/testbed/seed=1",
+		"themis/sim-fabric/seed=1",
+		"gandiva/testbed/seed=1",
+		"gandiva/sim-fabric/seed=1",
+	}
+	if len(specs) != len(wantNames) {
+		t.Fatalf("%d specs, want %d", len(specs), len(wantNames))
+	}
+	for i, want := range wantNames {
+		if specs[i].Name != want {
+			t.Errorf("spec %d named %q, want %q", i, specs[i].Name, want)
+		}
+	}
+	// The cluster option must actually take effect: build the sim-fabric
+	// spec and check the resulting topology.
+	sim, err := NewSimulation(specs[1].Options...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sim.Topology().DomainByName("pod-a"); !ok {
+		t.Error("sim-fabric spec built a topology without pod-a")
+	}
+	if _, err := (Grid{Clusters: []string{"no-such-cluster"}}).Specs(); err == nil {
+		t.Error("unknown cluster accepted by Grid.Specs")
+	}
+}

@@ -19,6 +19,10 @@ type Report struct {
 	Timeline []AllocationEvent
 	// Auction carries the Themis arbiter's statistics; nil under baselines.
 	Auction *AuctionStats
+	// Fragmentation is the run's time-weighted free-pool fragmentation
+	// summary: mean free GPUs, the largest free blocks at the machine, rack
+	// and fabric-domain levels, and the fragmentation score.
+	Fragmentation FragStats
 
 	result *sim.Result
 }
@@ -26,10 +30,11 @@ type Report struct {
 // newReport wraps a simulator result into the public Report.
 func newReport(res *sim.Result, policy SchedulerPolicy) *Report {
 	r := &Report{
-		Summary:  metrics.Summarize(res),
-		Apps:     res.Apps,
-		Timeline: res.Timeline,
-		result:   res,
+		Summary:       metrics.Summarize(res),
+		Apps:          res.Apps,
+		Timeline:      res.Timeline,
+		Fragmentation: res.Fragmentation,
+		result:        res,
 	}
 	if t, ok := policy.(*schedulers.Themis); ok && t.Arbiter() != nil {
 		stats := t.Arbiter().Stats

@@ -63,10 +63,18 @@ func NewSimulation(opts ...Option) (*Simulation, error) {
 		return nil, fmt.Errorf("themis: WithPolicyInstance conflicts with WithFairnessKnob/WithBidError; configure the instance directly")
 	}
 
+	var packer Packer
+	if s.packerName != "" {
+		if packer, err = buildPacker(s.packerName, topo); err != nil {
+			return nil, err
+		}
+	}
+
 	simulator, err := sim.New(sim.Config{
 		Topology:        topo,
 		Apps:            apps,
 		Policy:          policy,
+		Packer:          packer,
 		LeaseDuration:   s.leaseDuration,
 		RestartOverhead: s.restartOverhead,
 		Horizon:         s.horizon,

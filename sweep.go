@@ -80,6 +80,10 @@ func specName(spec SweepSpec, i int) string {
 type Grid struct {
 	// Policies is the policy axis; empty means just the default ("themis").
 	Policies []string
+	// Clusters is the topology axis, naming registered clusters (see
+	// Clusters and RegisterCluster); empty means the cluster comes from Base
+	// or the default.
+	Clusters []string
 	// Scenarios is the workload axis, naming registered scenarios; empty
 	// means the workload comes from Base (e.g. a WithTrace option).
 	Scenarios []string
@@ -94,12 +98,16 @@ type Grid struct {
 }
 
 // Specs expands the grid into RunSweep specs, ordered policy-major, then
-// scenario, then seed. Spec names are "policy/scenario/seed=N" with empty
-// axes omitted.
+// cluster, then scenario, then seed. Spec names are
+// "policy/cluster/scenario/seed=N" with empty axes omitted.
 func (g Grid) Specs() ([]SweepSpec, error) {
 	policies := g.Policies
 	if len(policies) == 0 {
 		policies = []string{"themis"}
+	}
+	clusters := g.Clusters
+	if len(clusters) == 0 {
+		clusters = []string{""}
 	}
 	scenarios := g.Scenarios
 	if len(scenarios) == 0 {
@@ -109,6 +117,14 @@ func (g Grid) Specs() ([]SweepSpec, error) {
 	if len(seeds) == 0 {
 		seeds = []int64{1}
 	}
+	for _, cl := range clusters {
+		if cl == "" {
+			continue
+		}
+		if _, err := DescribeCluster(cl); err != nil {
+			return nil, err
+		}
+	}
 	for _, sc := range scenarios {
 		if sc == "" {
 			continue
@@ -117,24 +133,32 @@ func (g Grid) Specs() ([]SweepSpec, error) {
 			return nil, err
 		}
 	}
-	specs := make([]SweepSpec, 0, len(policies)*len(scenarios)*len(seeds))
+	specs := make([]SweepSpec, 0, len(policies)*len(clusters)*len(scenarios)*len(seeds))
 	for _, policy := range policies {
-		for _, sc := range scenarios {
-			for _, seed := range seeds {
-				name := policy
-				if sc != "" {
-					name += "/" + sc
+		for _, cl := range clusters {
+			for _, sc := range scenarios {
+				for _, seed := range seeds {
+					name := policy
+					if cl != "" {
+						name += "/" + cl
+					}
+					if sc != "" {
+						name += "/" + sc
+					}
+					name += fmt.Sprintf("/seed=%d", seed)
+					opts := make([]Option, 0, len(g.Base)+4)
+					opts = append(opts, g.Base...)
+					opts = append(opts, WithPolicy(policy), WithSeed(seed))
+					if cl != "" {
+						opts = append(opts, WithCluster(cl))
+					}
+					if sc != "" {
+						params := g.Params
+						params.Seed = seed
+						opts = append(opts, WithScenario(sc, params))
+					}
+					specs = append(specs, SweepSpec{Name: name, Options: opts})
 				}
-				name += fmt.Sprintf("/seed=%d", seed)
-				opts := make([]Option, 0, len(g.Base)+3)
-				opts = append(opts, g.Base...)
-				opts = append(opts, WithPolicy(policy), WithSeed(seed))
-				if sc != "" {
-					params := g.Params
-					params.Seed = seed
-					opts = append(opts, WithScenario(sc, params))
-				}
-				specs = append(specs, SweepSpec{Name: name, Options: opts})
 			}
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"themis/internal/metrics"
 	"themis/internal/placement"
 	"themis/internal/sim"
+	"themis/internal/topology"
 	"themis/internal/trace"
 	"themis/internal/workload"
 )
@@ -30,6 +31,24 @@ type (
 	GPUType = cluster.GPUType
 	// Alloc is a set of GPUs, keyed by machine, as granted to an app.
 	Alloc = cluster.Alloc
+
+	// TopologySpec declares a hierarchical cluster — regions of named
+	// fabric domains of racks of machine groups. Build one into a
+	// *Topology with BuildTopology; domain names in the spec are what
+	// trace placement blocks and job domain affinities resolve against.
+	TopologySpec = topology.Spec
+	// RegionSpec is one region of a TopologySpec.
+	RegionSpec = topology.RegionSpec
+	// DomainSpec is one fabric domain (pod) of a RegionSpec.
+	DomainSpec = topology.DomainSpec
+	// RackSpec is one rack of a DomainSpec.
+	RackSpec = topology.RackSpec
+	// MachineGroup is one homogeneous run of machines in a RackSpec.
+	MachineGroup = topology.MachineGroup
+	// TopologyTree is the indexed hierarchy view over a Topology — regions,
+	// domains, per-level capacities and flavor inventories. Obtain one with
+	// LiftTopology.
+	TopologyTree = topology.Tree
 
 	// App is one ML application: a hyperparameter exploration of one or more
 	// gang-scheduled jobs (trials) sharing a placement-sensitivity profile.
@@ -98,6 +117,11 @@ type (
 	// Tuner is the app-level hyperparameter scheduler (HyperBand etc.) that
 	// kills and promotes an app's trials.
 	Tuner = hyperparam.Tuner
+	// Packer re-materialises policy grants onto concrete GPUs: the policy
+	// decides how many GPUs each app gets, the Packer decides which. Select
+	// a registered one with WithPacker, or register your own via
+	// RegisterPacker.
+	Packer = sim.Packer
 	// Failure injects a machine failure into a simulation run.
 	Failure = sim.Failure
 
@@ -109,6 +133,10 @@ type (
 	AppRecord = sim.AppRecord
 	// AllocationEvent is one point of an app's GPU-allocation timeline.
 	AllocationEvent = sim.AllocationEvent
+	// FragStats is a run's time-weighted free-pool fragmentation summary
+	// (mean free GPUs, largest free blocks per hierarchy level, and the
+	// fragmentation score), surfaced as Report.Fragmentation.
+	FragStats = sim.FragStats
 	// AuctionStats is the Themis arbiter's auction telemetry (§8.3.2).
 	AuctionStats = core.ArbiterStats
 )
