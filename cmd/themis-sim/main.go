@@ -1,8 +1,8 @@
 // Command themis-sim runs one cluster-scheduling simulation — a synthetic
-// trace, a registered scenario, or a trace file (native JSON or an external
-// Philly/Alibaba-style CSV cluster log) replayed against a GPU cluster under
-// a chosen scheduling policy — and prints the fairness and efficiency
-// metrics the paper evaluates.
+// trace, a registered scenario, or a trace file (native JSON, the compact v3
+// binary container, or an external Philly/Alibaba-style CSV cluster log)
+// replayed against a GPU cluster under a chosen scheduling policy — and
+// prints the fairness and efficiency metrics the paper evaluates.
 //
 // Examples:
 //
@@ -12,6 +12,7 @@
 //	themis-sim -scenario heavy-tailed -apps 40 -policy themis
 //	themis-sim -scenario fitted.json -apps 40 -seed 7
 //	themis-sim -trace trace.json -policy gandiva
+//	themis-sim -trace trace.bin -policy themis
 //	themis-sim -trace cluster_log.csv -trace-format auto -max-apps 200
 package main
 
@@ -40,7 +41,7 @@ func main() {
 		bidError    = flag.Float64("biderror", 0, "Themis bid valuation error θ (Figure 11)")
 		scenario    = flag.String("scenario", "", "generate the workload from a registered scenario ("+strings.Join(themis.Scenarios(), ", ")+") or from a fit-report file written by 'tracegen fit'")
 		tracePath   = flag.String("trace", "", "replay apps from a trace file instead of generating")
-		traceFormat = flag.String("trace-format", "auto", "trace file format: auto, json, philly or alibaba")
+		traceFormat = flag.String("trace-format", "auto", "trace file format: auto, json, binary, philly or alibaba")
 		maxApps     = flag.Int("max-apps", 0, "cap the number of apps imported from -trace (0: all)")
 		model       = flag.String("model", "", "stamp apps imported from a CSV -trace with this model family")
 		horizon     = flag.Float64("horizon", 0, "simulation horizon in minutes (0 = unlimited)")

@@ -84,6 +84,7 @@ func runGenerate(args []string) error {
 		network    = fs.Float64("network", -1, "fraction of network-intensive apps (negative: scenario default)")
 		interArr   = fs.Float64("interarrival", 0, "mean inter-arrival time in minutes (0: scenario default)")
 		out        = fs.String("out", "", "output trace file (default: stdout)")
+		encoding   = fs.String("encoding", "json", "output encoding: json or binary (compact v3 container)")
 		summary    = fs.Bool("summary", true, "print trace summary statistics to stderr")
 		name       = fs.String("name", "", "trace name recorded in the file (default: scenario name)")
 	)
@@ -111,7 +112,7 @@ func runGenerate(args []string) error {
 	if *summary {
 		printStats(themis.SummarizeWorkload(apps))
 	}
-	return writeTrace(tr, *out)
+	return writeTrace(tr, *out, *encoding)
 }
 
 func runList() error {
@@ -129,8 +130,9 @@ func runImport(args []string) error {
 	fs := flag.NewFlagSet("import", flag.ExitOnError)
 	var (
 		in          = fs.String("in", "", "input file (default: stdin)")
-		format      = fs.String("format", "auto", "input format: auto, json, philly or alibaba")
+		format      = fs.String("format", "auto", "input format: auto, json, binary, philly or alibaba")
 		out         = fs.String("out", "", "output trace file (default: stdout)")
+		encoding    = fs.String("encoding", "json", "output encoding: json or binary (compact v3 container)")
 		name        = fs.String("name", "", "trace name recorded in the file (default: format name)")
 		timeScale   = fs.Float64("timescale", 0, "minutes per input time unit (0: format convention)")
 		keepAll     = fs.Bool("keep-noncompleted", false, "keep failed/killed rows instead of dropping them")
@@ -187,7 +189,7 @@ func runImport(args []string) error {
 		}
 		printStats(themis.SummarizeWorkload(apps))
 	}
-	return writeTrace(tr, *out)
+	return writeTrace(tr, *out, *encoding)
 }
 
 // runFit calibrates a scenario against a trace: any input Import accepts
@@ -256,7 +258,7 @@ func runValidate(args []string) error {
 	}
 	failed := false
 	for _, path := range fs.Args() {
-		tr, err := themis.LoadTrace(path)
+		tr, info, err := themis.LoadTraceWithInfo(path)
 		if err == nil {
 			// Loading validates the format; materialising catches the rest
 			// (unknown models fall back, bad jobs error).
@@ -267,7 +269,9 @@ func runValidate(args []string) error {
 			fmt.Printf("%s: INVALID: %v\n", path, err)
 			continue
 		}
-		fmt.Printf("%s: OK (version %d, %d apps)\n", path, tr.Version, len(tr.Apps))
+		// Report what is on disk — the detected encoding and the version the
+		// file declares — not the in-memory version after upgrade.
+		fmt.Printf("%s: OK (%s version %d, %d apps)\n", path, info.Encoding, info.WireVersion, len(tr.Apps))
 	}
 	if failed {
 		return fmt.Errorf("validation failed")
@@ -344,12 +348,24 @@ func doneSuffix(done bool) string {
 	return ""
 }
 
-func writeTrace(tr themis.Trace, out string) error {
-	if out == "" {
-		return tr.Write(os.Stdout)
-	}
-	if err := themis.SaveTrace(out, tr); err != nil {
-		return err
+func writeTrace(tr themis.Trace, out, encoding string) error {
+	switch encoding {
+	case "", "json":
+		if out == "" {
+			return tr.Write(os.Stdout)
+		}
+		if err := themis.SaveTrace(out, tr); err != nil {
+			return err
+		}
+	case "binary":
+		if out == "" {
+			return themis.WriteTraceBinary(os.Stdout, tr)
+		}
+		if err := themis.SaveTraceBinary(out, tr); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown output encoding %q (want json or binary)", encoding)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
 	return nil

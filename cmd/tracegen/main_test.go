@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"themis"
+)
+
+// captureStdout runs fn with os.Stdout redirected and returns what it wrote.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	runErr := fn()
+	w.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+// testTraceFiles writes the same two-app trace in three wire forms — v1 JSON,
+// v2 JSON and the v3 binary container — and returns their paths.
+func testTraceFiles(t *testing.T) (v1, v2, v3 string) {
+	t.Helper()
+	dir := t.TempDir()
+
+	v1 = filepath.Join(dir, "v1.json")
+	v1JSON := `{
+  "version": 1,
+  "name": "cli-v1",
+  "apps": [
+    {"id": "a", "submit_time": 0, "model": "ResNet50",
+     "jobs": [{"total_work": 40, "gang_size": 4, "quality": 0.5, "seed": 1}]},
+    {"id": "b", "submit_time": 3, "model": "VGG16",
+     "jobs": [{"total_work": 20, "gang_size": 2, "quality": 0.25, "seed": 2}]}
+  ]
+}`
+	if err := os.WriteFile(v1, []byte(v1JSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := themis.LoadTrace(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 = filepath.Join(dir, "v2.json")
+	if err := themis.SaveTrace(v2, tr); err != nil {
+		t.Fatal(err)
+	}
+	v3 = filepath.Join(dir, "v3.bin")
+	if err := themis.SaveTraceBinary(v3, tr); err != nil {
+		t.Fatal(err)
+	}
+	return v1, v2, v3
+}
+
+// TestValidateReportsWireVersion pins the validate fix: the report names the
+// on-disk encoding and the version the file declares, not the in-memory
+// version after the lossless upgrade (which made every JSON trace print as
+// the current version regardless of what was actually stored).
+func TestValidateReportsWireVersion(t *testing.T) {
+	v1, v2, v3 := testTraceFiles(t)
+	cases := []struct {
+		path string
+		want string
+	}{
+		{v1, "OK (json version 1, 2 apps)"},
+		{v2, fmt.Sprintf("OK (json version %d, 2 apps)", themis.TraceFormatVersion)},
+		{v3, "OK (binary version 3, 2 apps)"},
+	}
+	for _, c := range cases {
+		out, err := captureStdout(t, func() error { return runValidate([]string{c.path}) })
+		if err != nil {
+			t.Errorf("validate %s: %v", c.path, err)
+			continue
+		}
+		if !strings.Contains(out, c.want) {
+			t.Errorf("validate %s printed %q, want it to contain %q", c.path, strings.TrimSpace(out), c.want)
+		}
+	}
+}
+
+// TestValidateRejectsCorruptBinary: a truncated container must fail
+// validation with a diagnostic, not crash or pass.
+func TestValidateRejectsCorruptBinary(t *testing.T) {
+	_, _, v3 := testTraceFiles(t)
+	raw, err := os.ReadFile(v3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(t.TempDir(), "truncated.bin")
+	if err := os.WriteFile(bad, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureStdout(t, func() error { return runValidate([]string{bad}) })
+	if err == nil {
+		t.Fatal("validate accepted a truncated binary trace")
+	}
+	if !strings.Contains(out, "INVALID") {
+		t.Errorf("validate printed %q, want an INVALID line", strings.TrimSpace(out))
+	}
+}
+
+// TestWriteTraceBinaryEncoding drives writeTrace's -encoding switch and
+// checks the binary output loads back identically to the JSON output.
+func TestWriteTraceBinaryEncoding(t *testing.T) {
+	v1, _, _ := testTraceFiles(t)
+	tr, err := themis.LoadTrace(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	jsonOut := filepath.Join(dir, "out.json")
+	binOut := filepath.Join(dir, "out.bin")
+	if err := writeTrace(tr, jsonOut, "json"); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeTrace(tr, binOut, "binary"); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeTrace(tr, filepath.Join(dir, "x"), "protobuf"); err == nil {
+		t.Error("writeTrace accepted an unknown encoding")
+	}
+
+	fromJSON, err := themis.LoadTrace(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := themis.LoadTrace(binOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := fromJSON.ToApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := fromBin.ToApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ja) != len(ba) {
+		t.Fatalf("app counts differ: json %d, binary %d", len(ja), len(ba))
+	}
+	for i := range ja {
+		if ja[i].ID != ba[i].ID || ja[i].SubmitTime != ba[i].SubmitTime {
+			t.Errorf("app %d differs across encodings: %v vs %v", i, ja[i].ID, ba[i].ID)
+		}
+	}
+}

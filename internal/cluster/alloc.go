@@ -145,11 +145,13 @@ func (s *State) FreeOn(m MachineID) int {
 func (s *State) UsedOn(m MachineID) int { return s.used[m] }
 
 // TotalFree returns the number of free GPUs across the whole cluster,
-// excluding offline machines.
+// excluding offline machines. It iterates machines by index rather than via
+// Machines() — which copies the machine slice — because the simulator calls
+// it once per decision round and the round must stay allocation-free.
 func (s *State) TotalFree() int {
 	free := 0
-	for _, m := range s.topo.Machines() {
-		free += s.FreeOn(m.ID)
+	for id := 0; id < s.topo.NumMachines(); id++ {
+		free += s.FreeOn(MachineID(id))
 	}
 	return free
 }

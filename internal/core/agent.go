@@ -70,19 +70,33 @@ func (ag *Agent) UnmetParallelism(current cluster.Alloc) int {
 // existing allocation — and values each subset with the ρ the app would
 // achieve after receiving it. The empty subset (current ρ) is always
 // included.
+//
+// A standalone call allocates its own scratch; the Arbiter batches the
+// round's calls through one BidValuator instead (same result, recycled
+// buffers).
 func (ag *Agent) PrepareBid(now float64, offer, current cluster.Alloc) BidTable {
-	table := BidTable{App: ag.App.ID}
+	var v BidValuator
+	return ag.prepareBidInto(now, offer, current, &v, nil)
+}
+
+// prepareBidInto is PrepareBid with caller-owned scratch: the valuator
+// provides the candidate-size, gang-count and dedup buffers, and entries is
+// the (possibly recycled) backing buffer for the table rows. The candidate
+// enumeration order and the valuation math are exactly PrepareBid's — the
+// batched and standalone paths must stay bit-identical.
+func (ag *Agent) prepareBidInto(now float64, offer, current cluster.Alloc, v *BidValuator, entries []BidEntry) BidTable {
+	table := BidTable{App: ag.App.ID, Entries: entries}
 	table.Entries = append(table.Entries, BidEntry{
 		Alloc: cluster.NewAlloc(),
 		Rho:   ag.Estimator.CurrentRho(now, current),
 	})
-	gang := ag.typicalGangSize()
-	sizes := candidateSizes(offer.Total(), ag.UnmetParallelism(current), gang)
+	gang := ag.typicalGangSizeWith(v)
+	sizes := v.candidateSizes(offer.Total(), ag.UnmetParallelism(current), gang)
 	maxRows := ag.MaxBidRows
 	if maxRows <= 0 {
 		maxRows = DefaultMaxBidRows
 	}
-	seen := map[string]bool{"": true}
+	seen := v.seenSet()
 	for _, size := range sizes {
 		if len(table.Entries) >= maxRows {
 			break
@@ -143,7 +157,15 @@ func (ag *Agent) GangSize() int { return ag.typicalGangSize() }
 // typicalGangSize returns the gang size the app's active jobs need (the mode
 // across active jobs, falling back to 1).
 func (ag *Agent) typicalGangSize() int {
-	counts := make(map[int]int)
+	var v BidValuator
+	return ag.typicalGangSizeWith(&v)
+}
+
+// typicalGangSizeWith is typicalGangSize over the valuator's reused tally
+// map. The mode tie-break ((count, gang) lexicographic max) is independent of
+// map iteration order, so the result is deterministic.
+func (ag *Agent) typicalGangSizeWith(v *BidValuator) int {
+	counts := v.gangCounts()
 	for _, j := range ag.App.ActiveJobs() {
 		counts[j.GangSize]++
 	}

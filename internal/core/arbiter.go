@@ -51,6 +51,11 @@ type Arbiter struct {
 	cfg  Config
 	topo *cluster.Topology
 
+	// val batches each round's bid preparation, recycling the valuation
+	// scratch (candidate-size sets, gang tallies, dedup maps, entry buffers)
+	// across auctions instead of reallocating it per participant.
+	val BidValuator
+
 	// Stats accumulates scheduling telemetry (auction counts, latencies).
 	Stats ArbiterStats
 }
@@ -149,12 +154,10 @@ func (a *Arbiter) OfferResources(now float64, free cluster.Alloc, agents []Agent
 	}
 	a.Stats.OffersMade += participants
 
-	// Step 3: collect bids from the participants.
+	// Step 3: collect bids from the participants, batched through the
+	// Arbiter's valuator so the round reuses the previous round's scratch.
 	bidding := ps[:participants]
-	bids := make([]BidTable, 0, participants)
-	for _, p := range bidding {
-		bids = append(bids, p.state.Agent.PrepareBid(now, free, p.state.Current))
-	}
+	bids := a.val.prepareBids(now, free, bidding)
 
 	// Step 4: partial allocation over the bids.
 	auction, err := RunPartialAllocation(a.topo, free, bids, a.cfg.Auction)

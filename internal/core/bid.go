@@ -101,41 +101,12 @@ func (t BidTable) Validate(offer cluster.Alloc) error {
 // offered GPUs, the app's unmet parallelism and its gang size. The Agent
 // bids on every gang-size multiple up to a small cap, then doubles, always
 // including the largest useful size — bounding the table so bid preparation
-// stays cheap (§8.3.2) while covering the allocations that matter.
+// stays cheap (§8.3.2) while covering the allocations that matter. The
+// enumeration itself lives on BidValuator so the Arbiter's batched rounds
+// can reuse its scratch; this wrapper serves standalone callers and tests.
 func candidateSizes(offered, unmet, gang int) []int {
-	if offered <= 0 || unmet <= 0 {
-		return nil
-	}
-	max := offered
-	if unmet < max {
-		max = unmet
-	}
-	if gang <= 0 {
-		gang = 1
-	}
-	sizes := make(map[int]bool)
-	// Gang multiples: 1×, 2×, 3×, 4× the gang size.
-	for k := 1; k <= 4; k++ {
-		if s := k * gang; s <= max {
-			sizes[s] = true
-		}
-	}
-	// Doublings to reach large offers quickly.
-	for s := gang * 8; s < max; s *= 2 {
-		sizes[s] = true
-	}
-	sizes[max] = true
-	if gang > 1 && max >= 1 {
-		sizes[min(gang/2, max)] = true // a half-gang row for constrained offers
-	}
-	out := make([]int, 0, len(sizes))
-	for s := range sizes {
-		if s > 0 {
-			out = append(out, s)
-		}
-	}
-	sort.Ints(out)
-	return out
+	var v BidValuator
+	return v.candidateSizes(offered, unmet, gang)
 }
 
 func min(a, b int) int {

@@ -33,6 +33,15 @@ type RhoEstimator struct {
 	// Errors optionally perturbs estimates, modelling mis-profiled work or
 	// placement sensitivity (Figure 11). Nil disables perturbation.
 	Errors *estimator.ErrorModel
+
+	// splitAcrossJobs scratch: the output and ordering slices and the
+	// "remaining" map are recycled across calls (the per-job picked Allocs
+	// themselves stay fresh — SplitForJobs hands them to the caller). An
+	// estimator is per-app, per-goroutine state, so plain fields suffice.
+	splitOut    []cluster.Alloc
+	splitOrder  []int
+	splitFree   cluster.Alloc
+	emptyAnchor cluster.Alloc
 }
 
 // NewRhoEstimator returns an estimator for app using the given tuner for
@@ -145,11 +154,13 @@ func (e *RhoEstimator) FinalRho(now float64, current cluster.Alloc) float64 {
 // (§5.2 step 4). Jobs with the least work left are assigned first so the
 // fastest-finishing job (which determines T_SH) is placed best.
 func (e *RhoEstimator) splitAcrossJobs(total cluster.Alloc, active []*workload.Job) []cluster.Alloc {
-	out := make([]cluster.Alloc, len(active))
-	order := make([]int, len(active))
-	for i := range order {
-		order[i] = i
+	out := e.splitOut[:0]
+	order := e.splitOrder[:0]
+	for i := range active {
+		out = append(out, nil)
+		order = append(order, i)
 	}
+	e.splitOut, e.splitOrder = out, order
 	// Assign jobs closest to completion first.
 	for i := 0; i < len(order); i++ {
 		for k := i + 1; k < len(order); k++ {
@@ -158,25 +169,41 @@ func (e *RhoEstimator) splitAcrossJobs(total cluster.Alloc, active []*workload.J
 			}
 		}
 	}
-	remaining := total.Clone()
+	if e.splitFree == nil {
+		e.splitFree = cluster.NewAlloc()
+	}
+	if e.emptyAnchor == nil {
+		e.emptyAnchor = cluster.NewAlloc()
+	}
+	remaining := e.splitFree
+	clear(remaining)
+	for m, n := range total {
+		if n != 0 {
+			remaining[m] = n
+		}
+	}
 	for _, idx := range order {
 		j := active[idx]
 		want := j.MaxParallelism
 		if want <= 0 {
 			want = j.GangSize
 		}
-		picked := placement.Pick(e.Topo, remaining, cluster.NewAlloc(), want)
+		picked := placement.Pick(e.Topo, remaining, e.emptyAnchor, want)
 		if c, ok := j.PlacementConstraint(e.Topo); ok && !c.IsZero() && !placement.Satisfies(e.Topo, picked, c) {
 			// The unconstrained pick would strand these GPUs on an unrunnable
 			// shape; re-pick constraint-aware so the bid values what the
 			// simulator's job split would actually run.
-			picked = placement.PickConstrained(e.Topo, remaining, cluster.NewAlloc(), want, c)
+			picked = placement.PickConstrained(e.Topo, remaining, e.emptyAnchor, want, c)
 		}
 		out[idx] = picked
-		var err error
-		remaining, err = remaining.Sub(picked)
-		if err != nil {
-			panic("core: splitAcrossJobs internal inconsistency: " + err.Error())
+		for m, n := range picked {
+			if remaining[m] < n {
+				panic("core: splitAcrossJobs internal inconsistency: picked exceeds remaining")
+			}
+			remaining[m] -= n
+			if remaining[m] == 0 {
+				delete(remaining, m)
+			}
 		}
 	}
 	return out

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"themis/internal/cluster"
+	"themis/internal/placement"
+	"themis/internal/workload"
+)
+
+// valuationFixture builds n agents with varied gang sizes and current
+// allocations over a 16×4 cluster, plus the free vector left over.
+func valuationFixture(tb testing.TB, n int) ([]probedAgent, cluster.Alloc) {
+	tb.Helper()
+	topo, err := cluster.Config{
+		MachineSpecs:    []cluster.MachineSpec{{Count: 16, GPUs: 4, SlotSize: 2, GPU: cluster.GPUTypeP100}},
+		MachinesPerRack: 8,
+	}.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cs := cluster.NewState(topo)
+	profiles := []placement.Profile{placement.VGG16, placement.ResNet50, placement.GNMT}
+	ps := make([]probedAgent, 0, n)
+	for i := 0; i < n; i++ {
+		id := workload.AppID(fmt.Sprintf("val-%03d", i))
+		gang := 1 << (i % 3) // gangs of 1, 2, 4
+		app := testApp(id, 0, profiles[i%len(profiles)], 1+i%3, 400, gang)
+		ag := agentFor(topo, app)
+		cur := cluster.NewAlloc()
+		if i%2 == 1 { // odd agents already hold GPUs on machine i%16
+			cur = cluster.Alloc{cluster.MachineID(i % 16): 2}
+			if err := cs.Grant(string(id), cur); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		ps = append(ps, probedAgent{state: AgentState{Agent: ag, Current: cur}, rho: float64(n - i)})
+	}
+	return ps, cs.FreeVector()
+}
+
+// foreignBidder wraps an Agent behind a type the valuator cannot fast-path,
+// standing in for the rpc package's remote bidders.
+type foreignBidder struct{ *Agent }
+
+// TestBatchedBidEquivalence pins the valuator's contract: batching a round's
+// bid preparation through one BidValuator produces tables bit-identical to
+// standalone per-agent PrepareBid calls, on the first round and on a scratch-
+// reusing second round, for in-process Agents and for foreign Bidders alike.
+func TestBatchedBidEquivalence(t *testing.T) {
+	ps, free := valuationFixture(t, 12)
+	// Route one participant through the foreign-Bidder fallback path.
+	ps[5].state.Agent = foreignBidder{ps[5].state.Agent.(*Agent)}
+
+	want := make([]BidTable, 0, len(ps))
+	for _, p := range ps {
+		want = append(want, p.state.Agent.PrepareBid(0, free, p.state.Current))
+	}
+
+	var v BidValuator
+	for round := 0; round < 3; round++ {
+		got := v.prepareBids(0, free, ps)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d tables, want %d", round, len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Errorf("round %d: table %d differs:\n got %v\nwant %v", round, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestValuatorCandidateSizesMatchesPackage pins that the valuator's scratch-
+// reusing size enumeration is the package function's (which now delegates to
+// it), including across repeated calls that reuse the internal set.
+func TestValuatorCandidateSizesMatchesPackage(t *testing.T) {
+	var v BidValuator
+	cases := []struct{ offered, unmet, gang int }{
+		{0, 10, 2}, {10, 0, 2}, {64, 64, 1}, {64, 17, 4}, {5, 100, 8}, {3, 3, 2}, {128, 96, 2},
+	}
+	for _, c := range cases {
+		want := candidateSizes(c.offered, c.unmet, c.gang)
+		got := v.candidateSizes(c.offered, c.unmet, c.gang)
+		if !reflect.DeepEqual(append([]int(nil), got...), want) {
+			t.Errorf("candidateSizes(%d,%d,%d): valuator %v, package %v", c.offered, c.unmet, c.gang, got, want)
+		}
+	}
+}
+
+// BenchmarkBidValuationBatch measures one auction round's batched bid
+// preparation — the internal/core hot path the pooling work targets. The
+// interesting number is allocs/op trending with table content (fresh
+// candidate Allocs) rather than with scratch churn.
+func BenchmarkBidValuationBatch(b *testing.B) {
+	ps, free := valuationFixture(b, 16)
+	var v BidValuator
+	v.prepareBids(0, free, ps) // prime the scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.prepareBids(0, free, ps)
+	}
+}
+
+// BenchmarkBidPreparePerAgent is the unbatched baseline for comparison.
+func BenchmarkBidPreparePerAgent(b *testing.B) {
+	ps, free := valuationFixture(b, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range ps {
+			p.state.Agent.PrepareBid(0, free, p.state.Current)
+		}
+	}
+}

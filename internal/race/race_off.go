@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package race reports whether the race detector is compiled in. The
+// zero-allocation regression tests consult it: race instrumentation allocates
+// on its own, so the 0 allocs/op contracts only hold (and are only checked)
+// on non-race builds.
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = false

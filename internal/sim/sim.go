@@ -156,6 +156,22 @@ type Simulator struct {
 	recoveries []*recoveryRec // pending recoveries, in time order
 	leaseSeq   uint64
 
+	// Hot-loop object pools and scratch buffers. The event core runs once
+	// per decision point; without these, every round allocated fresh slices
+	// (due/keep/stale/ids), a View struct, and — on each grant — a lease and
+	// an alloc map, all of it garbage by the next round. The free-lists are
+	// owned by the Simulator (no sync.Pool: the simulator is single-threaded,
+	// and sweep workers each own a Simulator), so reuse is deterministic and
+	// race-free. TestEventCoreZeroAlloc pins steady-state rounds at 0
+	// allocs/op.
+	leasePool    []*lease        // retired leases, ready for grantLease
+	allocPool    []cluster.Alloc // retired lease alloc maps, cleared on reuse
+	dueScratch   []*lease        // dueLeases result
+	keepScratch  []*event        // dueLeases non-expiry re-push buffer
+	staleScratch []*event        // heapEventTimes re-push buffer
+	idsScratch   []workload.AppID
+	viewStruct   View // reused policy-facing view (valid during Allocate only)
+
 	now    float64
 	result *Result
 }
@@ -353,11 +369,13 @@ func (s *Simulator) expireLeases() error {
 		s.detachLease(l)
 		if _, ok := s.active[st.App.ID]; !ok {
 			// The app already finished; its GPUs were released then.
+			s.recycleLease(l)
 			continue
 		}
 		if err := s.cs.Release(string(st.App.ID), l.alloc); err != nil {
 			return fmt.Errorf("sim: lease release inconsistency: %w", err)
 		}
+		s.recycleLease(l)
 		st.onAllocationChange(s.now, s.cs.Held(string(st.App.ID)), s.cfg.RestartOverhead)
 		s.appStateChanged(st)
 		s.result.noteAllocation(s.now, st, st.Held)
@@ -365,11 +383,23 @@ func (s *Simulator) expireLeases() error {
 	return nil
 }
 
+// recycleLease returns a fully detached lease (and its alloc map) to the
+// free-lists for the next grant. Callers must be done with l.alloc: the
+// cluster state never retains granted maps (Grant/Release copy), so a lease's
+// map is exclusively lease-owned and safe to reuse once released.
+func (s *Simulator) recycleLease(l *lease) {
+	if l.alloc != nil {
+		s.allocPool = append(s.allocPool, l.alloc)
+	}
+	*l = lease{}
+	s.leasePool = append(s.leasePool, l)
+}
+
 // dueLeases collects the leases whose expiry time has been reached, sorted
 // by grant order. The heap core pops them off the event heap; the legacy
 // core rediscovers them by scanning every active app's lease list.
 func (s *Simulator) dueLeases() []*lease {
-	var due []*lease
+	due := s.dueScratch[:0]
 	if s.cfg.legacyScan {
 		for _, st := range s.activeList {
 			for _, l := range st.leases {
@@ -379,7 +409,7 @@ func (s *Simulator) dueLeases() []*lease {
 			}
 		}
 	} else {
-		var keep []*event
+		keep := s.keepScratch[:0]
 		for {
 			e := s.events.peek()
 			if e == nil || e.time > s.now+timeEps {
@@ -397,8 +427,14 @@ func (s *Simulator) dueLeases() []*lease {
 		for _, e := range keep {
 			s.events.push(e)
 		}
+		s.keepScratch = keep
 	}
-	sort.Slice(due, func(i, j int) bool { return due[i].seq < due[j].seq })
+	s.dueScratch = due
+	// sort.Slice boxes its closure even over an empty slice; the guard keeps
+	// the (overwhelmingly common) no-expiry round allocation-free.
+	if len(due) > 1 {
+		sort.Slice(due, func(i, j int) bool { return due[i].seq < due[j].seq })
+	}
 	return due
 }
 
@@ -450,7 +486,9 @@ func (s *Simulator) finishApps() {
 		st.App.FinishedAt = s.now
 		s.cs.ReleaseAll(string(st.App.ID))
 		for len(st.leases) > 0 {
-			s.detachLease(st.leases[0])
+			l := st.leases[0]
+			s.detachLease(l)
+			s.recycleLease(l)
 		}
 		s.events.remove(&st.completionEv)
 		s.result.noteFinish(s.now, st)
@@ -477,11 +515,14 @@ func (s *Simulator) schedule() (bool, error) {
 		return false, fmt.Errorf("sim: policy %s at t=%.2f: %w", s.cfg.Policy.Name(), s.now, err)
 	}
 	changed := false
-	ids := make([]workload.AppID, 0, len(grants))
+	ids := s.idsScratch[:0]
 	for id := range grants {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if len(ids) > 1 {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
+	s.idsScratch = ids
 	// leftover tracks the free GPUs no app was granted this round; the packer
 	// and the constrained-grant repair draw replacement GPUs from it. It is
 	// computed lazily: rounds without a packer or constrained grantee (the
@@ -536,7 +577,7 @@ func (s *Simulator) schedule() (bool, error) {
 		if err := s.cs.Grant(string(id), alloc); err != nil {
 			return changed, fmt.Errorf("sim: policy %s produced an infeasible allocation for %s: %w", s.cfg.Policy.Name(), id, err)
 		}
-		s.grantLease(st, alloc.Clone())
+		s.grantLease(st, s.cloneAlloc(alloc))
 		st.onAllocationChange(s.now, s.cs.Held(string(id)), s.cfg.RestartOverhead)
 		s.appStateChanged(st)
 		s.result.noteAllocation(s.now, st, st.Held)
@@ -618,11 +659,39 @@ func (s *Simulator) repairGrant(st *AppState, alloc, leftover cluster.Alloc) (cl
 	return repaired, rest
 }
 
+// cloneAlloc copies a grant into a lease-owned alloc map, reusing a retired
+// map from the pool when one is available.
+func (s *Simulator) cloneAlloc(src cluster.Alloc) cluster.Alloc {
+	n := len(s.allocPool)
+	if n == 0 {
+		return src.Clone()
+	}
+	m := s.allocPool[n-1]
+	s.allocPool[n-1] = nil
+	s.allocPool = s.allocPool[:n-1]
+	clear(m)
+	for k, v := range src {
+		if v != 0 {
+			m[k] = v
+		}
+	}
+	return m
+}
+
 // grantLease records a new lease over alloc for st, expiring one lease
-// duration from now.
+// duration from now. Lease objects come from the free-list when a retired
+// one is available.
 func (s *Simulator) grantLease(st *AppState, alloc cluster.Alloc) {
 	s.leaseSeq++
-	l := &lease{app: st, alloc: alloc, expiry: s.now + s.cfg.LeaseDuration, seq: s.leaseSeq}
+	var l *lease
+	if n := len(s.leasePool); n > 0 {
+		l = s.leasePool[n-1]
+		s.leasePool[n-1] = nil
+		s.leasePool = s.leasePool[:n-1]
+	} else {
+		l = &lease{}
+	}
+	*l = lease{app: st, alloc: alloc, expiry: s.now + s.cfg.LeaseDuration, seq: s.leaseSeq}
 	l.ev = event{kind: evLeaseExpiry, time: l.expiry, lease: l, index: -1}
 	st.leases = append(st.leases, l)
 	s.events.push(&l.ev)
@@ -673,7 +742,7 @@ func (s *Simulator) nextEventTime() (t float64, forced, ok bool) {
 // future entry, then re-inserted so they keep forcing progress.
 func (s *Simulator) heapEventTimes() (best, future float64) {
 	best, future = math.Inf(1), math.Inf(1)
-	var stale []*event
+	stale := s.staleScratch[:0]
 	for {
 		e := s.events.peek()
 		if e == nil {
@@ -692,6 +761,7 @@ func (s *Simulator) heapEventTimes() (best, future float64) {
 	for _, e := range stale {
 		s.events.push(e)
 	}
+	s.staleScratch = stale
 	if future < best {
 		best = future
 	}
@@ -749,10 +819,12 @@ func (s *Simulator) advanceTo(t float64) {
 func (s *Simulator) view() *View {
 	// Held is maintained on every allocation change (grant, lease expiry,
 	// kill re-split, failure revocation), so the view needs no per-app
-	// refresh against the cluster state. The Apps slice is reused across
-	// rounds: it is only valid for the duration of the policy's Allocate
-	// call, which is the contract documented on View.
-	v := &View{Topo: s.cfg.Topology, Cluster: s.cs, Now: s.now}
+	// refresh against the cluster state. Both the View struct and its Apps
+	// backing array are reused across rounds: the view is only valid for the
+	// duration of the policy's Allocate call, which is the contract
+	// documented on View.
+	v := &s.viewStruct
+	v.Topo, v.Cluster, v.Now = s.cfg.Topology, s.cs, s.now
 	v.Apps = append(s.viewBuf[:0], s.activeSorted...)
 	s.viewBuf = v.Apps
 	return v

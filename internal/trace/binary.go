@@ -1,0 +1,725 @@
+package trace
+
+// Binary trace container (format v3).
+//
+// v3 is not a third JSON schema: it is a compact binary container around the
+// v2 data model, built for multi-GB replays where JSON decode time and
+// allocation churn dominate. The layout is sectioned and length-framed so a
+// reader can stream apps without materialising the trace (and an mmap-backed
+// reader can skip straight to a section):
+//
+//	magic "THMB" | uvarint container version (3)
+//	section: 0x01 | uvarint len | string table
+//	section: 0x02 | uvarint len | apps
+//	section: 0x00 | uvarint 0     (end marker)
+//
+// The string table interns every name in the trace — app IDs, model/profile
+// names, fabric-domain and GPU-flavor affinities — as uvarint-length-prefixed
+// UTF-8, so app records reference names by index and repeated names (the
+// common case: a handful of models across thousands of apps) are stored once.
+// Index 0 is always the empty string.
+//
+// The apps section holds the trace-name index, an app count, then each app:
+//
+//	uvarint id index
+//	zigzag-varint delta of Float64bits(SubmitTime) vs the previous app
+//	uvarint model index
+//	flags byte (bit 0: placement block present)
+//	placement block, when present: uvarint profile/min-gpus/max-machines,
+//	  uvarint domain index, uvarint flavor index
+//	uvarint job count, then per job: fixed64 total work, uvarint gang size,
+//	  zigzag max parallelism, uvarint min-gpus/max-machines, zigzag total
+//	  iterations, fixed64 quality, zigzag seed
+//
+// Submit-time deltas exploit that IEEE 754 bit patterns of non-negative
+// floats are monotonic: a trace sorted by submit time produces small bit
+// deltas that varint-encode in a few bytes, and the reconstruction
+// (wrapping uint64 addition) is lossless for every float64, sorted or not.
+//
+// Decoding defends against hostile input: every read is bounded by its
+// section frame, counts are checked against the bytes that could possibly
+// back them before any allocation, string-table indices are range-checked,
+// varints reject 64-bit overflow, and unknown flag bits or trailing bytes are
+// errors. All corruption surfaces as *CorruptTraceError — never a panic.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"unicode/utf8"
+)
+
+// binaryMagic identifies a v3 binary trace container.
+const binaryMagic = "THMB"
+
+// BinaryVersion is the wire version of the binary trace container. It
+// extends the SupportedVersions history: v3 is the binary encoding of the v2
+// data model, so binary traces decode to Version == FormatVersion in memory
+// and re-encode losslessly as v2 JSON.
+const BinaryVersion = 3
+
+// Section identifiers of the binary container.
+const (
+	secEnd     = 0x00
+	secStrings = 0x01
+	secApps    = 0x02
+)
+
+// appFlagPlacement marks an app record carrying a placement block. All other
+// flag bits are reserved and must be zero.
+const appFlagPlacement = 0x01
+
+// minJobEncodedBytes is the smallest possible encoded job (two fixed64
+// floats plus five single-byte varints plus a single-byte seed); job counts
+// claiming more jobs than the section has bytes for are rejected before any
+// allocation.
+const minJobEncodedBytes = 8 + 1 + 1 + 1 + 1 + 1 + 8 + 1
+
+// WriteBinary encodes the trace in the v3 binary container format. The trace
+// is validated first, so only traces Read/ReadBinary would accept are ever
+// encoded; a v1 trace encodes losslessly (it decodes back at the current
+// format version, exactly like the JSON Upgrade on read).
+func (t Trace) WriteBinary(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	var enc binaryEncoder
+	enc.intern("") // index 0 is the empty string
+	enc.intern(t.Name)
+	for i := range t.Apps {
+		a := &t.Apps[i]
+		enc.intern(a.ID)
+		enc.intern(a.Model)
+		if p := a.Placement; p != nil {
+			enc.intern(p.Profile)
+			enc.intern(p.Domain)
+			enc.intern(p.Flavor)
+		}
+	}
+
+	var apps bytes.Buffer
+	enc.putUvarint(&apps, uint64(enc.index[t.Name]))
+	enc.putUvarint(&apps, uint64(len(t.Apps)))
+	prevBits := uint64(0)
+	for i := range t.Apps {
+		a := &t.Apps[i]
+		enc.putUvarint(&apps, uint64(enc.index[a.ID]))
+		bits := math.Float64bits(a.SubmitTime)
+		enc.putVarint(&apps, int64(bits-prevBits))
+		prevBits = bits
+		enc.putUvarint(&apps, uint64(enc.index[a.Model]))
+		if p := a.Placement; p != nil {
+			apps.WriteByte(appFlagPlacement)
+			enc.putUvarint(&apps, uint64(enc.index[p.Profile]))
+			enc.putUvarint(&apps, uint64(p.MinGPUsPerMachine))
+			enc.putUvarint(&apps, uint64(p.MaxMachines))
+			enc.putUvarint(&apps, uint64(enc.index[p.Domain]))
+			enc.putUvarint(&apps, uint64(enc.index[p.Flavor]))
+		} else {
+			apps.WriteByte(0)
+		}
+		enc.putUvarint(&apps, uint64(len(a.Jobs)))
+		for _, j := range a.Jobs {
+			enc.putFixed64(&apps, math.Float64bits(j.TotalWork))
+			enc.putUvarint(&apps, uint64(j.GangSize))
+			enc.putVarint(&apps, int64(j.MaxParallelism))
+			enc.putUvarint(&apps, uint64(j.MinGPUsPerMachine))
+			enc.putUvarint(&apps, uint64(j.MaxMachines))
+			enc.putVarint(&apps, int64(j.TotalIterations))
+			enc.putFixed64(&apps, math.Float64bits(j.Quality))
+			enc.putVarint(&apps, j.Seed)
+		}
+	}
+
+	var strtab bytes.Buffer
+	enc.putUvarint(&strtab, uint64(len(enc.table)))
+	for _, s := range enc.table {
+		enc.putUvarint(&strtab, uint64(len(s)))
+		strtab.WriteString(s)
+	}
+
+	var out bytes.Buffer
+	out.WriteString(binaryMagic)
+	enc.putUvarint(&out, BinaryVersion)
+	enc.putSection(&out, secStrings, strtab.Bytes())
+	enc.putSection(&out, secApps, apps.Bytes())
+	out.WriteByte(secEnd)
+	enc.putUvarint(&out, 0)
+	_, err := w.Write(out.Bytes())
+	if err != nil {
+		return fmt.Errorf("trace: writing binary trace: %w", err)
+	}
+	return nil
+}
+
+// binaryEncoder holds the string-interning state and varint scratch of one
+// WriteBinary call.
+type binaryEncoder struct {
+	table   []string
+	index   map[string]int
+	scratch [binary.MaxVarintLen64]byte
+}
+
+// intern records s in the string table (first use wins the index).
+func (e *binaryEncoder) intern(s string) {
+	if e.index == nil {
+		e.index = make(map[string]int)
+	}
+	if _, ok := e.index[s]; ok {
+		return
+	}
+	e.index[s] = len(e.table)
+	e.table = append(e.table, s)
+}
+
+func (e *binaryEncoder) putUvarint(b *bytes.Buffer, v uint64) {
+	n := binary.PutUvarint(e.scratch[:], v)
+	b.Write(e.scratch[:n])
+}
+
+func (e *binaryEncoder) putVarint(b *bytes.Buffer, v int64) {
+	n := binary.PutVarint(e.scratch[:], v)
+	b.Write(e.scratch[:n])
+}
+
+func (e *binaryEncoder) putFixed64(b *bytes.Buffer, v uint64) {
+	binary.LittleEndian.PutUint64(e.scratch[:8], v)
+	b.Write(e.scratch[:8])
+}
+
+func (e *binaryEncoder) putSection(b *bytes.Buffer, id byte, payload []byte) {
+	b.WriteByte(id)
+	e.putUvarint(b, uint64(len(payload)))
+	b.Write(payload)
+}
+
+// BinaryDecoder streams apps out of a v3 binary trace without materialising
+// the whole trace: the string table loads once up front, and each Next call
+// decodes one app into an internal buffer that is reused across calls. In
+// steady state (after the first few apps have sized the buffers) Next
+// performs zero heap allocations.
+//
+// The *AppSpec returned by Next — including its Jobs slice and Placement
+// block — is only valid until the next Next call; callers retaining an app
+// must copy it (ReadBinary does).
+type BinaryDecoder struct {
+	br     *bufio.Reader
+	table  []string
+	name   string
+	remain int    // apps not yet decoded
+	left   int64  // bytes left in the current section frame
+	offset int64  // bytes consumed from the stream, for error positions
+	prev   uint64 // previous app's SubmitTime bits (delta base)
+
+	app     AppSpec
+	jobs    []JobSpec
+	block   PlacementSpec
+	scratch [8]byte
+	err     error // sticky decode error
+}
+
+// NewBinaryDecoder reads the container header, the string table and the apps
+// section header from r, returning a decoder ready to stream apps. Corrupt
+// input fails with *CorruptTraceError.
+func NewBinaryDecoder(r io.Reader) (*BinaryDecoder, error) {
+	d := &BinaryDecoder{br: bufio.NewReader(r)}
+	if err := d.readHeader(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Name returns the trace name recorded in the container.
+func (d *BinaryDecoder) Name() string { return d.name }
+
+// Remaining returns how many apps Next has not yet yielded.
+func (d *BinaryDecoder) Remaining() int { return d.remain }
+
+// Next returns the next app in the trace, or io.EOF after the last one (at
+// which point the container's end marker has been verified). The returned
+// spec is reused by the following Next call.
+func (d *BinaryDecoder) Next() (*AppSpec, error) {
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.remain == 0 {
+		if d.left != 0 {
+			return nil, d.corrupt("%d trailing bytes in apps section", d.left)
+		}
+		if err := d.readEndMarker(); err != nil {
+			return nil, err
+		}
+		d.err = io.EOF
+		return nil, io.EOF
+	}
+	d.remain--
+
+	idIdx, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	id, err := d.str(idIdx)
+	if err != nil {
+		return nil, err
+	}
+	delta, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	d.prev += uint64(delta)
+	modelIdx, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	model, err := d.str(modelIdx)
+	if err != nil {
+		return nil, err
+	}
+	flags, err := d.readByte()
+	if err != nil {
+		return nil, err
+	}
+	if flags&^appFlagPlacement != 0 {
+		return nil, d.corrupt("unknown app flag bits 0x%02x", flags&^appFlagPlacement)
+	}
+	d.app = AppSpec{ID: id, SubmitTime: math.Float64frombits(d.prev), Model: model}
+	if flags&appFlagPlacement != 0 {
+		if err := d.readPlacement(); err != nil {
+			return nil, err
+		}
+		d.app.Placement = &d.block
+	}
+	jobCount, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if jobCount > uint64(d.left)/minJobEncodedBytes {
+		return nil, d.corrupt("job count %d exceeds the %d bytes left in the apps section", jobCount, d.left)
+	}
+	d.jobs = d.jobs[:0]
+	for i := uint64(0); i < jobCount; i++ {
+		js, err := d.readJob()
+		if err != nil {
+			return nil, err
+		}
+		d.jobs = append(d.jobs, js)
+	}
+	d.app.Jobs = d.jobs
+	return &d.app, nil
+}
+
+// readHeader consumes the magic, container version, string table and the
+// apps-section header.
+func (d *BinaryDecoder) readHeader() error {
+	if err := d.readFullRaw(d.scratch[:len(binaryMagic)]); err != nil {
+		return err
+	}
+	if string(d.scratch[:len(binaryMagic)]) != binaryMagic {
+		return d.corrupt("bad magic %q (want %q)", d.scratch[:len(binaryMagic)], binaryMagic)
+	}
+	// The container version frames everything after it; an unknown version is
+	// a negotiation failure, not corruption.
+	d.left = binary.MaxVarintLen64 // bound the header varint read
+	version, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	if version != BinaryVersion {
+		d.err = &UnsupportedVersionError{Version: int(version)}
+		return d.err
+	}
+	if err := d.readStringTable(); err != nil {
+		return err
+	}
+	// Apps section header: id, frame length, trace-name index, app count.
+	if err := d.readSectionHeader(secApps, "apps"); err != nil {
+		return err
+	}
+	nameIdx, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	if d.name, err = d.str(nameIdx); err != nil {
+		return err
+	}
+	count, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	// The smallest app record (id, delta, model, flags, job count) is 5
+	// bytes; a count the frame cannot back is corrupt.
+	if count > uint64(d.left)/5 {
+		return d.corrupt("app count %d exceeds the %d-byte apps section", count, d.left)
+	}
+	d.remain = int(count)
+	return nil
+}
+
+// readSectionHeader consumes one section header and checks its identifier,
+// setting the frame bound for subsequent reads.
+func (d *BinaryDecoder) readSectionHeader(want byte, name string) error {
+	id, err := d.readByteRaw()
+	if err != nil {
+		return err
+	}
+	if id != want {
+		return d.corrupt("expected %s section (0x%02x), found 0x%02x", name, want, id)
+	}
+	d.left = binary.MaxVarintLen64
+	length, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	if length > math.MaxInt64 {
+		return d.corrupt("%s section length %d overflows", name, length)
+	}
+	d.left = int64(length)
+	return nil
+}
+
+// readStringTable loads the interned-name table.
+func (d *BinaryDecoder) readStringTable() error {
+	if err := d.readSectionHeader(secStrings, "string table"); err != nil {
+		return err
+	}
+	count, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	// Every entry takes at least its one-byte length prefix.
+	if count > uint64(d.left) {
+		return d.corrupt("string table claims %d entries in %d bytes", count, d.left)
+	}
+	// The declared section length is attacker-controlled and unverifiable in
+	// a streaming read, so the count check above does not bound memory by
+	// itself: allocations below must grow only as real input bytes arrive
+	// (lazy table growth, chunked string reads), letting a lying frame die
+	// of truncation instead of a giant up-front make.
+	d.table = make([]string, 0, min(count, 1024))
+	var chunk []byte
+	for i := uint64(0); i < count; i++ {
+		slen, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if slen > uint64(d.left) {
+			return d.corrupt("string %d length %d exceeds the %d bytes left in the table", i, slen, d.left)
+		}
+		const maxChunk = 64 << 10
+		var buf bytes.Buffer
+		for n := slen; n > 0; {
+			c := min(n, maxChunk)
+			if uint64(len(chunk)) < c {
+				chunk = make([]byte, c)
+			}
+			if err := d.readFull(chunk[:c]); err != nil {
+				return err
+			}
+			buf.Write(chunk[:c])
+			n -= c
+		}
+		if !utf8.Valid(buf.Bytes()) {
+			// The JSON encoding cannot represent invalid UTF-8, so accepting
+			// it here would break the cross-format round-trip guarantee.
+			return d.corrupt("string %d is not valid UTF-8", i)
+		}
+		d.table = append(d.table, buf.String())
+	}
+	if d.left != 0 {
+		return d.corrupt("%d trailing bytes in string table", d.left)
+	}
+	return nil
+}
+
+// readPlacement decodes a placement block into the reused d.block.
+func (d *BinaryDecoder) readPlacement() error {
+	profIdx, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	profile, err := d.str(profIdx)
+	if err != nil {
+		return err
+	}
+	minGPUs, err := d.uvarintInt("placement min_gpus_per_machine")
+	if err != nil {
+		return err
+	}
+	maxMach, err := d.uvarintInt("placement max_machines")
+	if err != nil {
+		return err
+	}
+	domIdx, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	domain, err := d.str(domIdx)
+	if err != nil {
+		return err
+	}
+	flavIdx, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	flavor, err := d.str(flavIdx)
+	if err != nil {
+		return err
+	}
+	d.block = PlacementSpec{Profile: profile, MinGPUsPerMachine: minGPUs, MaxMachines: maxMach, Domain: domain, Flavor: flavor}
+	return nil
+}
+
+// readJob decodes one job record.
+func (d *BinaryDecoder) readJob() (JobSpec, error) {
+	var js JobSpec
+	work, err := d.fixed64()
+	if err != nil {
+		return js, err
+	}
+	js.TotalWork = math.Float64frombits(work)
+	if js.GangSize, err = d.uvarintInt("gang_size"); err != nil {
+		return js, err
+	}
+	if js.MaxParallelism, err = d.varintInt("max_parallelism"); err != nil {
+		return js, err
+	}
+	if js.MinGPUsPerMachine, err = d.uvarintInt("min_gpus_per_machine"); err != nil {
+		return js, err
+	}
+	if js.MaxMachines, err = d.uvarintInt("max_machines"); err != nil {
+		return js, err
+	}
+	if js.TotalIterations, err = d.varintInt("total_iterations"); err != nil {
+		return js, err
+	}
+	quality, err := d.fixed64()
+	if err != nil {
+		return js, err
+	}
+	js.Quality = math.Float64frombits(quality)
+	if js.Seed, err = d.varint(); err != nil {
+		return js, err
+	}
+	return js, nil
+}
+
+// readEndMarker consumes and checks the container's end-of-sections marker.
+func (d *BinaryDecoder) readEndMarker() error {
+	id, err := d.readByteRaw()
+	if err != nil {
+		return err
+	}
+	if id != secEnd {
+		return d.corrupt("expected end marker, found section 0x%02x", id)
+	}
+	d.left = binary.MaxVarintLen64
+	length, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	if length != 0 {
+		return d.corrupt("end marker declares %d payload bytes", length)
+	}
+	return nil
+}
+
+// str resolves a string-table index, range-checked.
+func (d *BinaryDecoder) str(idx uint64) (string, error) {
+	if idx >= uint64(len(d.table)) {
+		return "", d.corrupt("string index %d out of range (table has %d entries)", idx, len(d.table))
+	}
+	return d.table[idx], nil
+}
+
+// readByteRaw reads one byte outside any section frame (section identifiers
+// and the header magic).
+func (d *BinaryDecoder) readByteRaw() (byte, error) {
+	b, err := d.br.ReadByte()
+	if err != nil {
+		return 0, d.ioErr(err)
+	}
+	d.offset++
+	return b, nil
+}
+
+// readFullRaw fills p outside any section frame.
+func (d *BinaryDecoder) readFullRaw(p []byte) error {
+	n, err := io.ReadFull(d.br, p)
+	d.offset += int64(n)
+	if err != nil {
+		return d.ioErr(err)
+	}
+	return nil
+}
+
+// readByte reads one byte inside the current section frame.
+func (d *BinaryDecoder) readByte() (byte, error) {
+	if d.left <= 0 {
+		return 0, d.corrupt("read past the end of the section frame")
+	}
+	b, err := d.br.ReadByte()
+	if err != nil {
+		return 0, d.ioErr(err)
+	}
+	d.left--
+	d.offset++
+	return b, nil
+}
+
+// readFull fills p from inside the current section frame.
+func (d *BinaryDecoder) readFull(p []byte) error {
+	if int64(len(p)) > d.left {
+		return d.corrupt("read of %d bytes past the end of the section frame", len(p))
+	}
+	n, err := io.ReadFull(d.br, p)
+	d.left -= int64(n)
+	d.offset += int64(n)
+	if err != nil {
+		return d.ioErr(err)
+	}
+	return nil
+}
+
+// uvarint reads an unsigned varint, rejecting 64-bit overflow.
+func (d *BinaryDecoder) uvarint() (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		b, err := d.readByte()
+		if err != nil {
+			return 0, err
+		}
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, d.corrupt("varint overflows 64 bits")
+			}
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, d.corrupt("varint overflows 64 bits")
+}
+
+// varint reads a zigzag-encoded signed varint.
+func (d *BinaryDecoder) varint() (int64, error) {
+	ux, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	x := int64(ux >> 1)
+	if ux&1 != 0 {
+		x = ^x
+	}
+	return x, nil
+}
+
+// uvarintInt reads an unsigned varint that must fit an int.
+func (d *BinaryDecoder) uvarintInt(field string) (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt {
+		return 0, d.corrupt("%s value %d overflows int", field, v)
+	}
+	return int(v), nil
+}
+
+// varintInt reads a signed varint that must fit an int.
+func (d *BinaryDecoder) varintInt(field string) (int, error) {
+	v, err := d.varint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt || v < math.MinInt {
+		return 0, d.corrupt("%s value %d overflows int", field, v)
+	}
+	return int(v), nil
+}
+
+// fixed64 reads a little-endian 8-byte value.
+func (d *BinaryDecoder) fixed64() (uint64, error) {
+	if err := d.readFull(d.scratch[:8]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(d.scratch[:8]), nil
+}
+
+// corrupt records and returns a typed corruption error at the current
+// stream position.
+func (d *BinaryDecoder) corrupt(format string, args ...any) error {
+	d.err = &CorruptTraceError{Offset: d.offset, Reason: fmt.Sprintf(format, args...)}
+	return d.err
+}
+
+// ioErr converts a read failure into the decoder's sticky error: EOF inside
+// a structure is truncation (corruption); anything else is a real I/O error
+// and is surfaced as such.
+func (d *BinaryDecoder) ioErr(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return d.corrupt("truncated input")
+	}
+	d.err = fmt.Errorf("trace: reading binary trace: %w", err)
+	return d.err
+}
+
+// ReadBinary parses and validates a complete trace from a v3 binary stream.
+// Like Read, the result carries the current format version, so Write on it
+// emits valid v2 JSON — the two encodings are interchangeable representations
+// of the same trace.
+func ReadBinary(r io.Reader) (Trace, error) {
+	d, err := NewBinaryDecoder(r)
+	if err != nil {
+		return Trace{}, err
+	}
+	t := Trace{Version: FormatVersion, Name: d.Name()}
+	t.Apps = make([]AppSpec, 0, min(d.Remaining(), 1024))
+	for {
+		app, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Trace{}, err
+		}
+		spec := *app
+		spec.Jobs = append([]JobSpec(nil), app.Jobs...)
+		if app.Placement != nil {
+			block := *app.Placement
+			spec.Placement = &block
+		}
+		t.Apps = append(t.Apps, spec)
+	}
+	// The container is the whole stream here (unlike the embeddable
+	// streaming decoder): bytes after the end marker mean the file is not
+	// what it claims to be.
+	if _, err := d.br.ReadByte(); err == nil {
+		return Trace{}, &CorruptTraceError{Offset: d.offset, Reason: "trailing bytes after end marker"}
+	} else if err != io.EOF {
+		return Trace{}, fmt.Errorf("trace: reading binary trace: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return Trace{}, err
+	}
+	return t, nil
+}
+
+// SaveBinary writes the trace to a file in the binary container format.
+// Load auto-detects the encoding, so binary and JSON trace files are
+// interchangeable everywhere a path is accepted.
+func SaveBinary(path string, t Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	if err := t.WriteBinary(f); err != nil {
+		return fmt.Errorf("trace: writing %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -75,6 +75,36 @@ func (e *OptionError) Error() string {
 	return fmt.Sprintf("trace: import option %s=%s: %s", e.Option, e.Value, e.Reason)
 }
 
+// CorruptTraceError reports a structurally invalid v3 binary trace
+// container: a bad magic or section identifier, a truncated section frame, a
+// string-table index or varint out of range, or trailing bytes where a frame
+// should end. The binary decoder never panics on hostile input — every
+// corruption path surfaces as this type (I/O failures of the underlying
+// reader keep their own error).
+type CorruptTraceError struct {
+	// Offset is the byte position in the stream where decoding failed.
+	Offset int64
+	Reason string
+}
+
+func (e *CorruptTraceError) Error() string {
+	return fmt.Sprintf("trace: corrupt binary trace at byte %d: %s", e.Offset, e.Reason)
+}
+
+// AppError reports a structurally invalid app-level field (today: a
+// non-finite submit time). JSON cannot encode NaN or ±Inf, but the binary
+// container's fixed-width floats can; rejecting them at validation keeps the
+// two encodings accepting exactly the same set of traces.
+type AppError struct {
+	// ID is the offending app's ID.
+	ID     string
+	Reason string
+}
+
+func (e *AppError) Error() string {
+	return fmt.Sprintf("trace: app %s: %s", e.ID, e.Reason)
+}
+
 // JobError reports a structurally invalid job within an app entry.
 type JobError struct {
 	// App is the owning app's ID; Index is the job's position within it.

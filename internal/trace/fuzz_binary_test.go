@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// binaryErrTyped reports whether a binary-decode failure is one of the typed
+// errors the decoder is allowed to return: corruption, version negotiation, or
+// a structural validation error on the decoded data model. Anything else
+// (and any panic, which the fuzzer turns into a crash) is a contract
+// violation.
+func binaryErrTyped(err error) bool {
+	var (
+		corrupt   *CorruptTraceError
+		version   *UnsupportedVersionError
+		missingID *MissingAppIDError
+		dupID     *DuplicateAppIDError
+		app       *AppError
+		placement *PlacementError
+		job       *JobError
+	)
+	return errors.As(err, &corrupt) || errors.As(err, &version) ||
+		errors.As(err, &missingID) || errors.As(err, &dupID) ||
+		errors.As(err, &app) || errors.As(err, &placement) || errors.As(err, &job)
+}
+
+// FuzzBinaryTraceRoundTrip asserts the v3 binary codec's contract on
+// arbitrary bytes, in both directions:
+//
+//   - binary→decode→encode: ReadBinary never panics; rejections carry typed
+//     errors (truncated sections, corrupt string-table indices, varint
+//     overflows all surface as *CorruptTraceError); accepted input round-trips
+//     bit-for-bit through WriteBinary→ReadBinary and re-encodes
+//     deterministically.
+//   - JSON→binary→JSON: any input the JSON decoder accepts must survive the
+//     trip through the binary container unchanged — the two encodings are
+//     interchangeable representations of one data model.
+//
+// The seed corpus under testdata/fuzz/FuzzBinaryTraceRoundTrip pins the
+// hostile shapes that drove the decoder's bounds checks.
+func FuzzBinaryTraceRoundTrip(f *testing.F) {
+	// Valid binary container (several apps, placement block, interned names).
+	var valid bytes.Buffer
+	if err := binaryTestTrace().WriteBinary(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	// Empty trace container.
+	var empty bytes.Buffer
+	if err := (Trace{Version: FormatVersion, Name: "e"}).WriteBinary(&empty); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+	// Truncations at every structural boundary.
+	f.Add(valid.Bytes()[:3])
+	f.Add(valid.Bytes()[:8])
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2])
+	f.Add(valid.Bytes()[:len(valid.Bytes())-2])
+	// Varint overflow in the container version.
+	f.Add(append([]byte(binaryMagic), 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x7f))
+	// String-table count larger than its section frame.
+	f.Add(append([]byte(binaryMagic), 3, secStrings, 2, 0xFF, 0x7F))
+	// App count larger than its section frame, out-of-range name index.
+	f.Add(append([]byte(binaryMagic), 3, secStrings, 2, 1, 0, secApps, 3, 0, 0xFF, 1))
+	f.Add(append([]byte(binaryMagic), 3, secStrings, 2, 1, 0, secApps, 2, 9, 0))
+	// JSON inputs: the cross-encoding direction.
+	f.Add([]byte(`{"version":2,"apps":[{"id":"a","placement":{"profile":"VGG16","domain":"rack-1","flavor":"P100"},"jobs":[{"total_work":1,"gang_size":1,"seed":-3}]}]}`))
+	f.Add([]byte(`{"version":1,"apps":[{"id":"a","jobs":[{"total_work":1,"gang_size":1,"max_parallelism":-1}]}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Direction 1: treat the bytes as a binary container.
+		tr, err := ReadBinary(bytes.NewReader(data))
+		if err == nil {
+			roundTripBinary(t, tr)
+		} else if !binaryErrTyped(err) {
+			t.Fatalf("ReadBinary rejected input with an untyped error: %v (%T)", err, err)
+		}
+
+		// Direction 2: treat the bytes as JSON; anything Read accepts must
+		// survive the binary container losslessly.
+		jtr, err := Read(bytes.NewReader(data))
+		if err == nil {
+			roundTripBinary(t, jtr)
+		}
+	})
+}
+
+// roundTripBinary pushes an accepted trace through WriteBinary→ReadBinary and
+// back out to JSON, demanding DeepEqual fidelity and deterministic bytes.
+func roundTripBinary(t *testing.T, tr Trace) {
+	t.Helper()
+	var bin bytes.Buffer
+	if err := tr.WriteBinary(&bin); err != nil {
+		t.Fatalf("encoding an accepted trace as binary failed: %v", err)
+	}
+	back, err := ReadBinary(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatalf("re-decoding an encoded binary trace failed: %v", err)
+	}
+	// ReadBinary always materialises a non-nil Apps slice; a JSON trace with
+	// "apps":null decodes to nil. Both mean "no apps".
+	a, b := tr, back
+	if len(a.Apps) == 0 {
+		a.Apps, b.Apps = nil, nil
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("binary round trip changed the trace:\nfirst:  %+v\nsecond: %+v", a, b)
+	}
+	var bin2 bytes.Buffer
+	if err := back.WriteBinary(&bin2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bin.Bytes(), bin2.Bytes()) {
+		t.Fatal("binary encoding is not deterministic across a decode round trip")
+	}
+	// Out the far side: binary→JSON→decode must also hold.
+	var js bytes.Buffer
+	if err := back.Write(&js); err != nil {
+		t.Fatalf("re-encoding a binary-decoded trace as JSON failed: %v", err)
+	}
+	fromJSON, err := Read(bytes.NewReader(js.Bytes()))
+	if err != nil {
+		t.Fatalf("JSON re-decode of a binary-decoded trace failed: %v", err)
+	}
+	if len(fromJSON.Apps) == 0 {
+		fromJSON.Apps = nil
+	}
+	if !reflect.DeepEqual(a, fromJSON) {
+		t.Fatalf("binary→JSON round trip changed the trace:\nfirst:  %+v\nsecond: %+v", a, fromJSON)
+	}
+}

@@ -17,6 +17,9 @@ type Format string
 const (
 	// FormatJSON is the native versioned JSON trace (Read/Write).
 	FormatJSON Format = "json"
+	// FormatBinary is the native v3 binary container (ReadBinary/WriteBinary):
+	// the same data model as FormatJSON in a compact, streamable encoding.
+	FormatBinary Format = "binary"
 	// FormatPhilly is a Philly-style CSV cluster log: one row per job with
 	// submit time, GPU count, duration and completion status.
 	FormatPhilly Format = "philly"
@@ -28,7 +31,7 @@ const (
 )
 
 // Formats lists the concrete formats Import accepts (FormatAuto aside).
-func Formats() []Format { return []Format{FormatJSON, FormatPhilly, FormatAlibaba} }
+func Formats() []Format { return []Format{FormatJSON, FormatBinary, FormatPhilly, FormatAlibaba} }
 
 // sniffBytes is how much of the stream format auto-detection examines.
 const sniffBytes = 4096
@@ -141,6 +144,8 @@ func Import(r io.Reader, f Format, opts ImportOptions) (Trace, error) {
 	switch f {
 	case FormatJSON:
 		return importJSON(r, opts)
+	case FormatBinary:
+		return importBinary(r, opts)
 	case FormatPhilly:
 		return ImportPhilly(r, opts)
 	case FormatAlibaba:
@@ -150,11 +155,14 @@ func Import(r io.Reader, f Format, opts ImportOptions) (Trace, error) {
 	}
 }
 
-// DetectFormat sniffs the leading bytes of a trace file: native JSON starts
-// with a JSON value, and the CSV dialects are told apart by their header
-// columns (plan_gpu/job_name for Alibaba-style, jobid/submit for
-// Philly-style).
+// DetectFormat sniffs the leading bytes of a trace file: the binary
+// container announces itself with a magic prefix, native JSON starts with a
+// JSON value, and the CSV dialects are told apart by their header columns
+// (plan_gpu/job_name for Alibaba-style, jobid/submit for Philly-style).
 func DetectFormat(head []byte) (Format, error) {
+	if bytes.HasPrefix(head, []byte(binaryMagic)) {
+		return FormatBinary, nil
+	}
 	trimmed := bytes.TrimLeft(head, " \t\r\n")
 	if len(trimmed) > 0 && (trimmed[0] == '{' || trimmed[0] == '[') {
 		return FormatJSON, nil
@@ -231,6 +239,28 @@ func importJSON(r io.Reader, opts ImportOptions) (Trace, error) {
 	if err != nil {
 		return Trace{}, err
 	}
+	return finishNativeImport(tr, opts, FormatJSON, count)
+}
+
+// importBinary adapts the v3 binary decoder to the importer contract,
+// applying exactly the native post-processing importJSON does: the two
+// encodings import identically apart from the Format in progress snapshots.
+func importBinary(r io.Reader, opts ImportOptions) (Trace, error) {
+	count := &countingReader{r: r}
+	tr, err := ReadBinary(count)
+	if err != nil {
+		return Trace{}, err
+	}
+	return finishNativeImport(tr, opts, FormatBinary, count)
+}
+
+// finishNativeImport applies the importer options shared by the native
+// encodings (JSON and binary) to a decoded trace: Name, Model and Placement
+// stamping, the MaxApps earliest-by-(submit,ID) cap — without the CSV
+// adapters' rebase to t = 0, since a native trace owns its time base — and
+// the final Done progress snapshot (Rows counts decoded app entries; native
+// traces have no data rows).
+func finishNativeImport(tr Trace, opts ImportOptions, f Format, count *countingReader) (Trace, error) {
 	if opts.Name != "" {
 		tr.Name = opts.Name
 	}
@@ -249,7 +279,7 @@ func importJSON(r io.Reader, opts ImportOptions) (Trace, error) {
 	}
 	if opts.Progress != nil {
 		n := int64(len(tr.Apps))
-		opts.Progress(ImportProgress{Format: FormatJSON, Rows: n, Kept: n, Bytes: count.n, Done: true})
+		opts.Progress(ImportProgress{Format: f, Rows: n, Kept: n, Bytes: count.n, Done: true})
 	}
 	return tr, nil
 }

@@ -2,9 +2,18 @@
 // serialisable description of the apps submitted to a cluster — the
 // stand-in for the production trace the paper replays — so experiments can
 // be re-run bit-for-bit from a file instead of regenerating workloads.
+//
+// Two interchangeable encodings carry the same data model: the versioned
+// JSON document (Read/Write) and the compact v3 binary container
+// (ReadBinary/WriteBinary — interned string table, delta-encoded varint
+// timestamps, and a streaming BinaryDecoder that yields apps one at a time
+// at zero allocations per app in steady state). Load, Import and
+// DetectFormat auto-detect the encoding; ToApps output is byte-identical
+// across both.
 package trace
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -25,6 +34,11 @@ import (
 //	     domain / GPU-flavor affinities) and the per-job max_machines
 //	     constraint. v1 is a strict subset of v2, so v1 traces upgrade
 //	     losslessly on read.
+//	v3 — the binary container encoding of the v2 data model (see binary.go):
+//	     sectioned layout, interned string table, delta-encoded varint
+//	     timestamps. Not a JSON version: binary traces decode to Version 2 in
+//	     memory and the two encodings are interchangeable (ToApps output is
+//	     byte-identical across them).
 const FormatVersion = 2
 
 // formatVersionV1 is the pre-placement-block format, still replayable.
@@ -159,6 +173,13 @@ func (t Trace) Validate() error {
 			return &DuplicateAppIDError{ID: spec.ID, First: first, Second: i}
 		}
 		seen[spec.ID] = i
+		// NaN/±Inf are unencodable as JSON but expressible in the binary
+		// container's fixed-width floats; rejecting them here keeps both
+		// encodings accepting exactly the same traces (and NaN would slip
+		// through the <= comparisons below).
+		if !isFinite(spec.SubmitTime) {
+			return &AppError{ID: spec.ID, Reason: fmt.Sprintf("non-finite submit_time %v", spec.SubmitTime)}
+		}
 		if err := spec.validatePlacement(t.Version); err != nil {
 			return err
 		}
@@ -166,6 +187,9 @@ func (t Trace) Validate() error {
 			return &JobError{App: spec.ID, Index: 0, Reason: "app has no jobs"}
 		}
 		for j, js := range spec.Jobs {
+			if !isFinite(js.TotalWork) || !isFinite(js.Quality) {
+				return &JobError{App: spec.ID, Index: j, Reason: fmt.Sprintf("non-finite work/quality %v/%v", js.TotalWork, js.Quality)}
+			}
 			if js.TotalWork <= 0 || js.GangSize <= 0 {
 				return &JobError{App: spec.ID, Index: j, Reason: fmt.Sprintf("invalid work/gang %v/%d", js.TotalWork, js.GangSize)}
 			}
@@ -322,12 +346,52 @@ func Save(path string, t Trace) error {
 	return f.Close()
 }
 
-// Load reads a trace from a file.
+// Load reads a trace from a file, auto-detecting the encoding: files
+// starting with the v3 binary magic decode through ReadBinary, everything
+// else through the JSON Read.
 func Load(path string) (Trace, error) {
+	t, _, err := LoadWithInfo(path)
+	return t, err
+}
+
+// LoadInfo describes what was actually found on disk by LoadWithInfo —
+// before the lossless upgrade every decoded trace undergoes.
+type LoadInfo struct {
+	// Encoding is FormatJSON or FormatBinary.
+	Encoding Format
+	// WireVersion is the format version the file declares: 1 or 2 for JSON
+	// traces, BinaryVersion (3) for binary containers. The in-memory trace
+	// always carries FormatVersion after the upgrade; WireVersion preserves
+	// what the file said.
+	WireVersion int
+}
+
+// LoadWithInfo reads a trace from a file like Load and additionally reports
+// the detected on-disk encoding and declared format version. tracegen's
+// validate subcommand uses it to name what it actually checked.
+func LoadWithInfo(path string) (Trace, LoadInfo, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return Trace{}, fmt.Errorf("trace: %w", err)
+		return Trace{}, LoadInfo{}, fmt.Errorf("trace: %w", err)
 	}
 	defer f.Close()
-	return Read(f)
+	br := bufio.NewReader(f)
+	head, err := br.Peek(len(binaryMagic))
+	if err != nil && err != io.EOF {
+		return Trace{}, LoadInfo{}, fmt.Errorf("trace: reading %s: %w", path, err)
+	}
+	if string(head) == binaryMagic {
+		t, err := ReadBinary(br)
+		return t, LoadInfo{Encoding: FormatBinary, WireVersion: BinaryVersion}, err
+	}
+	var t Trace
+	if err := json.NewDecoder(br).Decode(&t); err != nil {
+		return Trace{}, LoadInfo{}, fmt.Errorf("trace: decoding: %w", err)
+	}
+	info := LoadInfo{Encoding: FormatJSON, WireVersion: t.Version}
+	if err := t.Validate(); err != nil {
+		return Trace{}, info, err
+	}
+	t.Upgrade()
+	return t, info, nil
 }

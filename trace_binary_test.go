@@ -1,0 +1,98 @@
+package themis
+
+// Cross-encoding replay identity: a trace saved as JSON and as the v3 binary
+// container must be interchangeable all the way through the facade — same
+// ToApps output, same Report, byte for byte. This is the top-level guard for
+// the binary encoding (internal/trace pins the wire format itself) and for
+// the simulator's pooled hot loop (a pooling bug that perturbed event order
+// would diverge the serialized reports).
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+)
+
+// binaryReplayTrace captures the golden workload as a trace.
+func binaryReplayTrace(t *testing.T) Trace {
+	t.Helper()
+	spec := DefaultWorkloadSpec()
+	spec.Seed = 11
+	spec.NumApps = 10
+	spec.JobsPerAppMedian = 3
+	spec.MaxJobsPerApp = 6
+	spec.MeanInterArrival = 8
+	spec.DurationScale = 0.2
+	apps, err := GenerateWorkload(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewTrace("binary-replay", apps)
+}
+
+func replayReport(t *testing.T, tracePath string) string {
+	t.Helper()
+	sim, err := NewSimulation(
+		WithCluster(ClusterTestbed),
+		WithTraceFile(tracePath),
+		WithPolicy("themis"),
+		WithSeed(11),
+		WithHorizon(20000),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sim.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serializeReport(report)
+}
+
+func TestBinaryTraceReplayMatchesJSON(t *testing.T) {
+	tr := binaryReplayTrace(t)
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "trace.json")
+	binPath := filepath.Join(dir, "trace.bin")
+	if err := SaveTrace(jsonPath, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveTraceBinary(binPath, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wire-level metadata distinguishes the encodings; the traces do not.
+	jt, jinfo, err := LoadTraceWithInfo(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, binfo, err := LoadTraceWithInfo(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jinfo.Encoding != TraceFormatJSON || jinfo.WireVersion != TraceFormatVersion {
+		t.Errorf("json info = %+v, want encoding %s version %d", jinfo, TraceFormatJSON, TraceFormatVersion)
+	}
+	if binfo.Encoding != TraceFormatBinary || binfo.WireVersion != 3 {
+		t.Errorf("binary info = %+v, want encoding %s version 3", binfo, TraceFormatBinary)
+	}
+
+	jApps, err := jt.ToApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bApps, err := bt.ToApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jApps) != len(bApps) {
+		t.Fatalf("app counts differ: json %d, binary %d", len(jApps), len(bApps))
+	}
+
+	jsonReport := replayReport(t, jsonPath)
+	binReport := replayReport(t, binPath)
+	if jsonReport != binReport {
+		t.Errorf("replay reports diverge between JSON and binary encodings\n%s",
+			diffSnippet(jsonReport, binReport))
+	}
+}

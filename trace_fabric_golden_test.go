@@ -1,0 +1,83 @@
+package themis
+
+// Cross-encoding golden for the v2 feature set: the fabric workload — domain
+// affinities, per-machine floors, placement-constrained gangs — is captured
+// as a trace, written as both v2 JSON and the v3 binary container, and each
+// form's materialised apps are pinned byte-identically against one snapshot.
+// Together with internal/trace's v1 cross-format goldens this closes the
+// matrix: every format version materialises the same apps from either
+// encoding.
+//
+// Regenerate deliberately with:
+//
+//	go test -run TestFabricTraceCrossEncodingGolden -update .
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// dumpTraceApps renders materialised apps in a stable text form covering
+// every field the wire carries, including the v2 affinities.
+func dumpTraceApps(apps []*App) string {
+	var b strings.Builder
+	for _, a := range apps {
+		fmt.Fprintf(&b, "app %s submit=%v profile=%s network=%t\n",
+			a.ID, a.SubmitTime, a.Profile.Name, a.Profile.NetworkIntensive)
+		for _, j := range a.Jobs {
+			fmt.Fprintf(&b, "  job %s work=%v gang=%d maxpar=%d mingpm=%d maxmach=%d domain=%q flavor=%q iters=%d quality=%v seed=%d\n",
+				j.ID, j.TotalWork, j.GangSize, j.MaxParallelism, j.MinGPUsPerMachine,
+				j.MaxMachines, j.DomainAffinity, j.FlavorAffinity, j.TotalIterations, j.Quality, j.Seed)
+		}
+	}
+	return b.String()
+}
+
+func TestFabricTraceCrossEncodingGolden(t *testing.T) {
+	tr := NewTrace("fabric-golden", fabricGoldenApps(t))
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "fabric.json")
+	binPath := filepath.Join(dir, "fabric.bin")
+	if err := SaveTrace(jsonPath, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveTraceBinary(binPath, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	dumps := make(map[string]string, 2)
+	for enc, path := range map[string]string{"json": jsonPath, "binary": binPath} {
+		loaded, err := LoadTrace(path)
+		if err != nil {
+			t.Fatalf("%s: %v", enc, err)
+		}
+		apps, err := loaded.ToApps()
+		if err != nil {
+			t.Fatalf("%s: %v", enc, err)
+		}
+		dumps[enc] = dumpTraceApps(apps)
+	}
+	if dumps["json"] != dumps["binary"] {
+		t.Fatalf("fabric trace materialises differently across encodings\n%s",
+			diffSnippet(dumps["json"], dumps["binary"]))
+	}
+
+	golden := filepath.Join("testdata", "golden", "fabric-trace.apps.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(dumps["json"]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden snapshot (run with -update to create): %v", err)
+	}
+	if dumps["json"] != string(want) {
+		t.Errorf("fabric trace apps diverged from golden snapshot %s\n%s",
+			golden, diffSnippet(string(want), dumps["json"]))
+	}
+}

@@ -91,6 +91,9 @@ type (
 	// bytes consumed, apps retained), delivered to the ImportTraceStream
 	// callback.
 	ImportProgress = trace.ImportProgress
+	// TraceLoadInfo is the wire-level metadata LoadTraceWithInfo reports:
+	// the on-disk encoding and the pre-upgrade format version.
+	TraceLoadInfo = trace.LoadInfo
 	// PlacementSpec is the trace v2 per-app placement block: the
 	// placement-sensitivity profile name plus the per-machine GPU floor and
 	// machine-spread cap the app's jobs default to. Attach one to an
@@ -163,8 +166,10 @@ const (
 )
 
 // Trace formats ImportTrace accepts; TraceFormatAuto sniffs the input.
+// TraceFormatBinary is the compact v3 container SaveTraceBinary writes.
 const (
 	TraceFormatJSON    = trace.FormatJSON
+	TraceFormatBinary  = trace.FormatBinary
 	TraceFormatPhilly  = trace.FormatPhilly
 	TraceFormatAlibaba = trace.FormatAlibaba
 	TraceFormatAuto    = trace.FormatAuto

@@ -74,6 +74,22 @@ func LoadTrace(path string) (Trace, error) { return trace.Load(path) }
 // SaveTrace writes a trace to a file.
 func SaveTrace(path string, tr Trace) error { return trace.Save(path, tr) }
 
+// SaveTraceBinary writes a trace to a file in the compact binary container
+// (format v3): an interned string table plus delta-encoded varint app
+// records. The encoding is lossless — LoadTrace on the result produces the
+// same apps, byte for byte, as the JSON form — and typically several times
+// smaller and faster to decode. LoadTrace and ReadTrace auto-detect it.
+func SaveTraceBinary(path string, tr Trace) error { return trace.SaveBinary(path, tr) }
+
+// WriteTraceBinary encodes a trace into the binary container on a stream.
+func WriteTraceBinary(w io.Writer, tr Trace) error { return tr.WriteBinary(w) }
+
+// LoadTraceWithInfo is LoadTrace plus wire-level metadata: which encoding the
+// file used (TraceFormatJSON or TraceFormatBinary) and the format version it
+// declared on disk before any in-memory upgrade — the value `tracegen
+// validate` reports.
+func LoadTraceWithInfo(path string) (Trace, TraceLoadInfo, error) { return trace.LoadWithInfo(path) }
+
 // ReadTrace parses a trace from a stream.
 func ReadTrace(r io.Reader) (Trace, error) { return trace.Read(r) }
 
