@@ -3,12 +3,22 @@
 // pools free and lease-expired GPUs, offers them to the worst-off fraction
 // of apps and runs the partial-allocation auction over their bids.
 //
-// Example:
+// With -shards N the daemon partitions the cluster across N arbiter shards:
+// apps are homed on shards by consistent hashing, each shard auctions its
+// own capacity slice, and leftover GPUs are re-offered cross-shard to the
+// most-starved apps. With -join the daemon additionally gossips membership
+// with peer arbiters (heartbeats on /v1/gossip, suspicion timeouts via
+// -suspect-after/-dead-after); GET /v1/shards reports both.
+//
+// Examples:
 //
 //	arbiterd -listen :7100 -cluster testbed -f 0.8 -lease 20 -interval 30s
+//	arbiterd -listen :7100 -cluster sim -shards 4
+//	arbiterd -listen :7101 -shards 4 -name arb-b -advertise http://10.0.0.2:7101 -join http://10.0.0.1:7100
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -28,6 +38,14 @@ func main() {
 		lease       = flag.Float64("lease", 20, "lease duration in scheduling minutes")
 		interval    = flag.Duration("interval", 30*time.Second, "wall-clock interval between auction rounds (0 disables the loop; trigger with POST /v1/auction)")
 		timeScale   = flag.Float64("timescale", 1, "scheduling minutes per wall-clock minute (e.g. 60 makes one real second one scheduling minute)")
+
+		shards       = flag.Int("shards", 1, "number of arbiter shards to partition the cluster across")
+		name         = flag.String("name", "", "this arbiter's gossip member name (default: the listen address)")
+		advertise    = flag.String("advertise", "", "base URL peers reach this arbiter at, e.g. http://10.0.0.1:7100 (default: http://<listen>)")
+		join         = flag.String("join", "", "base URL of any existing arbiter to join via gossip (empty: no gossip)")
+		heartbeat    = flag.Duration("heartbeat", time.Second, "gossip heartbeat interval")
+		suspectAfter = flag.Duration("suspect-after", 3*time.Second, "silence before a gossip peer is suspected")
+		deadAfter    = flag.Duration("dead-after", 10*time.Second, "silence before a gossip peer is declared dead")
 	)
 	flag.Parse()
 
@@ -36,22 +54,70 @@ func main() {
 		fmt.Fprintln(os.Stderr, "arbiterd:", err)
 		os.Exit(1)
 	}
-	server, err := daemon.NewArbiterServer(topo, daemon.ArbiterConfig{
-		FairnessKnob:  *fairness,
-		LeaseDuration: *lease,
-	})
-	if err != nil {
-		log.Fatalf("arbiterd: %v", err)
-	}
+	cfg := daemon.ArbiterConfig{FairnessKnob: *fairness, LeaseDuration: *lease}
 	start := time.Now()
-	server.Clock = func() float64 { return time.Since(start).Minutes() * *timeScale }
+	clock := func() float64 { return time.Since(start).Minutes() * *timeScale }
+
+	var (
+		handler    http.Handler
+		runAuction func(float64) (daemon.AuctionResponse, error)
+	)
+	if *shards > 1 || *join != "" {
+		server, err := daemon.NewShardedArbiter(topo, cfg, *shards)
+		if err != nil {
+			log.Fatalf("arbiterd: %v", err)
+		}
+		server.Clock = clock
+		if *join != "" || *name != "" {
+			memberName := *name
+			if memberName == "" {
+				memberName = *listen
+			}
+			addr := *advertise
+			if addr == "" {
+				addr = "http://" + *listen
+			}
+			member, err := daemon.NewMembership(daemon.MembershipConfig{
+				Name:              memberName,
+				Addr:              addr,
+				HeartbeatInterval: *heartbeat,
+				SuspectAfter:      *suspectAfter,
+				DeadAfter:         *deadAfter,
+			})
+			if err != nil {
+				log.Fatalf("arbiterd: %v", err)
+			}
+			server.Membership = member
+			if *join != "" {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				if err := member.Join(ctx, *join); err != nil {
+					log.Printf("arbiterd: %v (will keep gossiping)", err)
+				}
+				cancel()
+			}
+			go member.Run(context.Background())
+			log.Printf("arbiterd: gossiping as %s at %s (suspect %v, dead %v)",
+				memberName, addr, *suspectAfter, *deadAfter)
+		}
+		handler = server.Handler()
+		runAuction = server.RunAuction
+		log.Printf("arbiterd: %d shards over %d-GPU %s cluster", *shards, topo.TotalGPUs(), *clusterKind)
+	} else {
+		server, err := daemon.NewArbiterServer(topo, cfg)
+		if err != nil {
+			log.Fatalf("arbiterd: %v", err)
+		}
+		server.Clock = clock
+		handler = server.Handler()
+		runAuction = server.RunAuction
+	}
 
 	if *interval > 0 {
 		go func() {
 			ticker := time.NewTicker(*interval)
 			defer ticker.Stop()
 			for range ticker.C {
-				if _, err := server.RunAuction(server.Clock()); err != nil {
+				if _, err := runAuction(clock()); err != nil {
 					log.Printf("arbiterd: auction round failed: %v", err)
 				}
 			}
@@ -60,7 +126,7 @@ func main() {
 
 	log.Printf("arbiterd: serving %d-GPU %s cluster on %s (f=%.2f, lease=%.0f min)",
 		topo.TotalGPUs(), *clusterKind, *listen, *fairness, *lease)
-	if err := http.ListenAndServe(*listen, server.Handler()); err != nil {
+	if err := http.ListenAndServe(*listen, handler); err != nil {
 		log.Fatalf("arbiterd: %v", err)
 	}
 }

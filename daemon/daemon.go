@@ -12,6 +12,7 @@ import (
 	"themis/internal/core"
 	"themis/internal/hyperparam"
 	"themis/internal/rpc"
+	"themis/internal/shard"
 )
 
 // Servers and clients of the HTTP protocol. ArbiterServer exposes Handler
@@ -23,6 +24,14 @@ type (
 	AgentServer   = rpc.AgentServer
 	ArbiterClient = rpc.ArbiterClient
 	AgentClient   = rpc.AgentClient
+	// ShardedArbiter partitions the cluster across N arbiter shards behind
+	// the same HTTP protocol surface; see NewShardedArbiter.
+	ShardedArbiter = rpc.ShardedArbiterServer
+	// Membership is the gossip/heartbeat group of a multi-arbiter
+	// deployment; attach one to a ShardedArbiter to serve /v1/gossip.
+	Membership = shard.Membership
+	// MembershipConfig tunes the gossip heartbeat and suspicion timeouts.
+	MembershipConfig = shard.MembershipConfig
 )
 
 // Wire types crossing the protocol boundary.
@@ -70,6 +79,36 @@ func NewArbiterServer(topo *themis.Topology, cfg ArbiterConfig) (*ArbiterServer,
 		return nil, fmt.Errorf("daemon: %w", err)
 	}
 	return rpc.NewArbiterServer(arb), nil
+}
+
+// NewShardedArbiter partitions topo into shards arbiter shards, each running
+// partial-allocation auctions over its own capacity slice; RunAuction runs
+// the per-shard auctions concurrently and then the cross-shard
+// reconciliation round. Apps are homed on shards by consistent hashing, so
+// any process that knows the topology and shard count computes the same
+// routing.
+func NewShardedArbiter(topo *themis.Topology, cfg ArbiterConfig, shards int) (*ShardedArbiter, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("daemon: nil topology")
+	}
+	s, err := rpc.NewShardedArbiterServer(topo, core.Config{
+		FairnessKnob:  cfg.FairnessKnob,
+		LeaseDuration: cfg.LeaseDuration,
+	}, shards)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: %w", err)
+	}
+	return s, nil
+}
+
+// NewMembership starts a gossip membership from cfg; Join it to any existing
+// member and attach it to a ShardedArbiter to serve and spread heartbeats.
+func NewMembership(cfg MembershipConfig) (*Membership, error) {
+	m, err := shard.NewMembership(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: %w", err)
+	}
+	return m, nil
 }
 
 // NewAgentServer builds one app's Themis Agent — answering fairness probes

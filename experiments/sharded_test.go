@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"testing"
+
+	"themis/internal/race"
+)
+
+// TestShardedLoadStudySeed is the tier-1 seed of the load study: small enough
+// to run in CI, large enough that the sharded deployment's advantage (auction
+// cost superlinear in participants) is already measurable. The full-scale
+// acceptance run lives in TestShardedLoadStudyFullScale.
+func TestShardedLoadStudySeed(t *testing.T) {
+	res, err := ShardedLoadStudy(ShardedLoadOptions{
+		Agents:          2000,
+		Shards:          4,
+		Machines:        16,
+		MachinesPerRack: 4,
+		DemandingApps:   50,
+		Rounds:          2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("seed: single %.3fs, sharded %.3fs, speedup %.1fx, granted %d/%d, parity L1 %d (%.1f%%)",
+		res.SingleSeconds, res.ShardedSeconds, res.Speedup,
+		res.SingleGranted, res.ShardedGranted, res.ParityL1, 100*res.ParityFrac)
+
+	total := 16 * 8
+	if res.SingleGranted != total {
+		t.Errorf("single granted %d, want full capacity %d (full subscription)", res.SingleGranted, total)
+	}
+	if res.ShardedGranted != res.SingleGranted {
+		t.Errorf("work conservation: sharded granted %d, single %d", res.ShardedGranted, res.SingleGranted)
+	}
+	if res.ParityL1 != 0 {
+		t.Errorf("per-app divergence %d GPUs at full subscription, want exact parity", res.ParityL1)
+	}
+	if res.Speedup < 1 {
+		t.Errorf("sharded deployment slower than single (%.2fx)", res.Speedup)
+	}
+}
+
+// TestShardedLoadStudyFullScale is the acceptance run: 100k simulated agents
+// through 8 shards must clear 5x the unsharded round throughput while ending
+// in the identical allocation. Skipped under -short and -race (a 100k-agent
+// auction under the race detector takes minutes and the seed test covers the
+// same paths); the plain tier-1 lane runs it.
+func TestShardedLoadStudyFullScale(t *testing.T) {
+	if testing.Short() || race.Enabled {
+		t.Skip("full-scale load study skipped under -short / -race")
+	}
+	res, err := ShardedLoadStudy(ShardedLoadOptions{}) // defaults: 100k agents, 8 shards
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("full: single %.2fs (%.0f agent-rounds/s, worst round %.2fs), sharded %.2fs (%.0f agent-rounds/s, worst round %.2fs), speedup %.1fx, parity L1 %d (%.1f%%)",
+		res.SingleSeconds, res.SingleThroughput, res.MaxRoundSecondsSingle,
+		res.ShardedSeconds, res.ShardedThroughput, res.MaxRoundSecondsSharded,
+		res.Speedup, res.ParityL1, 100*res.ParityFrac)
+
+	if res.SingleGranted != 64*8 {
+		t.Errorf("single granted %d, want full capacity %d (full subscription)", res.SingleGranted, 64*8)
+	}
+	if res.ShardedGranted != res.SingleGranted {
+		t.Errorf("work conservation: sharded granted %d, single %d", res.ShardedGranted, res.SingleGranted)
+	}
+	if res.ParityL1 != 0 {
+		t.Errorf("per-app divergence %d GPUs at full subscription, want exact parity", res.ParityL1)
+	}
+	if res.Speedup < 5 {
+		t.Errorf("sharded throughput %.1fx the single arbiter, want >= 5x", res.Speedup)
+	}
+}

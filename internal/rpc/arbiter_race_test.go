@@ -1,0 +1,203 @@
+package rpc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"themis/internal/cluster"
+	"themis/internal/core"
+	"themis/internal/workload"
+)
+
+// simBidder is a cheap in-process core.Bidder for concurrency and sharding
+// tests: deterministic ρ (weight discounted by held GPUs), greedy bids up to
+// its demand. It carries no per-auction state of its own, so any data race a
+// test observes belongs to the server, not the fixture. With yield set it
+// reschedules on every probe and bid, standing in for the network hops a
+// RemoteBidder makes — the window in which a concurrent auction round can
+// sneak in if rounds are not serialised.
+type simBidder struct {
+	id     workload.AppID
+	demand int
+	gang   int
+	weight float64
+	yield  bool
+}
+
+func (b *simBidder) ID() workload.AppID { return b.id }
+
+func (b *simBidder) rho(held int) float64 { return b.weight / float64(1+held) }
+
+func (b *simBidder) ReportRho(now float64, current cluster.Alloc) float64 {
+	if b.yield {
+		runtime.Gosched()
+	}
+	return b.rho(current.Total())
+}
+
+func (b *simBidder) PrepareBid(now float64, offer, current cluster.Alloc) core.BidTable {
+	if b.yield {
+		runtime.Gosched()
+	}
+	held := current.Total()
+	table := core.BidTable{App: b.id, Entries: []core.BidEntry{
+		{Alloc: cluster.NewAlloc(), Rho: b.rho(held)},
+	}}
+	want := b.demand - held
+	if want <= 0 {
+		return table
+	}
+	take := cluster.NewAlloc()
+	for _, m := range offer.Machines() {
+		for take[m] < offer[m] && take.Total() < want {
+			take[m]++
+		}
+		if take.Total() >= want {
+			break
+		}
+	}
+	if take.Total() > 0 {
+		table.Entries = append(table.Entries, core.BidEntry{Alloc: take, Rho: b.rho(held + take.Total())})
+	}
+	return table
+}
+
+func (b *simBidder) UnmetParallelism(current cluster.Alloc) int {
+	if unmet := b.demand - current.Total(); unmet > 0 {
+		return unmet
+	}
+	return 0
+}
+
+func (b *simBidder) GangSize() int {
+	if b.gang <= 0 {
+		return 1
+	}
+	return b.gang
+}
+
+// TestConcurrentAuctionsSerialized is the regression test for the
+// concurrent-auction race: OfferResources used to run outside any lock, so
+// two overlapping RunAuction calls shared the Arbiter's BidValuator scratch
+// and offered the same stale free vector twice — double-granting GPUs the
+// state layer then rejects. With rounds serialised under auctionMu every
+// call must succeed and the occupancy state must stay internally consistent;
+// revert the auctionMu discipline in auctionRound and this test fails (Grant
+// capacity errors) and `go test -race` flags the valuator scratch.
+func TestConcurrentAuctionsSerialized(t *testing.T) {
+	topo := testTopo(t)
+	arb, err := core.NewArbiter(topo, core.Config{FairnessKnob: 0, LeaseDuration: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewArbiterServer(arb)
+	// Demand far beyond capacity so every round grants aggressively.
+	for i := 0; i < 8; i++ {
+		server.RegisterBidder(&simBidder{
+			id:     workload.AppID(fmt.Sprintf("app-%d", i)),
+			demand: 12,
+			weight: float64(100 + i),
+			yield:  true,
+		})
+	}
+
+	const (
+		goroutines = 8
+		rounds     = 6
+	)
+	// Each call gets a unique, ever-advancing time at least a lease apart, so
+	// whichever order the serialised rounds run in, reclaim → offer → grant
+	// churns the full cluster every round.
+	var step int64
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*rounds)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				now := float64(atomic.AddInt64(&step, 1)) * 21
+				if _, err := server.RunAuction(now); err != nil {
+					errs <- err
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent auction failed: %v", err)
+	}
+	if err := server.ValidateState(); err != nil {
+		t.Errorf("state invariants violated after concurrent auctions: %v", err)
+	}
+	st := server.Status()
+	if st.Auctions == 0 {
+		t.Error("no auction completed")
+	}
+	held := 0
+	for _, n := range st.Held {
+		held += n
+	}
+	if held+st.FreeGPUs != st.TotalGPUs {
+		t.Errorf("held %d + free %d != total %d", held, st.FreeGPUs, st.TotalGPUs)
+	}
+}
+
+// TestDaemonLeaseExpiryReclamation drives lease expiry end-to-end through
+// RunAuction: GPUs granted to an app whose demand then disappears must flow
+// back to the still-hungry apps once the lease lapses.
+func TestDaemonLeaseExpiryReclamation(t *testing.T) {
+	topo := testTopo(t)
+	arb, err := core.NewArbiter(topo, core.Config{FairnessKnob: 0, LeaseDuration: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewArbiterServer(arb)
+	greedy := &simBidder{id: "greedy", demand: topo.TotalGPUs(), weight: 200}
+	hungry := &simBidder{id: "hungry", demand: topo.TotalGPUs(), weight: 100}
+	server.RegisterBidder(greedy)
+	server.RegisterBidder(hungry)
+
+	if _, err := server.RunAuction(0); err != nil {
+		t.Fatal(err)
+	}
+	st := server.Status()
+	if st.FreeGPUs != 0 {
+		t.Fatalf("after round 1 free = %d, want 0 (work conservation)", st.FreeGPUs)
+	}
+	if st.ActiveLeases == 0 {
+		t.Fatal("grants must be leased")
+	}
+
+	// The greedy app finishes: it stops wanting GPUs. Within the lease
+	// nothing moves; the arbiter must not claw back early.
+	greedy.demand = 0
+	if _, err := server.RunAuction(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := server.HeldBy("greedy").Total(); got == 0 {
+		t.Fatal("lease revoked before expiry")
+	}
+
+	// Past the lease, expired leases are reclaimed and the freed GPUs are
+	// re-auctioned to the app that still wants them.
+	if _, err := server.RunAuction(21); err != nil {
+		t.Fatal(err)
+	}
+	if got := server.HeldBy("greedy").Total(); got != 0 {
+		t.Errorf("expired allocation not reclaimed: greedy still holds %d", got)
+	}
+	if got := server.HeldBy("hungry").Total(); got != topo.TotalGPUs() {
+		t.Errorf("hungry holds %d after reclamation, want %d", got, topo.TotalGPUs())
+	}
+	if st := server.Status(); st.FreeGPUs != 0 {
+		t.Errorf("free = %d after re-auction, want 0", st.FreeGPUs)
+	}
+	if err := server.ValidateState(); err != nil {
+		t.Errorf("state invariants: %v", err)
+	}
+}

@@ -9,6 +9,8 @@ import (
 
 	"themis/internal/cluster"
 	"themis/internal/core"
+	"themis/internal/placement"
+	"themis/internal/shard"
 	"themis/internal/workload"
 )
 
@@ -17,12 +19,20 @@ import (
 // failing or unreachable agent degrades gracefully — it reports an
 // out-of-auction ρ and an empty bid, so one dead agent never blocks the
 // cluster's auctions.
+//
+// A RemoteBidder is immutable after construction: re-registration installs a
+// fresh bidder instead of mutating the old one, so an auction round holding a
+// snapshot of the previous bidder never races with the replacement.
 type RemoteBidder struct {
 	AppID   workload.AppID
 	Client  *AgentClient
 	Demand  int
 	Gang    int
 	Timeout time.Duration
+	// Map translates between this shard's local machine IDs and the global
+	// cluster IDs the remote agent reasons about. Nil means the server's ID
+	// space is already global (the unsharded deployment).
+	Map *shard.Partition
 }
 
 // ID implements core.Bidder.
@@ -36,11 +46,19 @@ func (r *RemoteBidder) ctx() (context.Context, context.CancelFunc) {
 	return context.WithTimeout(context.Background(), timeout)
 }
 
+// toGlobal maps a shard-local allocation into the agent's global ID space.
+func (r *RemoteBidder) toGlobal(a cluster.Alloc) cluster.Alloc {
+	if r.Map == nil {
+		return a
+	}
+	return r.Map.ToGlobal(a)
+}
+
 // ReportRho implements core.Bidder over HTTP.
 func (r *RemoteBidder) ReportRho(now float64, current cluster.Alloc) float64 {
 	ctx, cancel := r.ctx()
 	defer cancel()
-	rho, err := r.Client.ProbeRho(ctx, now, current)
+	rho, err := r.Client.ProbeRho(ctx, now, r.toGlobal(current))
 	if err != nil || rho <= 0 {
 		// An unreachable app cannot use GPUs right now: report it as
 		// perfectly satisfied so it never wins an auction it cannot consume.
@@ -49,13 +67,26 @@ func (r *RemoteBidder) ReportRho(now float64, current cluster.Alloc) float64 {
 	return rho
 }
 
-// PrepareBid implements core.Bidder over HTTP.
+// PrepareBid implements core.Bidder over HTTP. Offers cross the wire in
+// global machine IDs; the returned bid is translated back into the shard's
+// local space (entries naming machines outside the shard degrade to the
+// empty bid, like an unreachable agent).
 func (r *RemoteBidder) PrepareBid(now float64, offer, current cluster.Alloc) core.BidTable {
 	ctx, cancel := r.ctx()
 	defer cancel()
-	bid, err := r.Client.RequestBid(ctx, now, offer, current)
+	empty := core.BidTable{App: r.AppID, Entries: []core.BidEntry{{Alloc: cluster.NewAlloc(), Rho: 1}}}
+	bid, err := r.Client.RequestBid(ctx, now, r.toGlobal(offer), r.toGlobal(current))
 	if err != nil || len(bid.Entries) == 0 {
-		return core.BidTable{App: r.AppID, Entries: []core.BidEntry{{Alloc: cluster.NewAlloc(), Rho: 1}}}
+		return empty
+	}
+	if r.Map != nil {
+		for i, e := range bid.Entries {
+			local, err := r.Map.FromGlobal(e.Alloc)
+			if err != nil {
+				return empty
+			}
+			bid.Entries[i].Alloc = local
+		}
 	}
 	return bid
 }
@@ -77,10 +108,34 @@ func (r *RemoteBidder) GangSize() int {
 	return r.Gang
 }
 
+// registeredAgent is one app known to the arbiter: its Bidder plus the HTTP
+// callback that receives allocation deliveries (nil for in-process bidders,
+// which pull their allocation from auction responses instead). Entries are
+// replaced wholesale on re-registration, never mutated, so auction snapshots
+// can read them without holding the server's lock.
+type registeredAgent struct {
+	bidder core.Bidder
+	notify *AgentClient
+}
+
 // ArbiterServer exposes a core.Arbiter over HTTP. Agents register themselves
 // (POST /v1/register); an auction round over the currently free GPUs is
 // triggered with POST /v1/auction (the arbiterd daemon does this
 // periodically); GET /v1/status reports cluster state.
+//
+// Locking discipline: two mutexes with a strict order (auctionMu before mu).
+//
+//   - auctionMu serialises auction rounds end to end — reclaim, offer,
+//     grant. The Arbiter's BidValuator scratch is single-auction state and
+//     the free vector an auction offers must still be free when its grants
+//     apply, so two rounds can never interleave. One auctionMu per shard is
+//     exactly the "serialize auctions per shard" rule of the sharded
+//     deployment; cross-shard rounds run concurrently because each shard has
+//     its own Arbiter, state and auctionMu.
+//   - mu guards the mutable registry and occupancy state (agents, state,
+//     leases). It is held only for short map/state accesses and NEVER across
+//     network calls (probes, bids, deliveries), so registration and status
+//     stay responsive while a slow auction is in flight.
 type ArbiterServer struct {
 	arbiter *core.Arbiter
 	topo    *cluster.Topology
@@ -91,11 +146,18 @@ type ArbiterServer struct {
 	// AgentGang is the default leftover chunk size for registered agents
 	// that do not state one.
 	AgentGang int
+	// Part, when non-nil, is the capacity partition this server arbitrates
+	// inside a sharded deployment; remote bidders registered here translate
+	// offers and bids between the partition's local IDs and the global ones.
+	Part *shard.Partition
 
-	mu     sync.Mutex
-	state  *cluster.State
-	leases *core.LeaseTable
-	agents map[workload.AppID]*RemoteBidder
+	auctionMu sync.Mutex
+
+	mu       sync.Mutex
+	state    *cluster.State
+	leases   *core.LeaseTable
+	agents   map[workload.AppID]*registeredAgent
+	auctions int // completed auction rounds; shadows arbiter.Stats.Auctions, readable under mu
 }
 
 // NewArbiterServer builds a server around an Arbiter and its topology.
@@ -108,7 +170,7 @@ func NewArbiterServer(arb *core.Arbiter) *ArbiterServer {
 		AgentGang: 4,
 		state:     cluster.NewState(arb.Topology()),
 		leases:    core.NewLeaseTable(),
-		agents:    make(map[workload.AppID]*RemoteBidder),
+		agents:    make(map[workload.AppID]*registeredAgent),
 	}
 }
 
@@ -124,31 +186,69 @@ func (s *ArbiterServer) Handler() http.Handler {
 	return mux
 }
 
-func (s *ArbiterServer) handleRegister(w http.ResponseWriter, r *http.Request) {
-	var req RegisterRequest
-	if !readJSON(w, r, &req) {
-		return
-	}
+// RegisterBidder registers (or re-registers) an in-process Bidder — the load
+// harness's simulated agents and tests use this to drive auctions without
+// HTTP callbacks. Held GPUs and running leases survive re-registration.
+func (s *ArbiterServer) RegisterBidder(b core.Bidder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.agents[b.ID()] = &registeredAgent{bidder: b}
+}
+
+// register installs a remote agent from a wire request, returning whether an
+// existing registration was updated. Re-registration replaces the callback
+// and demand but leaves the app's held GPUs and leases untouched: an agent
+// restarting (or moving hosts) keeps its allocation and simply starts
+// receiving deliveries at the new address.
+func (s *ArbiterServer) register(req RegisterRequest) (RegisterResponse, error) {
 	if req.App == "" || req.Callback == "" {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("register requires app and callback"))
-		return
+		return RegisterResponse{}, fmt.Errorf("register requires app and callback")
 	}
 	demand := req.MaxParallelism
 	if demand <= 0 {
 		demand = s.topo.TotalGPUs()
 	}
+	id := workload.AppID(req.App)
+	client := NewAgentClient(req.Callback)
 	s.mu.Lock()
-	s.agents[workload.AppID(req.App)] = &RemoteBidder{
-		AppID:  workload.AppID(req.App),
-		Client: NewAgentClient(req.Callback),
-		Demand: demand,
-		Gang:   s.AgentGang,
+	_, updated := s.agents[id]
+	s.agents[id] = &registeredAgent{
+		bidder: &RemoteBidder{
+			AppID:  id,
+			Client: client,
+			Demand: demand,
+			Gang:   s.AgentGang,
+			Map:    s.Part,
+		},
+		notify: client,
 	}
 	s.mu.Unlock()
-	writeJSON(w, RegisterResponse{OK: true, LeaseMin: s.arbiter.Config().LeaseDuration})
+	return RegisterResponse{OK: true, LeaseMin: s.arbiter.Config().LeaseDuration, Updated: updated}, nil
+}
+
+func (s *ArbiterServer) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	var req RegisterRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	resp, err := s.register(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, resp)
 }
 
 func (s *ArbiterServer) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Status())
+}
+
+// Status reports the arbiter's view of its cluster (or capacity partition).
+func (s *ArbiterServer) Status() StatusResponse {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	held := make(map[string]int)
@@ -159,15 +259,38 @@ func (s *ArbiterServer) handleStatus(w http.ResponseWriter, r *http.Request) {
 	for id := range s.agents {
 		agents[string(id)] = struct{}{}
 	}
-	writeJSON(w, StatusResponse{
+	return StatusResponse{
 		Now:          s.Clock(),
 		TotalGPUs:    s.topo.TotalGPUs(),
 		FreeGPUs:     s.state.TotalFree(),
 		Agents:       sortedKeys(agents),
 		Held:         held,
-		Auctions:     s.arbiter.Stats.Auctions,
+		Auctions:     s.auctions,
 		ActiveLeases: s.leases.Len(),
-	})
+	}
+}
+
+// FreeGPUs returns the number of currently unleased GPUs.
+func (s *ArbiterServer) FreeGPUs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state.TotalFree()
+}
+
+// HeldBy returns the allocation app currently holds on this arbiter's
+// capacity, in the server's (shard-local) machine IDs.
+func (s *ArbiterServer) HeldBy(app workload.AppID) cluster.Alloc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state.Held(string(app))
+}
+
+// ValidateState checks the occupancy state's internal invariants; the
+// concurrency regression tests call it after hammering the server.
+func (s *ArbiterServer) ValidateState() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state.Validate()
 }
 
 // handleAuction runs one auction round: it reclaims expired leases, offers
@@ -187,71 +310,155 @@ func (s *ArbiterServer) handleAuction(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// RunAuction executes one auction round at the given scheduling time. It is
-// exported so daemons and tests can drive auctions without HTTP.
+// RunAuction executes one auction round at the given scheduling time and
+// delivers the changed allocations to the affected agents. It is exported so
+// daemons and tests can drive auctions without HTTP. Rounds are serialised:
+// a concurrent call blocks until the in-flight round has applied its grants.
 func (s *ArbiterServer) RunAuction(now float64) (AuctionResponse, error) {
+	resp, changed, err := s.auctionRound(now)
+	if err != nil {
+		return resp, err
+	}
+	s.notifyAgents(now, changed)
+	return resp, nil
+}
+
+// auctionRound runs reclaim → offer → grant under auctionMu and returns the
+// set of apps whose allocation changed. It does not notify agents — the
+// caller (RunAuction, or the sharded arbiter after its reconciliation round)
+// owns delivery.
+func (s *ArbiterServer) auctionRound(now float64) (AuctionResponse, map[workload.AppID]bool, error) {
+	// Serialise the whole round. OfferResources below runs outside mu (it
+	// makes network calls to remote bidders) but must never run concurrently
+	// with another round: the Arbiter's BidValuator scratch is per-auction
+	// state, and the free vector offered here has to remain free until the
+	// grants are applied.
+	s.auctionMu.Lock()
+	defer s.auctionMu.Unlock()
+
 	s.mu.Lock()
 	// Reclaim expired leases.
 	changed := make(map[workload.AppID]bool)
 	for _, l := range s.leases.Expired(now) {
 		if err := s.state.Release(string(l.App), l.Alloc); err != nil {
 			s.mu.Unlock()
-			return AuctionResponse{}, fmt.Errorf("rpc: releasing expired lease for %s: %w", l.App, err)
+			return AuctionResponse{}, nil, fmt.Errorf("rpc: releasing expired lease for %s: %w", l.App, err)
 		}
 		changed[l.App] = true
 	}
 	free := s.state.FreeVector()
 	states := make([]core.AgentState, 0, len(s.agents))
-	for _, b := range s.agents {
-		states = append(states, core.AgentState{Agent: b, Current: s.state.Held(string(b.AppID))})
+	for _, a := range s.agents {
+		b := a.bidder
+		states = append(states, core.AgentState{Agent: b, Current: s.state.Held(string(b.ID()))})
 	}
 	s.mu.Unlock()
 
 	resp := AuctionResponse{Now: now, Offered: free.Total(), Decisions: make(map[string]WireAlloc)}
 	if free.Total() == 0 || len(states) == 0 {
-		return resp, nil
+		return resp, changed, nil
 	}
 	decisions, err := s.arbiter.OfferResources(now, free, states)
 	if err != nil {
-		return AuctionResponse{}, err
+		return AuctionResponse{}, nil, err
 	}
 
 	s.mu.Lock()
+	s.auctions++
 	lease := s.arbiter.Config().LeaseDuration
 	granted := make(map[workload.AppID]cluster.Alloc)
 	for _, d := range decisions {
 		if err := s.state.Grant(string(d.App), d.Alloc); err != nil {
 			s.mu.Unlock()
-			return AuctionResponse{}, fmt.Errorf("rpc: applying allocation for %s: %w", d.App, err)
+			return AuctionResponse{}, nil, fmt.Errorf("rpc: applying allocation for %s: %w", d.App, err)
 		}
 		s.leases.Grant(d.App, d.Alloc, now, lease)
 		changed[d.App] = true
 		granted[d.App] = granted[d.App].Add(d.Alloc)
 	}
+	s.mu.Unlock()
 	for id, alloc := range granted {
 		resp.Decisions[string(id)] = ToWireAlloc(alloc)
 	}
-	notify := make(map[workload.AppID]cluster.Alloc, len(changed))
-	for id := range changed {
-		notify[id] = s.state.Held(string(id))
+	return resp, changed, nil
+}
+
+// reconcileGrant hands chunk free GPUs to app during the sharded
+// reconciliation round, anchored placement-sensitively on whatever the app
+// already holds here. It returns the granted allocation (empty when nothing
+// fits) in the server's local machine IDs.
+func (s *ArbiterServer) reconcileGrant(app workload.AppID, chunk int, now float64) (cluster.Alloc, error) {
+	if chunk <= 0 {
+		return cluster.NewAlloc(), nil
 	}
+	s.auctionMu.Lock()
+	defer s.auctionMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	free := s.state.FreeVector()
+	if free.Total() == 0 {
+		return cluster.NewAlloc(), nil
+	}
+	pick := placement.Pick(s.topo, free, s.state.Held(string(app)), chunk)
+	if pick.Total() == 0 {
+		return pick, nil
+	}
+	if err := s.state.Grant(string(app), pick); err != nil {
+		return nil, fmt.Errorf("rpc: reconciliation grant for %s: %w", app, err)
+	}
+	s.leases.Grant(app, pick, now, s.arbiter.Config().LeaseDuration)
+	return pick, nil
+}
+
+// notifyAgents delivers each changed app's new total allocation to its
+// callback. Clients and totals are snapshotted under mu; the HTTP calls run
+// outside every lock.
+func (s *ArbiterServer) notifyAgents(now float64, changed map[workload.AppID]bool) {
+	if len(changed) == 0 {
+		return
+	}
+	s.mu.Lock()
+	lease := s.arbiter.Config().LeaseDuration
+	notify := make(map[workload.AppID]cluster.Alloc, len(changed))
 	clients := make(map[workload.AppID]*AgentClient, len(changed))
 	for id := range changed {
-		if b, ok := s.agents[id]; ok {
-			clients[id] = b.Client
+		a, ok := s.agents[id]
+		if !ok || a.notify == nil {
+			continue
 		}
+		clients[id] = a.notify
+		notify[id] = s.state.Held(string(id))
 	}
 	s.mu.Unlock()
 
-	// Deliver new totals to every agent whose allocation changed.
 	for id, alloc := range notify {
-		client, ok := clients[id]
-		if !ok {
-			continue
+		if s.Part != nil {
+			alloc = s.Part.ToGlobal(alloc)
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		_ = client.DeliverAllocation(ctx, now, alloc, true, now+lease)
+		_ = clients[id].DeliverAllocation(ctx, now, alloc, true, now+lease)
 		cancel()
 	}
-	return resp, nil
+}
+
+// snapshotAgents returns the registered bidders; the sharded reconciliation
+// round iterates them without holding this server's locks.
+func (s *ArbiterServer) snapshotAgents() []core.Bidder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]core.Bidder, 0, len(s.agents))
+	for _, a := range s.agents {
+		out = append(out, a.bidder)
+	}
+	return out
+}
+
+// notifyClient returns the HTTP callback registered for app, or nil.
+func (s *ArbiterServer) notifyClient(app workload.AppID) *AgentClient {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if a, ok := s.agents[app]; ok {
+		return a.notify
+	}
+	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -33,6 +34,18 @@ func (c *AgentClient) client() *http.Client {
 	return http.DefaultClient
 }
 
+// drainAndClose consumes whatever is left of a response body before closing
+// it. json.Decoder stops at the end of the JSON value, leaving at least the
+// trailing newline unread; a body closed with bytes still buffered makes
+// net/http discard the TCP connection instead of returning it to the
+// keep-alive pool, which costs a fresh dial on every scheduling RPC. The
+// probe/bid path runs once per agent per auction round, so connection reuse
+// is measurable (see BenchmarkAgentClientKeepAlive).
+func drainAndClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, body)
+	_ = body.Close()
+}
+
 // post sends a JSON request and decodes the JSON response into out.
 func (c *AgentClient) post(ctx context.Context, path string, in, out any) error {
 	body, err := json.Marshal(in)
@@ -48,7 +61,35 @@ func (c *AgentClient) post(ctx context.Context, path string, in, out any) error 
 	if err != nil {
 		return fmt.Errorf("rpc: calling %s: %w", path, err)
 	}
-	defer resp.Body.Close()
+	defer drainAndClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("rpc: %s returned %d: %s", path, resp.StatusCode, e.Error)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("rpc: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// get fetches a JSON resource, decoding it into out. Non-200 responses are
+// surfaced as errors carrying the server's error message, exactly like post.
+func (c *AgentClient) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return fmt.Errorf("rpc: building request: %w", err)
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("rpc: calling %s: %w", path, err)
+	}
+	defer drainAndClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		var e struct {
 			Error string `json:"error"`
@@ -91,19 +132,7 @@ func (c *AgentClient) DeliverAllocation(ctx context.Context, now float64, alloc 
 
 // Health checks the Agent's liveness.
 func (c *AgentClient) Health(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/health", nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.client().Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("rpc: health check returned %d", resp.StatusCode)
-	}
-	return nil
+	return c.get(ctx, "/v1/health", nil)
 }
 
 // ArbiterClient is the Agent-side (or operator-side) client for an Arbiter.
@@ -122,6 +151,11 @@ func (c *ArbiterClient) post(ctx context.Context, path string, in, out any) erro
 	return a.post(ctx, path, in, out)
 }
 
+func (c *ArbiterClient) get(ctx context.Context, path string, out any) error {
+	a := AgentClient{BaseURL: c.BaseURL, HTTPClient: c.HTTPClient}
+	return a.get(ctx, path, out)
+}
+
 // Register announces an Agent to the Arbiter.
 func (c *ArbiterClient) Register(ctx context.Context, app, callback string, maxParallelism int) (RegisterResponse, error) {
 	var resp RegisterResponse
@@ -137,24 +171,19 @@ func (c *ArbiterClient) TriggerAuction(ctx context.Context) (AuctionResponse, er
 	return resp, err
 }
 
-// Status fetches the Arbiter's cluster status.
+// Status fetches the Arbiter's cluster status. Error responses propagate as
+// errors — a failing arbiter never decodes into a healthy-looking zero
+// status.
 func (c *ArbiterClient) Status(ctx context.Context) (StatusResponse, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/status", nil)
-	if err != nil {
-		return StatusResponse{}, err
-	}
-	client := c.HTTPClient
-	if client == nil {
-		client = http.DefaultClient
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return StatusResponse{}, err
-	}
-	defer resp.Body.Close()
 	var out StatusResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return StatusResponse{}, fmt.Errorf("rpc: decoding status: %w", err)
-	}
-	return out, nil
+	err := c.get(ctx, "/v1/status", &out)
+	return out, err
+}
+
+// ShardStatus fetches the per-shard detail of a sharded arbiter, including
+// membership when gossip is enabled. Unsharded arbiters return 404.
+func (c *ArbiterClient) ShardStatus(ctx context.Context) (ShardStatusResponse, error) {
+	var out ShardStatusResponse
+	err := c.get(ctx, "/v1/shards", &out)
+	return out, err
 }

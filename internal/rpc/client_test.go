@@ -1,0 +1,181 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"themis/internal/core"
+)
+
+// TestStatusSurfacesServerErrors pins the fix for the silently-swallowed
+// status code: a 500 from the arbiter used to decode into a healthy-looking
+// zero StatusResponse. It must surface as an error carrying the server's
+// message.
+func TestStatusSurfacesServerErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		httpError(w, http.StatusInternalServerError, errors.New("auction engine on fire"))
+	}))
+	defer ts.Close()
+
+	client := NewArbiterClient(ts.URL)
+	st, err := client.Status(context.Background())
+	if err == nil {
+		t.Fatalf("Status on a 500 returned nil error (and %+v)", st)
+	}
+	if got := err.Error(); !strings.Contains(got, "500") || !strings.Contains(got, "auction engine on fire") {
+		t.Errorf("error should carry status and server message, got %q", got)
+	}
+	if _, err := client.ShardStatus(context.Background()); err == nil {
+		t.Error("ShardStatus on a 500 should error")
+	}
+	if err := (&AgentClient{BaseURL: ts.URL}).Health(context.Background()); err == nil {
+		t.Error("Health on a 500 should error")
+	}
+}
+
+// countingServer serves handler and counts the TCP connections accepted —
+// the observable difference between draining response bodies (one reused
+// keep-alive connection) and closing them dirty (one dial per request).
+func countingServer(t *testing.T, handler http.Handler) (*httptest.Server, *int64) {
+	t.Helper()
+	var conns int64
+	ts := httptest.NewUnstartedServer(handler)
+	ts.Config.ConnState = func(c net.Conn, s http.ConnState) {
+		if s == http.StateNew {
+			atomic.AddInt64(&conns, 1)
+		}
+	}
+	ts.Start()
+	t.Cleanup(ts.Close)
+	return ts, &conns
+}
+
+func TestClientReusesConnections(t *testing.T) {
+	ts, conns := countingServer(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, StatusResponse{TotalGPUs: 8})
+	}))
+
+	client := NewArbiterClient(ts.URL)
+	ctx := context.Background()
+	const calls = 20
+	for i := 0; i < calls; i++ {
+		if _, err := client.Status(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.TriggerAuction(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := atomic.LoadInt64(conns); got != 1 {
+		t.Errorf("%d requests opened %d connections, want 1 (keep-alive defeated — response bodies not drained?)", 2*calls, got)
+	}
+}
+
+// BenchmarkAgentClientKeepAlive measures the probe path against a live HTTP
+// agent; with bodies drained before close every iteration rides the same
+// connection (compare by reverting drainAndClose to a bare Close).
+func BenchmarkAgentClientKeepAlive(b *testing.B) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, RhoResponse{App: "bench", Rho: 2.5})
+	}))
+	defer ts.Close()
+	client := NewAgentClient(ts.URL)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.ProbeRho(ctx, 0, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestRegisterSemantics table-tests the registration endpoint: method
+// discipline, validation, and — the regression — re-registration of an app
+// that holds leases, which must update the callback and demand in place
+// without orphaning the held GPUs.
+func TestRegisterSemantics(t *testing.T) {
+	topo := testTopo(t)
+	arb, err := core.NewArbiter(topo, core.Config{FairnessKnob: 0, LeaseDuration: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewArbiterServer(arb)
+	ts := httptest.NewServer(server.Handler())
+	defer ts.Close()
+
+	// Non-POST methods are rejected outright.
+	for _, method := range []string{http.MethodGet, http.MethodPut, http.MethodDelete} {
+		req, _ := http.NewRequest(method, ts.URL+"/v1/register", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s /v1/register = %d, want 405", method, resp.StatusCode)
+		}
+	}
+
+	cases := []struct {
+		name    string
+		req     RegisterRequest
+		wantErr bool
+		updated bool
+	}{
+		{"missing app", RegisterRequest{Callback: "http://a:1"}, true, false},
+		{"missing callback", RegisterRequest{App: "app-x"}, true, false},
+		{"fresh registration", RegisterRequest{App: "app-x", Callback: "http://old:1", MaxParallelism: 8}, false, false},
+		{"re-registration", RegisterRequest{App: "app-x", Callback: "http://new:2", MaxParallelism: 4}, false, true},
+	}
+	for _, tc := range cases {
+		resp, err := server.register(tc.req)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%s: want error, got %+v", tc.name, resp)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !resp.OK || resp.Updated != tc.updated {
+			t.Errorf("%s: resp %+v, want OK with updated=%v", tc.name, resp, tc.updated)
+		}
+	}
+	if client := server.notifyClient("app-x"); client == nil || client.BaseURL != "http://new:2" {
+		t.Fatalf("re-registration did not install the new callback: %+v", client)
+	}
+
+	// The regression: an app holding leased GPUs re-registers (agent restart,
+	// new host). Its allocation and leases must survive untouched.
+	server.RegisterBidder(&simBidder{id: "holder", demand: 8, weight: 100})
+	if _, err := server.RunAuction(0); err != nil {
+		t.Fatal(err)
+	}
+	heldBefore := server.HeldBy("holder")
+	if heldBefore.Total() == 0 {
+		t.Fatal("setup: holder won nothing")
+	}
+	leasesBefore := server.Status().ActiveLeases
+
+	resp, err := server.register(RegisterRequest{App: "holder", Callback: "http://moved:3", MaxParallelism: 8})
+	if err != nil || !resp.Updated {
+		t.Fatalf("re-register holder: %+v err=%v", resp, err)
+	}
+	if got := server.HeldBy("holder"); !got.Equal(heldBefore) {
+		t.Errorf("re-registration disturbed held GPUs: %v -> %v", heldBefore, got)
+	}
+	if got := server.Status().ActiveLeases; got != leasesBefore {
+		t.Errorf("re-registration disturbed leases: %d -> %d", leasesBefore, got)
+	}
+	if err := server.ValidateState(); err != nil {
+		t.Errorf("state invariants: %v", err)
+	}
+}

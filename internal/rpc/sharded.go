@@ -1,0 +1,433 @@
+package rpc
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"themis/internal/cluster"
+	"themis/internal/core"
+	"themis/internal/shard"
+	"themis/internal/workload"
+)
+
+// ShardedArbiterServer scales the Arbiter horizontally: the cluster topology
+// is carved into N capacity partitions (shard.Split), each arbitrated by its
+// own ArbiterServer with its own Arbiter, occupancy state and auction lock.
+// A consistent-hash ring maps every app to its home shard, so registration
+// and auction participation are deterministic functions of the app ID.
+//
+// One sharded auction round is:
+//
+//  1. Partial auction per shard — every shard runs reclaim → offer → grant
+//     over its own partition, concurrently with its peers (each holds only
+//     its own auctionMu).
+//  2. Cross-shard reconciliation — leftover GPUs on any shard are re-offered
+//     to the globally most-starved apps (highest ρ with unmet demand,
+//     wherever homed), in gang-sized chunks, home shard first for locality.
+//  3. Aggregated delivery — each changed app receives ONE allocation message
+//     carrying its global total across shards, so per-shard views never
+//     clobber each other on the agent.
+//
+// Because auction cost is superlinear in the number of participants (one
+// solver pass per bidder for hidden payments), sharding buys more than
+// concurrency: N shards of P/N participants do ~1/N² the work of one
+// P-participant auction even on a single core. experiments.ShardedLoadStudy
+// measures this.
+type ShardedArbiterServer struct {
+	topo *cluster.Topology
+	ring *shard.Ring
+	// shardIdx maps ring member names back to shard indexes.
+	shardIdx map[string]int
+	shards   []*ArbiterServer
+	parts    []*shard.Partition
+
+	// Clock returns the scheduling time in minutes; shards inherit it so the
+	// whole deployment agrees on lease expiry.
+	Clock func() float64
+	// Membership, when set, is gossiped on /v1/gossip and reported by
+	// /v1/shards; the arbiterd -join mode installs it.
+	Membership *shard.Membership
+
+	mu         sync.Mutex
+	reconciled int
+	rounds     int
+}
+
+// NewShardedArbiterServer partitions topo into n shards under cfg. Every
+// shard gets its own core.Arbiter over its slice of the topology.
+func NewShardedArbiterServer(topo *cluster.Topology, cfg core.Config, n int) (*ShardedArbiterServer, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("rpc: shard count %d must be at least 1", n)
+	}
+	parts, err := shard.Split(topo, n)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	s := &ShardedArbiterServer{
+		topo:     topo,
+		ring:     shard.NewRing(shard.DefaultVirtualNodes),
+		shardIdx: make(map[string]int, n),
+		Clock:    func() float64 { return time.Since(start).Minutes() },
+	}
+	for i, p := range parts {
+		arb, err := core.NewArbiter(p.Topo, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("rpc: shard %d arbiter: %w", i, err)
+		}
+		srv := NewArbiterServer(arb)
+		srv.Part = p
+		srv.Clock = func() float64 { return s.Clock() }
+		s.shards = append(s.shards, srv)
+		s.parts = append(s.parts, p)
+		name := shardName(i)
+		s.ring.Add(name)
+		s.shardIdx[name] = i
+	}
+	return s, nil
+}
+
+func shardName(i int) string { return fmt.Sprintf("shard-%d", i) }
+
+// NumShards returns the shard count.
+func (s *ShardedArbiterServer) NumShards() int { return len(s.shards) }
+
+// Shard returns the i'th shard's server (tests and the load harness drive
+// shards directly through this).
+func (s *ShardedArbiterServer) Shard(i int) *ArbiterServer { return s.shards[i] }
+
+// HomeShard returns the shard index owning app on the consistent-hash ring.
+func (s *ShardedArbiterServer) HomeShard(app string) int {
+	return s.shardIdx[s.ring.Lookup(app)]
+}
+
+// RegisterBidder homes an in-process bidder on its ring shard. The bidder
+// sees the shard's local machine IDs, which is transparent to bidders that
+// reason about offers positionally (the usual case: ρ and bids depend on GPU
+// counts and locality, not on which global IDs carry them).
+func (s *ShardedArbiterServer) RegisterBidder(b core.Bidder) int {
+	home := s.HomeShard(string(b.ID()))
+	s.shards[home].RegisterBidder(b)
+	return home
+}
+
+// Register routes a remote agent registration to its home shard.
+func (s *ShardedArbiterServer) Register(req RegisterRequest) (RegisterResponse, error) {
+	return s.shards[s.HomeShard(req.App)].register(req)
+}
+
+// HeldGlobal returns app's total allocation across every shard, in global
+// machine IDs. Partitions are disjoint, so the merge is collision-free.
+func (s *ShardedArbiterServer) HeldGlobal(app workload.AppID) cluster.Alloc {
+	out := cluster.NewAlloc()
+	for i, srv := range s.shards {
+		held := srv.HeldBy(app)
+		if held.Total() == 0 {
+			continue
+		}
+		out = out.Add(s.parts[i].ToGlobal(held))
+	}
+	return out
+}
+
+// ValidateState checks every shard's occupancy invariants.
+func (s *ShardedArbiterServer) ValidateState() error {
+	for i, srv := range s.shards {
+		if err := srv.ValidateState(); err != nil {
+			return fmt.Errorf("rpc: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// RunAuction executes one sharded auction round at the given scheduling time:
+// concurrent per-shard partial auctions, the cross-shard reconciliation
+// round, then one aggregated delivery per changed app. The returned decisions
+// are in global machine IDs.
+func (s *ShardedArbiterServer) RunAuction(now float64) (AuctionResponse, error) {
+	n := len(s.shards)
+	resps := make([]AuctionResponse, n)
+	changed := make([]map[workload.AppID]bool, n)
+	errs := make([]error, n)
+
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], changed[i], errs[i] = s.shards[i].auctionRound(now)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return AuctionResponse{}, fmt.Errorf("rpc: shard %d auction: %w", i, err)
+		}
+	}
+
+	resp := AuctionResponse{Now: now, Decisions: make(map[string]WireAlloc)}
+	granted := make(map[workload.AppID]cluster.Alloc)
+	allChanged := make(map[workload.AppID]bool)
+	for i, r := range resps {
+		resp.Offered += r.Offered
+		for app, wire := range r.Decisions {
+			alloc, err := wire.ToAlloc()
+			if err != nil {
+				return AuctionResponse{}, fmt.Errorf("rpc: shard %d decision for %s: %w", i, app, err)
+			}
+			granted[workload.AppID(app)] = granted[workload.AppID(app)].Add(s.parts[i].ToGlobal(alloc))
+		}
+		for app := range changed[i] {
+			allChanged[app] = true
+		}
+	}
+
+	reconciled, err := s.reconcile(now, allChanged)
+	if err != nil {
+		return AuctionResponse{}, err
+	}
+	for app, alloc := range reconciled {
+		granted[app] = granted[app].Add(alloc)
+	}
+	for app, alloc := range granted {
+		resp.Decisions[string(app)] = ToWireAlloc(alloc)
+		resp.Reconciled += reconciled[app].Total()
+	}
+
+	s.mu.Lock()
+	s.rounds++
+	s.reconciled += resp.Reconciled
+	s.mu.Unlock()
+
+	s.deliver(now, allChanged)
+	return resp, nil
+}
+
+// starvedApp is one reconciliation candidate: an app with demand its own
+// shard could not satisfy this round.
+type starvedApp struct {
+	bidder core.Bidder
+	home   int
+	unmet  int
+	rho    float64
+}
+
+// reconcile re-offers leftover GPUs across shards to the globally most
+// starved apps. It returns each app's reconciliation grant in global IDs and
+// marks granted apps changed. Starvation is measured lazily — apps are only
+// re-probed for ρ when leftover GPUs actually exist — and globally: an app's
+// unmet demand is discounted by whatever it already holds on other shards
+// from earlier reconciliation rounds.
+func (s *ShardedArbiterServer) reconcile(now float64, allChanged map[workload.AppID]bool) (map[workload.AppID]cluster.Alloc, error) {
+	grants := make(map[workload.AppID]cluster.Alloc)
+	leftover := make([]int, len(s.shards))
+	total := 0
+	for i, srv := range s.shards {
+		leftover[i] = srv.FreeGPUs()
+		total += leftover[i]
+	}
+	if total == 0 {
+		return grants, nil
+	}
+
+	var cands []starvedApp
+	for home, srv := range s.shards {
+		for _, b := range srv.snapshotAgents() {
+			localHeld := srv.HeldBy(b.ID())
+			elsewhere := 0
+			for other, osrv := range s.shards {
+				if other != home {
+					elsewhere += osrv.HeldBy(b.ID()).Total()
+				}
+			}
+			unmet := b.UnmetParallelism(localHeld) - elsewhere
+			if unmet <= 0 {
+				continue
+			}
+			cands = append(cands, starvedApp{
+				bidder: b,
+				home:   home,
+				unmet:  unmet,
+				rho:    b.ReportRho(now, localHeld),
+			})
+		}
+	}
+	// Most starved first; ties break on app ID for determinism.
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].rho != cands[j].rho {
+			return cands[i].rho > cands[j].rho
+		}
+		return cands[i].bidder.ID() < cands[j].bidder.ID()
+	})
+
+	for _, c := range cands {
+		gang := c.bidder.GangSize()
+		if gang <= 0 {
+			gang = 1
+		}
+		// Home shard first (any leftover there places next to what the app
+		// holds), then the rest in index order.
+		order := append([]int{c.home}, otherShards(len(s.shards), c.home)...)
+		for _, si := range order {
+			if c.unmet < gang {
+				break
+			}
+			chunk := minInt(c.unmet, leftover[si])
+			chunk -= chunk % gang
+			if chunk == 0 {
+				continue
+			}
+			got, err := s.shards[si].reconcileGrant(c.bidder.ID(), chunk, now)
+			if err != nil {
+				return nil, err
+			}
+			if got.Total() == 0 {
+				continue
+			}
+			leftover[si] -= got.Total()
+			c.unmet -= got.Total()
+			grants[c.bidder.ID()] = grants[c.bidder.ID()].Add(s.parts[si].ToGlobal(got))
+			allChanged[c.bidder.ID()] = true
+		}
+	}
+	return grants, nil
+}
+
+func otherShards(n, home int) []int {
+	out := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != home {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// deliver sends each changed app ONE allocation message carrying its global
+// total across all shards. The callback is looked up on the app's home shard
+// (the only shard remote agents register with).
+func (s *ShardedArbiterServer) deliver(now float64, changed map[workload.AppID]bool) {
+	if len(changed) == 0 {
+		return
+	}
+	lease := s.shards[0].arbiter.Config().LeaseDuration
+	for app := range changed {
+		client := s.shards[s.HomeShard(string(app))].notifyClient(app)
+		if client == nil {
+			continue
+		}
+		alloc := s.HeldGlobal(app)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = client.DeliverAllocation(ctx, now, alloc, true, now+lease)
+		cancel()
+	}
+}
+
+// Status aggregates the shards into the same StatusResponse an unsharded
+// arbiter reports, so operator tooling works unchanged.
+func (s *ShardedArbiterServer) Status() StatusResponse {
+	out := StatusResponse{Now: s.Clock(), Held: make(map[string]int)}
+	agents := make(map[string]struct{})
+	for _, srv := range s.shards {
+		st := srv.Status()
+		out.TotalGPUs += st.TotalGPUs
+		out.FreeGPUs += st.FreeGPUs
+		out.Auctions += st.Auctions
+		out.ActiveLeases += st.ActiveLeases
+		for _, a := range st.Agents {
+			agents[a] = struct{}{}
+		}
+		for app, n := range st.Held {
+			out.Held[app] += n
+		}
+	}
+	out.Agents = sortedKeys(agents)
+	return out
+}
+
+// ShardStatus reports the per-shard detail plus reconciliation telemetry and
+// the gossip membership table when one is attached.
+func (s *ShardedArbiterServer) ShardStatus() ShardStatusResponse {
+	s.mu.Lock()
+	out := ShardStatusResponse{Now: s.Clock(), Reconciled: s.reconciled, Rounds: s.rounds}
+	s.mu.Unlock()
+	for i, srv := range s.shards {
+		st := srv.Status()
+		out.Shards = append(out.Shards, ShardInfo{
+			Index:        i,
+			TotalGPUs:    st.TotalGPUs,
+			FreeGPUs:     st.FreeGPUs,
+			Agents:       st.Agents,
+			ActiveLeases: st.ActiveLeases,
+			Auctions:     st.Auctions,
+		})
+	}
+	if s.Membership != nil {
+		for _, m := range s.Membership.Members() {
+			out.Members = append(out.Members, MemberInfo{
+				Name: m.Name, Addr: m.Addr, State: string(m.State), Incarnation: m.Incarnation,
+			})
+		}
+	}
+	return out
+}
+
+// Handler serves the same protocol surface as an unsharded ArbiterServer —
+// register, auction, status, health — plus /v1/shards for per-shard detail
+// and /v1/gossip when membership is attached. Agents cannot tell whether
+// they registered with a sharded arbiter.
+func (s *ShardedArbiterServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/register", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+			return
+		}
+		var req RegisterRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		resp, err := s.Register(req)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/v1/auction", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+			return
+		}
+		resp, err := s.RunAuction(s.Clock())
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/v1/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Status())
+	})
+	mux.HandleFunc("/v1/shards", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.ShardStatus())
+	})
+	mux.HandleFunc("/v1/health", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]string{"status": "ok"})
+	})
+	if s.Membership != nil {
+		mux.Handle("/v1/gossip", s.Membership.Handler())
+	}
+	return mux
+}

@@ -125,6 +125,9 @@ type RegisterRequest struct {
 type RegisterResponse struct {
 	OK       bool    `json:"ok"`
 	LeaseMin float64 `json:"lease_minutes"`
+	// Updated reports that the app was already registered and its callback
+	// and demand were refreshed in place (held GPUs and leases survive).
+	Updated bool `json:"updated,omitempty"`
 }
 
 // StatusResponse summarises the Arbiter's view of the cluster.
@@ -143,6 +146,38 @@ type AuctionResponse struct {
 	Now       float64              `json:"now"`
 	Offered   int                  `json:"offered_gpus"`
 	Decisions map[string]WireAlloc `json:"decisions"`
+	// Reconciled counts the GPUs moved by the cross-shard reconciliation
+	// round (always zero on unsharded arbiters).
+	Reconciled int `json:"reconciled_gpus,omitempty"`
+}
+
+// ShardInfo is one arbiter shard's slice of a ShardStatusResponse.
+type ShardInfo struct {
+	Index        int      `json:"index"`
+	TotalGPUs    int      `json:"total_gpus"`
+	FreeGPUs     int      `json:"free_gpus"`
+	Agents       []string `json:"agents"`
+	ActiveLeases int      `json:"active_leases"`
+	Auctions     int      `json:"auctions"`
+}
+
+// MemberInfo is one gossip member as reported by /v1/shards.
+type MemberInfo struct {
+	Name        string `json:"name"`
+	Addr        string `json:"addr"`
+	State       string `json:"state"`
+	Incarnation uint64 `json:"incarnation"`
+}
+
+// ShardStatusResponse is the sharded arbiter's per-shard detail: capacity
+// partitions, reconciliation telemetry and (when gossip is enabled) the
+// membership table.
+type ShardStatusResponse struct {
+	Now        float64      `json:"now"`
+	Shards     []ShardInfo  `json:"shards"`
+	Reconciled int          `json:"reconciled_gpus"`
+	Rounds     int          `json:"rounds"`
+	Members    []MemberInfo `json:"members,omitempty"`
 }
 
 // sortedKeys returns map keys in a stable order for deterministic responses.

@@ -1,0 +1,390 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// MemberState is a member's health as seen by the local failure detector.
+type MemberState string
+
+// Member lifecycle: alive → suspect (no heartbeat for SuspectAfter) → dead
+// (no heartbeat for DeadAfter). A suspected member refutes by gossiping a
+// higher incarnation.
+const (
+	StateAlive   MemberState = "alive"
+	StateSuspect MemberState = "suspect"
+	StateDead    MemberState = "dead"
+)
+
+// severity orders states for the merge rule: at equal incarnation the worse
+// claim wins, so death and suspicion propagate while stale liveness does not.
+func severity(s MemberState) int {
+	switch s {
+	case StateDead:
+		return 2
+	case StateSuspect:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Member is one arbiterd process in the gossip group.
+type Member struct {
+	Name string `json:"name"`
+	// Addr is the member's HTTP base URL, e.g. "http://10.0.0.7:7100".
+	Addr        string      `json:"addr"`
+	Incarnation uint64      `json:"incarnation"`
+	State       MemberState `json:"state"`
+}
+
+// GossipMsg is the payload exchanged on POST /v1/gossip: the sender's view
+// of the group. The response carries the receiver's (merged) view back, so
+// one exchange synchronises both sides.
+type GossipMsg struct {
+	From    string   `json:"from"`
+	Members []Member `json:"members"`
+}
+
+// MembershipConfig tunes the gossip/heartbeat protocol.
+type MembershipConfig struct {
+	// Name uniquely identifies this member; Addr is its gossip endpoint.
+	Name string
+	Addr string
+	// HeartbeatInterval is the pause between gossip rounds (default 1s).
+	HeartbeatInterval time.Duration
+	// SuspectAfter is how long a member may stay silent before it is
+	// suspected (default 3s); DeadAfter before it is declared dead
+	// (default 10s). These are the suspicion timeouts: raise them on flaky
+	// networks, lower them when fast failover matters more than stability.
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+	// Clock supplies the current time; tests inject a deterministic one.
+	Clock func() time.Time
+	// HTTPClient performs gossip exchanges; nil uses a short-timeout client.
+	HTTPClient *http.Client
+}
+
+func (c MembershipConfig) withDefaults() (MembershipConfig, error) {
+	if c.Name == "" {
+		return c, fmt.Errorf("shard: membership needs a member name")
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = time.Second
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3 * time.Second
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 10 * time.Second
+	}
+	if c.DeadAfter < c.SuspectAfter {
+		return c, fmt.Errorf("shard: DeadAfter (%v) must be >= SuspectAfter (%v)", c.DeadAfter, c.SuspectAfter)
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Timeout: 2 * time.Second}
+	}
+	return c, nil
+}
+
+type memberEntry struct {
+	Member
+	lastSeen time.Time
+}
+
+// Membership runs the lightweight gossip/heartbeat protocol: each Tick it
+// exchanges membership tables with one peer (round-robin over the alive
+// set) and sweeps the failure detector. State converges because every
+// exchange merges both directions and worse news always wins at equal
+// incarnation.
+type Membership struct {
+	cfg MembershipConfig
+
+	mu    sync.Mutex
+	self  memberEntry
+	peers map[string]*memberEntry
+	next  int // round-robin cursor over sorted alive peers
+}
+
+// NewMembership starts a membership of one (this process) from cfg.
+func NewMembership(cfg MembershipConfig) (*Membership, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Membership{
+		cfg: cfg,
+		self: memberEntry{
+			Member:   Member{Name: cfg.Name, Addr: cfg.Addr, Incarnation: 1, State: StateAlive},
+			lastSeen: cfg.Clock(),
+		},
+		peers: make(map[string]*memberEntry),
+	}, nil
+}
+
+// Name returns this member's name.
+func (m *Membership) Name() string { return m.cfg.Name }
+
+// Members returns every known member (self included), sorted by name.
+func (m *Membership) Members() []Member {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Member, 0, len(m.peers)+1)
+	out = append(out, m.self.Member)
+	for _, p := range m.peers {
+		out = append(out, p.Member)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Alive returns the names of the members currently believed alive (self
+// included), sorted — the set the consistent-hash ring is built over.
+func (m *Membership) Alive() []string {
+	var out []string
+	for _, mem := range m.Members() {
+		if mem.State == StateAlive {
+			out = append(out, mem.Name)
+		}
+	}
+	return out
+}
+
+// Ring builds a consistent-hash ring over the alive members.
+func (m *Membership) Ring(vnodes int) *Ring {
+	r := NewRing(vnodes)
+	for _, name := range m.Alive() {
+		r.Add(name)
+	}
+	return r
+}
+
+// AddrOf returns the gossip address of a member, or "" if unknown.
+func (m *Membership) AddrOf(name string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if name == m.cfg.Name {
+		return m.self.Addr
+	}
+	if p, ok := m.peers[name]; ok {
+		return p.Addr
+	}
+	return ""
+}
+
+// snapshot returns the wire view of the table (self included).
+func (m *Membership) snapshot() GossipMsg {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	msg := GossipMsg{From: m.cfg.Name}
+	msg.Members = append(msg.Members, m.self.Member)
+	for _, p := range m.peers {
+		msg.Members = append(msg.Members, p.Member)
+	}
+	sort.Slice(msg.Members, func(i, j int) bool { return msg.Members[i].Name < msg.Members[j].Name })
+	return msg
+}
+
+// Merge folds a remote view into the local table. Rules, per member:
+//
+//   - news about self: a claim of suspicion/death at our incarnation or
+//     higher is refuted by bumping our incarnation past it (we are, after
+//     all, demonstrably running this code).
+//   - unknown members are adopted as heard.
+//   - otherwise the higher incarnation wins outright; at equal incarnation
+//     the more severe state wins.
+//
+// Members adopted as alive get a fresh lastSeen so the failure detector
+// starts their suspicion window now, not at the epoch.
+func (m *Membership) Merge(remote []Member) {
+	now := m.cfg.Clock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, r := range remote {
+		if r.Name == m.cfg.Name {
+			if r.State != StateAlive && r.Incarnation >= m.self.Incarnation {
+				m.self.Incarnation = r.Incarnation + 1
+				m.self.State = StateAlive
+			}
+			continue
+		}
+		p, known := m.peers[r.Name]
+		if !known {
+			e := &memberEntry{Member: r, lastSeen: now}
+			m.peers[r.Name] = e
+			continue
+		}
+		if r.Incarnation > p.Incarnation ||
+			(r.Incarnation == p.Incarnation && severity(r.State) > severity(p.State)) {
+			wasAlive := p.State == StateAlive
+			p.Member = r
+			if r.State == StateAlive && !wasAlive {
+				p.lastSeen = now
+			}
+		}
+		if r.Addr != "" {
+			p.Addr = r.Addr
+		}
+	}
+}
+
+// observed marks a peer as directly heard from now.
+func (m *Membership) observed(name string) {
+	now := m.cfg.Clock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p, ok := m.peers[name]; ok {
+		p.lastSeen = now
+		if p.State != StateAlive {
+			// Direct contact trumps rumour: the peer is reachable, so adopt
+			// a fresh view of it at a bumped incarnation (it will gossip its
+			// own refutation too).
+			p.State = StateAlive
+			p.Incarnation++
+		}
+	}
+}
+
+// Sweep runs the failure detector: peers silent past SuspectAfter become
+// suspect, past DeadAfter dead. It returns the names whose state changed.
+func (m *Membership) Sweep() []string {
+	now := m.cfg.Clock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var changed []string
+	for name, p := range m.peers {
+		silent := now.Sub(p.lastSeen)
+		switch {
+		case p.State == StateAlive && silent > m.cfg.DeadAfter:
+			p.State = StateDead
+			changed = append(changed, name)
+		case p.State == StateAlive && silent > m.cfg.SuspectAfter:
+			p.State = StateSuspect
+			changed = append(changed, name)
+		case p.State == StateSuspect && silent > m.cfg.DeadAfter:
+			p.State = StateDead
+			changed = append(changed, name)
+		}
+	}
+	sort.Strings(changed)
+	return changed
+}
+
+// Handler returns the HTTP handler for POST /v1/gossip: merge the sender's
+// view, answer with ours. Mount it on the arbiter's mux (the sharded server
+// does this automatically).
+func (m *Membership) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.WriteHeader(http.StatusMethodNotAllowed)
+			return
+		}
+		var msg GossipMsg
+		if err := json.NewDecoder(r.Body).Decode(&msg); err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadRequest)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		m.Merge(msg.Members)
+		if msg.From != "" {
+			m.observed(msg.From)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(m.snapshot())
+	})
+}
+
+// exchange gossips with the peer at addr: push our table, merge the reply.
+func (m *Membership) exchange(ctx context.Context, name, addr string) error {
+	body, err := json.Marshal(m.snapshot())
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/v1/gossip", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := m.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("shard: gossip with %s returned %d", addr, resp.StatusCode)
+	}
+	var reply GossipMsg
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return err
+	}
+	m.Merge(reply.Members)
+	if name != "" {
+		m.observed(name)
+	} else if reply.From != "" {
+		m.observed(reply.From)
+	}
+	return nil
+}
+
+// Join introduces this member to the group via any existing member's
+// address.
+func (m *Membership) Join(ctx context.Context, addr string) error {
+	if err := m.exchange(ctx, "", addr); err != nil {
+		return fmt.Errorf("shard: joining via %s: %w", addr, err)
+	}
+	return nil
+}
+
+// Tick runs one heartbeat round: sweep the failure detector, then gossip
+// with the next alive peer in round-robin order (dead peers are skipped; a
+// failed exchange simply leaves the peer to the suspicion timeouts).
+func (m *Membership) Tick(ctx context.Context) {
+	m.Sweep()
+
+	m.mu.Lock()
+	var candidates []memberEntry
+	for _, p := range m.peers {
+		if p.State != StateDead {
+			candidates = append(candidates, *p)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Name < candidates[j].Name })
+	if len(candidates) == 0 {
+		m.mu.Unlock()
+		return
+	}
+	pick := candidates[m.next%len(candidates)]
+	m.next++
+	m.mu.Unlock()
+
+	_ = m.exchange(ctx, pick.Name, pick.Addr)
+}
+
+// Run ticks at the configured heartbeat interval until ctx is cancelled.
+func (m *Membership) Run(ctx context.Context) {
+	ticker := time.NewTicker(m.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			m.Tick(ctx)
+		}
+	}
+}

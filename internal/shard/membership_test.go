@@ -1,0 +1,250 @@
+package shard
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic time source shared by the members of a test.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{now: time.Unix(1000, 0)} }
+func testConfig(name string, clk *fakeClock) MembershipConfig {
+	return MembershipConfig{
+		Name:         name,
+		Addr:         "http://" + name + ".invalid",
+		SuspectAfter: 3 * time.Second,
+		DeadAfter:    10 * time.Second,
+		Clock:        clk.Now,
+	}
+}
+
+// serveMembership starts an HTTP server for a membership whose advertised
+// Addr is the server's own URL — the chicken-and-egg a real arbiterd
+// resolves with -advertise.
+func serveMembership(t *testing.T, name string, clk *fakeClock) (*Membership, *httptest.Server) {
+	t.Helper()
+	var m *Membership
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.Handler().ServeHTTP(w, r)
+	}))
+	cfg := testConfig(name, clk)
+	cfg.Addr = ts.URL
+	var err error
+	m, err = NewMembership(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, ts
+}
+
+func stateOf(t *testing.T, m *Membership, name string) MemberState {
+	t.Helper()
+	for _, mem := range m.Members() {
+		if mem.Name == name {
+			return mem.State
+		}
+	}
+	t.Fatalf("member %s unknown to %s", name, m.Name())
+	return ""
+}
+
+func TestMembershipConfigValidation(t *testing.T) {
+	if _, err := NewMembership(MembershipConfig{}); err == nil {
+		t.Error("nameless membership should be rejected")
+	}
+	if _, err := NewMembership(MembershipConfig{
+		Name: "a", SuspectAfter: 10 * time.Second, DeadAfter: time.Second,
+	}); err == nil {
+		t.Error("DeadAfter < SuspectAfter should be rejected")
+	}
+}
+
+func TestMembershipFailureDetector(t *testing.T) {
+	clk := newFakeClock()
+	m, err := NewMembership(testConfig("a", clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Merge([]Member{{Name: "b", Addr: "http://b", Incarnation: 1, State: StateAlive}})
+
+	// Fresh member: alive through the suspicion window.
+	clk.Advance(2 * time.Second)
+	if changed := m.Sweep(); len(changed) != 0 {
+		t.Fatalf("sweep before SuspectAfter changed %v", changed)
+	}
+	if got := stateOf(t, m, "b"); got != StateAlive {
+		t.Fatalf("b = %s, want alive", got)
+	}
+
+	// Past SuspectAfter: suspect.
+	clk.Advance(2 * time.Second)
+	if changed := m.Sweep(); len(changed) != 1 || changed[0] != "b" {
+		t.Fatalf("sweep past SuspectAfter changed %v, want [b]", changed)
+	}
+	if got := stateOf(t, m, "b"); got != StateSuspect {
+		t.Fatalf("b = %s, want suspect", got)
+	}
+
+	// Past DeadAfter: dead, and no longer in the ring's alive set.
+	clk.Advance(7 * time.Second)
+	m.Sweep()
+	if got := stateOf(t, m, "b"); got != StateDead {
+		t.Fatalf("b = %s, want dead", got)
+	}
+	if alive := m.Alive(); len(alive) != 1 || alive[0] != "a" {
+		t.Errorf("alive = %v, want [a]", alive)
+	}
+	if r := m.Ring(8); r.Size() != 1 || r.Lookup("app-1") != "a" {
+		t.Errorf("ring should only contain the alive member")
+	}
+}
+
+func TestMembershipRefutationByIncarnation(t *testing.T) {
+	clk := newFakeClock()
+	m, err := NewMembership(testConfig("a", clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Someone claims we are suspect at our incarnation: we refute by
+	// bumping past it and staying alive.
+	m.Merge([]Member{{Name: "a", Incarnation: 1, State: StateSuspect}})
+	self := m.Members()[0]
+	if self.State != StateAlive || self.Incarnation != 2 {
+		t.Fatalf("self after refutation = %+v, want alive at incarnation 2", self)
+	}
+	// A stale rumour (lower incarnation) changes nothing.
+	m.Merge([]Member{{Name: "a", Incarnation: 1, State: StateDead}})
+	if got := m.Members()[0]; got.State != StateAlive || got.Incarnation != 2 {
+		t.Fatalf("stale rumour moved self to %+v", got)
+	}
+
+	// Peer refutation: a suspect peer gossiping a higher incarnation comes
+	// back alive; the same incarnation does not (worse state wins ties).
+	m.Merge([]Member{{Name: "b", Incarnation: 3, State: StateSuspect}})
+	m.Merge([]Member{{Name: "b", Incarnation: 3, State: StateAlive}})
+	if got := stateOf(t, m, "b"); got != StateSuspect {
+		t.Fatalf("equal-incarnation alive claim revived b: %s", got)
+	}
+	m.Merge([]Member{{Name: "b", Incarnation: 4, State: StateAlive}})
+	if got := stateOf(t, m, "b"); got != StateAlive {
+		t.Fatalf("higher-incarnation refutation ignored: %s", got)
+	}
+}
+
+func TestMembershipGossipExchangeOverHTTP(t *testing.T) {
+	clk := newFakeClock()
+	a, err := NewMembership(testConfig("a", clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMembership(testConfig("b", clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewMembership(testConfig("c", clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tsA := httptest.NewServer(a.Handler())
+	defer tsA.Close()
+	tsB := httptest.NewServer(b.Handler())
+	defer tsB.Close()
+
+	ctx := context.Background()
+	// c joins via a; a and b have already met.
+	if err := b.Join(ctx, tsA.URL); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Join(ctx, tsA.URL); err != nil {
+		t.Fatal(err)
+	}
+	// One exchange synchronises both directions: c learned b from a's table.
+	for _, m := range []*Membership{c} {
+		if got := len(m.Members()); got != 3 {
+			t.Fatalf("%s knows %d members (%v), want 3", m.Name(), got, m.Members())
+		}
+	}
+	// a heard from both directly.
+	if got := a.Alive(); len(got) != 3 {
+		t.Fatalf("a's alive set = %v, want 3 members", got)
+	}
+	// Rings computed from the same membership agree on routing.
+	ra, rc := a.Ring(16), c.Ring(16)
+	if ra.Size() != 3 {
+		t.Fatalf("ring size %d, want 3", ra.Size())
+	}
+	for _, app := range []string{"app-1", "app-2", "app-3", "app-4"} {
+		if ra.Lookup(app) != rc.Lookup(app) {
+			t.Errorf("a and c disagree on the home of %s", app)
+		}
+	}
+
+	if a.AddrOf("a") == "" || a.AddrOf("nope") != "" {
+		t.Error("AddrOf misbehaves")
+	}
+}
+
+func TestMembershipTickGossipsAndDetectsFailure(t *testing.T) {
+	clk := newFakeClock()
+	a, err := NewMembership(testConfig("a", clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tsB := serveMembership(t, "b", clk)
+
+	if err := a.Join(context.Background(), tsB.URL); err != nil {
+		t.Fatal(err)
+	}
+	// While b serves, ticks keep it alive arbitrarily long.
+	for i := 0; i < 5; i++ {
+		clk.Advance(2 * time.Second)
+		a.Tick(context.Background())
+	}
+	if got := stateOf(t, a, "b"); got != StateAlive {
+		t.Fatalf("reachable peer = %s, want alive", got)
+	}
+
+	// Kill b: silence accumulates and the detector downgrades it.
+	tsB.Close()
+	clk.Advance(4 * time.Second)
+	a.Tick(context.Background())
+	if got := stateOf(t, a, "b"); got != StateSuspect {
+		t.Fatalf("silent peer = %s, want suspect", got)
+	}
+	clk.Advance(11 * time.Second)
+	a.Tick(context.Background())
+	if got := stateOf(t, a, "b"); got != StateDead {
+		t.Fatalf("long-silent peer = %s, want dead", got)
+	}
+}
+
+func TestMembershipHandlerRejectsBadRequests(t *testing.T) {
+	clk := newFakeClock()
+	m, _ := NewMembership(testConfig("a", clk))
+	ts := httptest.NewServer(m.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/gossip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET gossip = %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/gossip", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty gossip body = %d, want 400", resp.StatusCode)
+	}
+}

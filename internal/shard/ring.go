@@ -1,0 +1,128 @@
+// Package shard partitions a Themis deployment across arbiter shards: a
+// consistent-hash ring maps every app to its home shard, Split carves the
+// cluster topology into per-shard capacity partitions, and Membership keeps
+// a lightweight HTTP gossip/heartbeat protocol (with configurable suspicion
+// timeouts) so arbiterd processes discover each other and agree on the ring.
+//
+// The package is deliberately self-contained — plain data structures plus
+// net/http — so both the in-process sharded arbiter (arbiterd -shards) and
+// the multi-process deployment (arbiterd -join) build on the same pieces.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVirtualNodes is the number of ring points per member when a Ring is
+// built with vnodes <= 0. More points smooth the key distribution; 64 keeps
+// the per-member imbalance under ~15% for small member counts.
+const DefaultVirtualNodes = 64
+
+// Ring is a consistent-hash ring with virtual nodes. The app→shard mapping
+// depends only on the member set and the vnode count — never on insertion
+// order — so every process that knows the same membership computes the same
+// routing. Ring is a value-style structure: not safe for concurrent mutation,
+// cheap to rebuild from a membership snapshot.
+type Ring struct {
+	vnodes  int
+	members map[string]bool
+	points  []ringPoint // sorted by (hash, owner)
+}
+
+type ringPoint struct {
+	hash  uint64
+	owner string
+}
+
+// NewRing returns an empty ring with the given virtual-node count per member
+// (<= 0 uses DefaultVirtualNodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]bool)}
+}
+
+// hash64 is the ring's point and key hash: FNV-1a finished with a
+// splitmix64-style avalanche. Raw FNV clusters badly on the short,
+// near-identical strings ring points are made of ("shard-0#17"), which
+// skews key ownership several-fold; the mixer spreads those clusters over
+// the whole ring. Pure function of the string, so every process agrees.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add inserts a member; re-adding is a no-op.
+func (r *Ring) Add(member string) {
+	if member == "" || r.members[member] {
+		return
+	}
+	r.members[member] = true
+	for v := 0; v < r.vnodes; v++ {
+		r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", member, v)), owner: member})
+	}
+	r.sortPoints()
+}
+
+// Remove deletes a member; removing an unknown member is a no-op. Only the
+// keys the member owned remap (to their next point clockwise) — everything
+// else keeps its owner, the property that makes membership churn cheap.
+func (r *Ring) Remove(member string) {
+	if !r.members[member] {
+		return
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.owner != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+func (r *Ring) sortPoints() {
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].owner < r.points[j].owner
+	})
+}
+
+// Members returns the member names in sorted order.
+func (r *Ring) Members() []string {
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the number of members.
+func (r *Ring) Size() int { return len(r.members) }
+
+// Lookup returns the member owning key: the owner of the first ring point at
+// or after the key's hash, wrapping around. An empty ring returns "".
+func (r *Ring) Lookup(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].owner
+}
