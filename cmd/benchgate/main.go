@@ -63,9 +63,19 @@ var nsPerOp = regexp.MustCompile(`(?:^|\s)([0-9.]+) ns/op`)
 // The test2json encoder splits a benchmark's name and its result line across
 // separate output events, so the event's Test field — the canonical name,
 // free of the "-N" GOMAXPROCS suffix — is the reliable key. Plain `go test
-// -bench` text output works too: full result lines are scanned directly,
-// with the GOMAXPROCS suffix stripped. A benchmark appearing multiple times
-// keeps its minimum (the least noisy sample).
+// -bench` text output works too: full result lines are scanned directly.
+// A benchmark appearing multiple times keeps its minimum (the least noisy
+// sample).
+//
+// Text result lines cannot be keyed directly: the trailing "-N" is the
+// GOMAXPROCS marker on a multi-proc host but PART OF THE NAME on a
+// single-proc host (GOMAXPROCS=1 appends no suffix — blindly stripping
+// would corrupt "apps-512" into "apps", inventing a phantom benchmark whose
+// min sample comes from whichever sub-benchmark's line got mangled first).
+// They are resolved after the scan against the canonical Test-keyed names:
+// an exact match records under the name as written, and only names with no
+// canonical counterpart (pure text streams) fall back to stripping the
+// suffix.
 func loadBench(path string) (map[string]float64, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -82,6 +92,11 @@ func loadBench(path string) (map[string]float64, error) {
 			out[name] = ns
 		}
 	}
+	type textResult struct {
+		name string
+		ns   float64
+	}
+	var texts []textResult
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -107,12 +122,19 @@ func loadBench(path string) (map[string]float64, error) {
 		}
 		if m := benchLine.FindStringSubmatch(line); m != nil {
 			if ns, err := strconv.ParseFloat(m[2], 64); err == nil {
-				record(trimProcSuffix(m[1]), ns)
+				texts = append(texts, textResult{m[1], ns})
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	for _, t := range texts {
+		if _, exact := out[t.name]; exact {
+			record(t.name, t.ns)
+			continue
+		}
+		record(trimProcSuffix(t.name), t.ns)
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("no benchmark results found in %s", path)

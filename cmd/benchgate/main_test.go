@@ -48,6 +48,42 @@ func TestLoadBenchParsesJSONAndText(t *testing.T) {
 	}
 }
 
+// TestLoadBenchSingleProcSubBenchmarks pins the GOMAXPROCS=1 case: on a
+// single-proc host benchmark names carry no "-N" suffix, so a combined
+// name+result line flushed into a Test-less output event spells the name
+// exactly as the canonical Test field does. Stripping its numeric tail
+// ("apps-512" → "apps") must not happen — it would invent a phantom
+// benchmark whose min sample is whichever sub-benchmark mangled first,
+// and the phantom then FAILs the gate when baseline and current caught
+// different sub-benchmarks' samples.
+func TestLoadBenchSingleProcSubBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	content := strings.Join([]string{
+		`{"Action":"output","Package":"p","Test":"BenchmarkCore/apps-64","Output":"   10   1000 ns/op\n"}`,
+		`{"Action":"output","Package":"p","Test":"BenchmarkCore/apps-512","Output":"   10   9000 ns/op\n"}`,
+		// test2json occasionally flushes name+result together with no Test
+		// field; on a 1-proc host the spelled name IS the canonical name.
+		`{"Action":"output","Package":"p","Output":"BenchmarkCore/apps-512   \t   10   8000 ns/op\n"}`,
+	}, "\n")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkCore/apps-512"] != 8000 {
+		t.Errorf("BenchmarkCore/apps-512 = %v, want 8000 (text line merged into canonical name)", got["BenchmarkCore/apps-512"])
+	}
+	if got["BenchmarkCore/apps-64"] != 1000 {
+		t.Errorf("BenchmarkCore/apps-64 = %v, want 1000", got["BenchmarkCore/apps-64"])
+	}
+	if ns, ok := got["BenchmarkCore/apps"]; ok {
+		t.Errorf("phantom benchmark BenchmarkCore/apps = %v recorded from a mis-trimmed sub-benchmark name", ns)
+	}
+}
+
 func TestGateNormalisesMachineSpeed(t *testing.T) {
 	baseline := map[string]float64{"a": 100, "b": 200, "c": 400}
 	// Current machine is uniformly 3x slower: every ratio is 3, the median

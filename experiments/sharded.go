@@ -17,15 +17,18 @@ type ShardedLoadOptions struct {
 	// Shards is the sharded deployment's arbiter count (default 8).
 	Shards int
 	// Machines, GPUsPerMachine and MachinesPerRack describe the cluster
-	// (default 64 x 8 GPUs, 8 machines per rack: 512 GPUs).
+	// (default 160 x 8 GPUs, 8 machines per rack: 1280 GPUs).
 	Machines        int
 	GPUsPerMachine  int
 	MachinesPerRack int
-	// DemandingApps is how many apps actually want GPUs (default 200). Their
+	// DemandingApps is how many apps actually want GPUs (default 1000). Their
 	// demands sum exactly to cluster capacity — full subscription — so both
 	// deployments must end with every demand met and parity is exact, while
 	// the remaining Agents-DemandingApps idle apps still cost a ρ probe per
-	// round (the linear term both deployments pay).
+	// round (the linear term both deployments pay). The default is sized so
+	// winner determination dominates the round: the dense-vector solver made
+	// individual solves cheap enough that smaller auctions are drowned out by
+	// the O(Agents) probe cost, which sharding only divides, not squares.
 	DemandingApps int
 	// FairnessKnob is f. The default makes the worst DemandingApps/Agents
 	// fraction participants, i.e. exactly the demanding stratum bids —
@@ -46,7 +49,7 @@ func (o ShardedLoadOptions) withDefaults() ShardedLoadOptions {
 		o.Shards = 8
 	}
 	if o.Machines <= 0 {
-		o.Machines = 64
+		o.Machines = 160
 	}
 	if o.GPUsPerMachine <= 0 {
 		o.GPUsPerMachine = 8
@@ -55,7 +58,7 @@ func (o ShardedLoadOptions) withDefaults() ShardedLoadOptions {
 		o.MachinesPerRack = 8
 	}
 	if o.DemandingApps <= 0 {
-		o.DemandingApps = 200
+		o.DemandingApps = 1000
 	}
 	if o.DemandingApps > o.Agents {
 		o.DemandingApps = o.Agents
@@ -288,8 +291,8 @@ func ShardedLoadStudy(opts ShardedLoadOptions) (ShardedLoadResult, error) {
 
 	for i := 0; i < opts.Agents; i++ {
 		id := workload.AppID(fmt.Sprintf("load-%06d", i))
-		a := single.HeldBy(id).Total()
-		b := sharded.HeldGlobal(id).Total()
+		a := single.HeldTotalBy(id)
+		b := sharded.HeldTotalGlobal(id)
 		res.SingleGranted += a
 		res.ShardedGranted += b
 		if d := a - b; d >= 0 {

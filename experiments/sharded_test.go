@@ -59,8 +59,8 @@ func TestShardedLoadStudyFullScale(t *testing.T) {
 		res.ShardedSeconds, res.ShardedThroughput, res.MaxRoundSecondsSharded,
 		res.Speedup, res.ParityL1, 100*res.ParityFrac)
 
-	if res.SingleGranted != 64*8 {
-		t.Errorf("single granted %d, want full capacity %d (full subscription)", res.SingleGranted, 64*8)
+	if res.SingleGranted != 160*8 {
+		t.Errorf("single granted %d, want full capacity %d (full subscription)", res.SingleGranted, 160*8)
 	}
 	if res.ShardedGranted != res.SingleGranted {
 		t.Errorf("work conservation: sharded granted %d, single %d", res.ShardedGranted, res.SingleGranted)

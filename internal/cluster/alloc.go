@@ -38,10 +38,15 @@ func (a Alloc) Total() int {
 // IsEmpty reports whether the allocation holds no GPUs.
 func (a Alloc) IsEmpty() bool { return a.Total() == 0 }
 
-// Add returns a new allocation holding the GPUs of both a and b.
+// Add returns a new allocation holding the GPUs of both a and b. Zero
+// entries in b are skipped so the result stays canonical (no stored zeros)
+// and Equal/Key comparisons cannot diverge on representation.
 func (a Alloc) Add(b Alloc) Alloc {
 	out := a.Clone()
 	for m, n := range b {
+		if n == 0 {
+			continue
+		}
 		out[m] += n
 		if out[m] == 0 {
 			delete(out, m)
@@ -51,12 +56,18 @@ func (a Alloc) Add(b Alloc) Alloc {
 }
 
 // Sub returns a new allocation with b's GPUs removed from a. It returns an
-// error if b holds GPUs on a machine where a holds fewer.
+// error if b holds GPUs on a machine where a holds fewer. Zero entries in b
+// are skipped, mirroring Add, so the result stays canonical. The error
+// reports a's actual held count (Clone drops explicit zero entries, so the
+// cloned-out view must not be the one reported).
 func (a Alloc) Sub(b Alloc) (Alloc, error) {
 	out := a.Clone()
 	for m, n := range b {
+		if n == 0 {
+			continue
+		}
 		if out[m] < n {
-			return nil, fmt.Errorf("alloc: cannot remove %d GPUs from machine %d (have %d)", n, m, out[m])
+			return nil, fmt.Errorf("alloc: cannot remove %d GPUs from machine %d (have %d)", n, m, a[m])
 		}
 		out[m] -= n
 		if out[m] == 0 {
@@ -183,6 +194,13 @@ func (s *State) Held(app string) Alloc {
 		return a.Clone()
 	}
 	return NewAlloc()
+}
+
+// HeldTotal returns the number of GPUs app currently holds, without copying
+// its allocation. Per-agent sweeps (reconciliation, parity accounting) use it
+// to sift the many apps holding nothing from the few worth a full Held copy.
+func (s *State) HeldTotal(app string) int {
+	return s.held[app].Total()
 }
 
 // Apps returns the IDs of apps currently holding GPUs, sorted.

@@ -1,0 +1,192 @@
+package cluster
+
+// DenseAlloc is the flat counterpart of Alloc: GPUs-per-machine as a plain
+// []int32 vector indexed by MachineID. The sparse Alloc map stays the wire
+// and API currency (it round-trips through JSON and tolerates arbitrary
+// machine-ID spaces); DenseAlloc is the in-memory representation the auction
+// hot path computes on, where "clone an allocation" must be a memcpy and
+// "add a bundle" a handful of indexed adds rather than map churn.
+//
+// A DenseAlloc is meaningful only against a fixed machine-ID universe
+// [0, len): conversions are lossless both ways for canonical allocations
+// (no zero entries, IDs within range), which is exactly what Topology-backed
+// allocations are.
+type DenseAlloc []int32
+
+// Total returns the total number of GPUs in the vector.
+func (d DenseAlloc) Total() int {
+	t := 0
+	for _, n := range d {
+		t += int(n)
+	}
+	return t
+}
+
+// Zero resets every machine's count to zero, keeping the backing array.
+func (d DenseAlloc) Zero() {
+	for i := range d {
+		d[i] = 0
+	}
+}
+
+// AddInPlace adds b's GPUs into d. b must not be longer than d.
+func (d DenseAlloc) AddInPlace(b DenseAlloc) {
+	for i, n := range b {
+		d[i] += n
+	}
+}
+
+// SubInPlace removes b's GPUs from d. b must not be longer than d; counts
+// may go negative — callers on the hot path check feasibility with Fits
+// before committing, exactly like the sparse Sub's error path but without
+// allocating.
+func (d DenseAlloc) SubInPlace(b DenseAlloc) {
+	for i, n := range b {
+		d[i] -= n
+	}
+}
+
+// Fits reports whether adding add to the used vector d stays within
+// capacity on every machine. add and capacity must not be longer than d.
+func (d DenseAlloc) Fits(add, capacity DenseAlloc) bool {
+	for i, n := range add {
+		if n != 0 && d[i]+n > capacity[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CopyInto copies d into dst, growing dst as needed, and returns dst.
+func (d DenseAlloc) CopyInto(dst DenseAlloc) DenseAlloc {
+	if cap(dst) < len(d) {
+		dst = make(DenseAlloc, len(d))
+	}
+	dst = dst[:len(d)]
+	copy(dst, d)
+	return dst
+}
+
+// ToAlloc converts the vector back to the canonical sparse form, skipping
+// zero entries. For vectors produced from canonical Allocs via FillDense the
+// round trip is lossless.
+func (d DenseAlloc) ToAlloc() Alloc {
+	out := make(Alloc)
+	for i, n := range d {
+		if n != 0 {
+			out[MachineID(i)] = int(n)
+		}
+	}
+	return out
+}
+
+// FillDense writes the sparse allocation into d (zeroing it first). It
+// reports false — leaving unrepresentable entries dropped — if any non-zero
+// entry falls outside [0, len(d)); canonical topology-backed allocations
+// always fit.
+func (a Alloc) FillDense(d DenseAlloc) bool {
+	d.Zero()
+	ok := true
+	for m, n := range a {
+		if n == 0 {
+			continue
+		}
+		if int(m) < 0 || int(m) >= len(d) {
+			ok = false
+			continue
+		}
+		d[m] = int32(n)
+	}
+	return ok
+}
+
+// ToDense converts the allocation to a fresh dense vector over n machines.
+// The second return mirrors FillDense's range check.
+func (a Alloc) ToDense(n int) (DenseAlloc, bool) {
+	d := make(DenseAlloc, n)
+	ok := a.FillDense(d)
+	return d, ok
+}
+
+// AllocArena is a round-scoped free-list for allocation scratch: dense
+// vectors for solver-style computations and sparse Alloc maps for candidate
+// allocations that must present the map API but die with the round.
+//
+// Ownership rules (see DESIGN.md "Dense allocation vectors"):
+//
+//   - Dense vectors are explicitly checked out (Dense) and returned
+//     (ReleaseDense) by the same holder.
+//   - Sparse maps from Sparse() are lent until the next Reset(): the arena
+//     remembers every map it handed out and reclaims them all at once when
+//     the round's grants have been applied. Anything that must outlive the
+//     round — a grant the caller applies, a result a test inspects across
+//     rounds — must be Clone()d out first.
+//
+// An arena is single-goroutine state; concurrent rounds (the sharded
+// arbiter's per-shard auctions) each own their own arena, which is safe
+// because shard partitions are disjoint.
+type AllocArena struct {
+	dense []DenseAlloc
+	free  []Alloc
+	lent  []Alloc
+}
+
+// NewAllocArena returns an empty arena.
+func NewAllocArena() *AllocArena { return &AllocArena{} }
+
+// Dense returns a zeroed dense vector of length n, reusing a retired one
+// when available.
+func (ar *AllocArena) Dense(n int) DenseAlloc {
+	if k := len(ar.dense); k > 0 {
+		d := ar.dense[k-1]
+		ar.dense[k-1] = nil
+		ar.dense = ar.dense[:k-1]
+		if cap(d) < n {
+			return make(DenseAlloc, n)
+		}
+		d = d[:n]
+		d.Zero()
+		return d
+	}
+	return make(DenseAlloc, n)
+}
+
+// ReleaseDense returns a dense vector to the free list.
+func (ar *AllocArena) ReleaseDense(d DenseAlloc) {
+	if d != nil {
+		ar.dense = append(ar.dense, d)
+	}
+}
+
+// Sparse returns a cleared Alloc map lent until the next Reset.
+func (ar *AllocArena) Sparse() Alloc {
+	var m Alloc
+	if k := len(ar.free); k > 0 {
+		m = ar.free[k-1]
+		ar.free[k-1] = nil
+		ar.free = ar.free[:k-1]
+		clear(m)
+	} else {
+		m = NewAlloc()
+	}
+	ar.lent = append(ar.lent, m)
+	return m
+}
+
+// Reset reclaims every sparse map lent since the previous Reset. Callers
+// must not hold references to lent maps across a Reset; the maps are cleared
+// and reused by subsequent Sparse calls.
+func (ar *AllocArena) Reset() {
+	ar.free = append(ar.free, ar.lent...)
+	for i := range ar.lent {
+		ar.lent[i] = nil
+	}
+	ar.lent = ar.lent[:0]
+}
+
+// Lent returns the number of sparse maps currently lent out — zero between
+// rounds when every borrower resets properly; tests pin this.
+func (ar *AllocArena) Lent() int { return len(ar.lent) }
+
+// FreeSparse returns the number of sparse maps sitting in the free list.
+func (ar *AllocArena) FreeSparse() int { return len(ar.free) }

@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDenseAllocRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(16)
+		a := NewAlloc()
+		for m := 0; m < n; m++ {
+			if rng.Intn(2) == 0 {
+				a[MachineID(m)] = 1 + rng.Intn(8)
+			}
+		}
+		d, ok := a.ToDense(n)
+		if !ok {
+			t.Fatalf("in-range alloc reported out of range: %v", a)
+		}
+		back := d.ToAlloc()
+		if !a.Equal(back) || len(back) != len(a) {
+			t.Fatalf("round trip not lossless: %v -> %v -> %v", a, d, back)
+		}
+		if d.Total() != a.Total() {
+			t.Fatalf("dense total %d != sparse total %d", d.Total(), a.Total())
+		}
+	}
+}
+
+func TestDenseAllocOutOfRange(t *testing.T) {
+	a := Alloc{0: 1, 9: 2}
+	d, ok := a.ToDense(4)
+	if ok {
+		t.Fatalf("expected out-of-range report for %v over 4 machines", a)
+	}
+	if d.Total() != 1 {
+		t.Fatalf("in-range entries should still land: got %v", d)
+	}
+	// Zero entries outside the range are not an error: they carry no GPUs.
+	z := Alloc{0: 1, 9: 0}
+	if _, ok := z.ToDense(4); !ok {
+		t.Fatalf("zero entry out of range should be ignored")
+	}
+}
+
+func TestDenseAllocInPlaceOps(t *testing.T) {
+	used := DenseAlloc{1, 0, 3}
+	bun := DenseAlloc{1, 2, 0}
+	capacity := DenseAlloc{4, 2, 3}
+
+	if !used.Fits(bun, capacity) {
+		t.Fatalf("bundle should fit: used=%v bun=%v cap=%v", used, bun, capacity)
+	}
+	used.AddInPlace(bun)
+	if want := (DenseAlloc{2, 2, 3}); !equalDense(used, want) {
+		t.Fatalf("AddInPlace: got %v want %v", used, want)
+	}
+	if used.Fits(bun, capacity) {
+		t.Fatalf("bundle should no longer fit after add")
+	}
+	used.SubInPlace(bun)
+	if want := (DenseAlloc{1, 0, 3}); !equalDense(used, want) {
+		t.Fatalf("SubInPlace: got %v want %v", used, want)
+	}
+
+	var dst DenseAlloc
+	dst = used.CopyInto(dst)
+	dst[0] = 99
+	if used[0] != 1 {
+		t.Fatalf("CopyInto must not alias the source")
+	}
+}
+
+func equalDense(a, b DenseAlloc) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAllocArenaReusesDense(t *testing.T) {
+	ar := NewAllocArena()
+	d := ar.Dense(8)
+	d[3] = 5
+	ar.ReleaseDense(d)
+	d2 := ar.Dense(4)
+	if len(d2) != 4 {
+		t.Fatalf("Dense(4) returned length %d", len(d2))
+	}
+	for i, n := range d2 {
+		if n != 0 {
+			t.Fatalf("recycled vector not zeroed at %d: %v", i, d2)
+		}
+	}
+	if &d2[0] != &d[0] {
+		t.Fatalf("expected the retired backing array to be reused")
+	}
+}
+
+func TestAllocArenaSparseLifecycle(t *testing.T) {
+	ar := NewAllocArena()
+	a := ar.Sparse()
+	a[2] = 4
+	b := ar.Sparse()
+	b[2] = 9
+	if ar.Lent() != 2 {
+		t.Fatalf("Lent = %d, want 2", ar.Lent())
+	}
+	if a[2] != 4 {
+		t.Fatalf("lent maps must be distinct until Reset")
+	}
+	ar.Reset()
+	if ar.Lent() != 0 || ar.FreeSparse() != 2 {
+		t.Fatalf("after Reset: lent=%d free=%d", ar.Lent(), ar.FreeSparse())
+	}
+	c := ar.Sparse()
+	if len(c) != 0 {
+		t.Fatalf("recycled sparse map not cleared: %v", c)
+	}
+	if ar.FreeSparse() != 1 {
+		t.Fatalf("Sparse should pop the free list, free=%d", ar.FreeSparse())
+	}
+}
+
+// TestAllocZeroEntryCanonicalization pins the Add/Sub satellite fix: zero
+// entries in the operand must not introduce stored zeros (which would break
+// Equal/Key canonicalization) and Sub's error must report the actual held
+// count rather than the cloned-out zero.
+func TestAllocZeroEntryCanonicalization(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Alloc
+		add  Alloc // expected a.Add(b); nil to skip
+	}{
+		{name: "zero entry on absent machine", a: Alloc{1: 2}, b: Alloc{5: 0}, add: Alloc{1: 2}},
+		{name: "zero entry on present machine", a: Alloc{1: 2}, b: Alloc{1: 0}, add: Alloc{1: 2}},
+		{name: "all zero operand", a: Alloc{}, b: Alloc{3: 0, 7: 0}, add: Alloc{}},
+		{name: "mixed zero and real", a: Alloc{1: 1}, b: Alloc{1: 0, 2: 3}, add: Alloc{1: 1, 2: 3}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.a.Add(tc.b)
+			if !got.Equal(tc.add) {
+				t.Fatalf("Add = %v, want %v", got, tc.add)
+			}
+			for m, n := range got {
+				if n == 0 {
+					t.Fatalf("Add stored a zero entry for machine %d: %v", m, got)
+				}
+			}
+			if got.Key() != tc.add.Key() {
+				t.Fatalf("Key diverged: %q vs %q", got.Key(), tc.add.Key())
+			}
+			sub, err := got.Sub(tc.b)
+			if err != nil {
+				t.Fatalf("Sub of zero entries failed: %v", err)
+			}
+			for m, n := range sub {
+				if n == 0 {
+					t.Fatalf("Sub stored a zero entry for machine %d: %v", m, sub)
+				}
+			}
+			if !sub.Equal(tc.a) {
+				t.Fatalf("Add then Sub of b did not restore a: %v vs %v", sub, tc.a)
+			}
+		})
+	}
+}
+
+func TestAllocSubErrorReportsHeldCount(t *testing.T) {
+	a := Alloc{4: 2}
+	if _, err := a.Sub(Alloc{4: 5}); err == nil || !strings.Contains(err.Error(), "(have 2)") {
+		t.Fatalf("Sub error should report held count 2, got: %v", err)
+	}
+	if _, err := a.Sub(Alloc{9: 1}); err == nil || !strings.Contains(err.Error(), "(have 0)") {
+		t.Fatalf("Sub from absent machine should report have 0, got: %v", err)
+	}
+}

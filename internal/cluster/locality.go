@@ -50,32 +50,47 @@ func (l Locality) String() string {
 // paper's simulator scores placements (it reasons about counts, not GPU
 // serial numbers).
 func LocalityOf(topo *Topology, alloc Alloc) Locality {
-	machines := alloc.Machines()
-	if len(machines) == 0 {
-		return LocalitySlot
+	// Iterate the map directly instead of materialising a sorted machine
+	// slice: the classification ("all in one rack", "any two domains
+	// differ") is order-independent, and this sits on the valuation hot
+	// path via the sensitivity model's S(l) lookups.
+	count := 0
+	var first MachineID
+	var rack RackID
+	var domain DomainID
+	sameRack := true
+	sameDomain := true
+	for m, n := range alloc {
+		if n <= 0 {
+			continue
+		}
+		count++
+		if count == 1 {
+			first, rack, domain = m, topo.Rack(m), topo.Domain(m)
+			continue
+		}
+		if topo.Rack(m) != rack {
+			sameRack = false
+		}
+		if topo.Domain(m) != domain {
+			sameDomain = false
+		}
 	}
-	if len(machines) == 1 {
-		m := topo.Machine(machines[0])
-		if alloc[machines[0]] <= m.SlotSize {
+	switch {
+	case count == 0:
+		return LocalitySlot
+	case count == 1:
+		if alloc[first] <= topo.Machine(first).SlotSize {
 			return LocalitySlot
 		}
 		return LocalityMachine
-	}
-	rack := topo.Rack(machines[0])
-	sameRack := true
-	domain := topo.Domain(machines[0])
-	for _, id := range machines[1:] {
-		if topo.Rack(id) != rack {
-			sameRack = false
-		}
-		if topo.Domain(id) != domain {
-			return LocalityNone
-		}
-	}
-	if sameRack {
+	case !sameDomain:
+		return LocalityNone
+	case sameRack:
 		return LocalityRack
+	default:
+		return LocalityDomain
 	}
-	return LocalityDomain
 }
 
 // PlacementScore maps an allocation to the paper's placement score (§8.1

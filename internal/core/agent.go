@@ -4,7 +4,6 @@ import (
 	"themis/internal/cluster"
 	"themis/internal/estimator"
 	"themis/internal/hyperparam"
-	"themis/internal/placement"
 	"themis/internal/workload"
 )
 
@@ -51,7 +50,10 @@ func (ag *Agent) ReportRho(now float64, current cluster.Alloc) float64 {
 // sum of its active jobs' maximum parallelism minus what it already holds.
 func (ag *Agent) UnmetParallelism(current cluster.Alloc) int {
 	want := 0
-	for _, j := range ag.App.ActiveJobs() {
+	for _, j := range ag.App.Jobs {
+		if !j.Active() {
+			continue
+		}
 		p := j.MaxParallelism
 		if p <= 0 {
 			p = j.GangSize
@@ -85,9 +87,10 @@ func (ag *Agent) PrepareBid(now float64, offer, current cluster.Alloc) BidTable 
 // enumeration order and the valuation math are exactly PrepareBid's — the
 // batched and standalone paths must stay bit-identical.
 func (ag *Agent) prepareBidInto(now float64, offer, current cluster.Alloc, v *BidValuator, entries []BidEntry) BidTable {
+	arena := v.Arena()
 	table := BidTable{App: ag.App.ID, Entries: entries}
 	table.Entries = append(table.Entries, BidEntry{
-		Alloc: cluster.NewAlloc(),
+		Alloc: arena.Sparse(),
 		Rho:   ag.Estimator.CurrentRho(now, current),
 	})
 	gang := ag.typicalGangSizeWith(v)
@@ -96,7 +99,6 @@ func (ag *Agent) prepareBidInto(now float64, offer, current cluster.Alloc, v *Bi
 	if maxRows <= 0 {
 		maxRows = DefaultMaxBidRows
 	}
-	seen := v.seenSet()
 	for _, size := range sizes {
 		if len(table.Entries) >= maxRows {
 			break
@@ -105,16 +107,25 @@ func (ag *Agent) prepareBidInto(now float64, offer, current cluster.Alloc, v *Bi
 		if ag.PlacementBlind {
 			candidate = spreadCandidate(offer, size)
 		} else {
-			candidate = placement.Pick(ag.Estimator.Topo, offer, current, size)
+			candidate = v.picker.PickInto(arena.Sparse(), ag.Estimator.Topo, offer, current, size)
 		}
 		if candidate.Total() == 0 {
 			continue
 		}
-		key := candidate.Key()
-		if seen[key] {
+		// Dedup against the rows already accepted (replacing the old
+		// canonical-Key string set: Equal over ≤MaxBidRows rows is cheaper
+		// than rendering keys and allocates nothing). The empty row at
+		// index 0 can never match: candidates here have a non-zero total.
+		dup := false
+		for _, e := range table.Entries {
+			if e.Alloc.Equal(candidate) {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[key] = true
 		table.Entries = append(table.Entries, BidEntry{
 			Alloc: candidate,
 			Rho:   ag.Estimator.Rho(now, current, candidate),
@@ -166,7 +177,10 @@ func (ag *Agent) typicalGangSize() int {
 // map iteration order, so the result is deterministic.
 func (ag *Agent) typicalGangSizeWith(v *BidValuator) int {
 	counts := v.gangCounts()
-	for _, j := range ag.App.ActiveJobs() {
+	for _, j := range ag.App.Jobs {
+		if !j.Active() {
+			continue
+		}
 		counts[j.GangSize]++
 	}
 	best, bestN := 1, 0
@@ -183,11 +197,13 @@ func (ag *Agent) typicalGangSizeWith(v *BidValuator) int {
 // simulator uses it to drive per-job progress; a real deployment's Agent
 // would hand these to the tuner (Figure 3 step 5).
 func (ag *Agent) SplitForJobs(total cluster.Alloc) map[workload.JobID]cluster.Alloc {
-	active := ag.App.ActiveJobs()
+	active := ag.Estimator.activeJobs()
 	splits := ag.Estimator.splitAcrossJobs(total, active)
 	out := make(map[workload.JobID]cluster.Alloc, len(active))
 	for i, j := range active {
-		out[j.ID] = splits[i]
+		// The split allocations are estimator-pooled scratch; hand the
+		// caller its own copies.
+		out[j.ID] = splits[i].Clone()
 	}
 	return out
 }

@@ -132,6 +132,11 @@ func (a *Arbiter) OfferResources(now float64, free cluster.Alloc, agents []Agent
 	if free.Total() == 0 || len(agents) == 0 {
 		return nil, nil
 	}
+	// The round's candidate allocations are lent from the valuator's arena;
+	// they are only referenced by the bid tables and the auction's internal
+	// results, both dead once the decisions (which hold fresh maps) are
+	// returned. Recycle them when the round is over, whichever way it ends.
+	defer a.val.EndRound()
 	start := time.Now()
 	a.Stats.Auctions++
 	a.Stats.GPUsAuctioned += free.Total()
@@ -229,14 +234,25 @@ func (a *Arbiter) grantLeftovers(leftover cluster.Alloc, candidates []probedAgen
 	for _, d := range decided {
 		decidedBy[d.App] = decidedBy[d.App].Add(d.Alloc)
 	}
-	currents := make(map[workload.AppID]cluster.Alloc, len(candidates))
-	wants := make(map[workload.AppID]int, len(candidates))
-	chunks := make(map[workload.AppID]int, len(candidates))
+	currents := make(map[workload.AppID]cluster.Alloc)
+	wants := make(map[workload.AppID]int)
+	chunks := make(map[workload.AppID]int)
 	for _, c := range candidates {
 		id := c.state.Agent.ID()
-		cur := c.state.Current.Add(decidedBy[id])
+		// Most candidates at scale neither won anything this round nor have
+		// unmet demand; weed them out before they cost a merged-allocation
+		// clone and three map inserts. Candidates without a fresh win keep
+		// their (caller-owned, read-only) Current as-is.
+		cur := c.state.Current
+		if d := decidedBy[id]; d.Total() > 0 {
+			cur = cur.Add(d)
+		}
+		want := c.state.Agent.UnmetParallelism(cur)
+		if want <= 0 {
+			continue
+		}
 		currents[id] = cur
-		wants[id] = c.state.Agent.UnmetParallelism(cur)
+		wants[id] = want
 		chunks[id] = c.state.Agent.GangSize()
 	}
 	return AllocateLeftovers(a.topo, leftover, currents, wants, chunks)
@@ -269,3 +285,11 @@ func rhoOfWin(bid BidTable, won cluster.Alloc) float64 {
 // SolverOptions exposes the solver options used by the auction, for
 // benchmarks that want to compare exact and heuristic winner determination.
 func (c *Config) SolverOptions() *solver.Options { return &c.Auction.Solver }
+
+// ValuationArenaStats reports the valuator arena's sparse-map accounting
+// (maps currently lent, maps parked in the free list). Tests use it to pin
+// that auction rounds recycle their candidate allocations.
+func (a *Arbiter) ValuationArenaStats() (lent, free int) {
+	ar := a.val.Arena()
+	return ar.Lent(), ar.FreeSparse()
+}

@@ -120,11 +120,13 @@ func hiddenPayment(offer cluster.Alloc, bidders []solver.Bidder, full solver.Ass
 	if len(others) == 0 {
 		return 1 // a lone bidder pays nothing
 	}
-	without, _, err := solver.Solve(offer, others, opts)
+	// Use the solver's index-ordered objective rather than re-summing the
+	// assignment map: identical value, but deterministic float accumulation,
+	// so repeated auctions produce bit-identical payments.
+	_, withoutLog, err := solver.Solve(offer, others, opts)
 	if err != nil {
 		return 1
 	}
-	withoutLog := without.Objective()
 	ci := math.Exp(withLog - withoutLog)
 	if ci > 1 {
 		ci = 1

@@ -34,14 +34,28 @@ type RhoEstimator struct {
 	// placement sensitivity (Figure 11). Nil disables perturbation.
 	Errors *estimator.ErrorModel
 
-	// splitAcrossJobs scratch: the output and ordering slices and the
-	// "remaining" map are recycled across calls (the per-job picked Allocs
-	// themselves stay fresh — SplitForJobs hands them to the caller). An
+	// Estimator scratch, recycled across calls: the split output/ordering
+	// slices, the "remaining" map, the per-job pick maps, the aggregate
+	// total of Rho's current+extra, and the active-jobs buffer. Everything
+	// an estimate touches is either caller-owned input (read only) or one
+	// of these buffers, so a steady-state ρ probe allocates nothing;
+	// SplitForJobs clones the per-job maps before handing them out. An
 	// estimator is per-app, per-goroutine state, so plain fields suffice.
 	splitOut    []cluster.Alloc
 	splitOrder  []int
 	splitFree   cluster.Alloc
+	splitMaps   []cluster.Alloc
 	emptyAnchor cluster.Alloc
+	total       cluster.Alloc
+	jobs        []*workload.Job
+	picker      placement.Picker
+}
+
+// activeJobs returns the app's active jobs in an estimator-owned buffer,
+// valid until the next call.
+func (e *RhoEstimator) activeJobs() []*workload.Job {
+	e.jobs = e.App.AppendActiveJobs(e.jobs[:0])
+	return e.jobs
 }
 
 // NewRhoEstimator returns an estimator for app using the given tuner for
@@ -86,7 +100,7 @@ func (e *RhoEstimator) TShared(now float64, total cluster.Alloc) float64 {
 	if elapsed < 0 {
 		elapsed = 0
 	}
-	active := e.App.ActiveJobs()
+	active := e.activeJobs()
 	if len(active) == 0 {
 		return elapsed
 	}
@@ -127,16 +141,43 @@ func (e *RhoEstimator) TShared(now float64, total cluster.Alloc) float64 {
 // would achieve if extra were added to current and held until completion
 // (§5.2 steps 1–7). Perturbation, if configured, is applied to the result.
 func (e *RhoEstimator) Rho(now float64, current, extra cluster.Alloc) float64 {
-	total := current.Add(extra)
-	tsh := e.TShared(now, total)
+	tsh := e.TShared(now, e.totalInto(current, extra))
 	tid := e.TIdeal()
 	return e.Errors.Perturb(tsh / tid)
+}
+
+// totalInto computes current.Add(extra) into the estimator's reused total
+// buffer; the result is read-only and valid until the next Rho call.
+func (e *RhoEstimator) totalInto(current, extra cluster.Alloc) cluster.Alloc {
+	if e.total == nil {
+		e.total = cluster.NewAlloc()
+	}
+	t := e.total
+	clear(t)
+	for m, n := range current {
+		if n != 0 {
+			t[m] = n
+		}
+	}
+	for m, n := range extra {
+		if n == 0 {
+			continue
+		}
+		t[m] += n
+		if t[m] == 0 {
+			delete(t, m)
+		}
+	}
+	return t
 }
 
 // CurrentRho estimates ρ with the app's present allocation only — the value
 // the Arbiter probes before each auction (step 1 in Figure 3).
 func (e *RhoEstimator) CurrentRho(now float64, current cluster.Alloc) float64 {
-	return e.Rho(now, current, cluster.NewAlloc())
+	if e.emptyAnchor == nil {
+		e.emptyAnchor = cluster.NewAlloc()
+	}
+	return e.Rho(now, current, e.emptyAnchor)
 }
 
 // FinalRho returns the realised finish-time fairness of a finished app:
@@ -182,13 +223,16 @@ func (e *RhoEstimator) splitAcrossJobs(total cluster.Alloc, active []*workload.J
 			remaining[m] = n
 		}
 	}
+	for len(e.splitMaps) < len(active) {
+		e.splitMaps = append(e.splitMaps, cluster.NewAlloc())
+	}
 	for _, idx := range order {
 		j := active[idx]
 		want := j.MaxParallelism
 		if want <= 0 {
 			want = j.GangSize
 		}
-		picked := placement.Pick(e.Topo, remaining, e.emptyAnchor, want)
+		picked := e.picker.PickInto(e.splitMaps[idx], e.Topo, remaining, e.emptyAnchor, want)
 		if c, ok := j.PlacementConstraint(e.Topo); ok && !c.IsZero() && !placement.Satisfies(e.Topo, picked, c) {
 			// The unconstrained pick would strand these GPUs on an unrunnable
 			// shape; re-pick constraint-aware so the bid values what the

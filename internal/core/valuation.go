@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"themis/internal/cluster"
+	"themis/internal/placement"
 )
 
 // BidValuator batches bid-table preparation across the participants of one
@@ -23,9 +24,34 @@ type BidValuator struct {
 	sizeSet map[int]bool
 	sizes   []int
 	counts  map[int]int
-	seen    map[string]bool
 	bids    []BidTable
 	entries [][]BidEntry
+
+	// arena lends the round's candidate Alloc maps (the per-entry
+	// allocations that previously escaped into auction results and defeated
+	// pooling). The Arbiter resets it once the round's grants have been
+	// applied; everything kept past the round is cloned out first.
+	arena *cluster.AllocArena
+	// picker reuses placement scratch across candidate picks.
+	picker placement.Picker
+}
+
+// Arena returns the valuator's round-scoped allocation arena, creating it on
+// first use.
+func (v *BidValuator) Arena() *cluster.AllocArena {
+	if v.arena == nil {
+		v.arena = cluster.NewAllocArena()
+	}
+	return v.arena
+}
+
+// EndRound recycles every candidate allocation lent during the round. Call
+// only after the round's results have been applied (or cloned): the bid
+// tables returned by prepareBids alias the arena's maps.
+func (v *BidValuator) EndRound() {
+	if v.arena != nil {
+		v.arena.Reset()
+	}
 }
 
 // prepareBids values an offer for every bidding participant. In-process
@@ -104,15 +130,4 @@ func (v *BidValuator) gangCounts() map[int]int {
 	}
 	clear(v.counts)
 	return v.counts
-}
-
-// seenSet returns the cleared candidate-dedup set, pre-seeded with the empty
-// allocation's key.
-func (v *BidValuator) seenSet() map[string]bool {
-	if v.seen == nil {
-		v.seen = make(map[string]bool)
-	}
-	clear(v.seen)
-	v.seen[""] = true
-	return v.seen
 }

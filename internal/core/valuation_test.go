@@ -7,6 +7,7 @@ import (
 
 	"themis/internal/cluster"
 	"themis/internal/placement"
+	"themis/internal/race"
 	"themis/internal/workload"
 )
 
@@ -90,18 +91,81 @@ func TestValuatorCandidateSizesMatchesPackage(t *testing.T) {
 	}
 }
 
+// TestBidValuationBatchZeroAlloc pins the core half of the PR's allocation
+// contract (TestEventCoreZeroAlloc in internal/sim is the sim half): once the
+// valuator's scratch, arena and picker have reached steady-state capacity, a
+// full round lifecycle — every participant's bid table prepared, then the
+// round's candidate allocations recycled by EndRound — is 0 allocs/op.
+func TestBidValuationBatchZeroAlloc(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates; zero-alloc contract is checked without -race")
+	}
+	ps, free := valuationFixture(t, 16)
+	var v BidValuator
+	for i := 0; i < 8; i++ { // warm up scratch, arena free list, entry buffers
+		v.prepareBids(0, free, ps)
+		v.EndRound()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		v.prepareBids(0, free, ps)
+		v.EndRound()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state valuation round allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestArbiterRecyclesValuationArena pins the arena lifecycle at the Arbiter
+// level: every candidate allocation lent to a round's bid tables is back on
+// the arena free list when OfferResources returns, and subsequent rounds run
+// on the recycled maps instead of growing the arena.
+func TestArbiterRecyclesValuationArena(t *testing.T) {
+	ps, free := valuationFixture(t, 12)
+	topo := ps[0].state.Agent.(*Agent).Estimator.Topo
+	arb, err := NewArbiter(topo, Config{FairnessKnob: 0.5, LeaseDuration: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := make([]AgentState, 0, len(ps))
+	for _, p := range ps {
+		states = append(states, p.state)
+	}
+	var freeListAfterFirst int
+	for round := 0; round < 3; round++ {
+		if _, err := arb.OfferResources(float64(round), free, states); err != nil {
+			t.Fatal(err)
+		}
+		lent, parked := arb.ValuationArenaStats()
+		if lent != 0 {
+			t.Fatalf("round %d: %d candidate allocations still lent after OfferResources", round, lent)
+		}
+		if parked == 0 {
+			t.Fatalf("round %d: arena free list empty — candidates were never arena-lent", round)
+		}
+		if round == 0 {
+			freeListAfterFirst = parked
+		} else if parked != freeListAfterFirst {
+			t.Errorf("round %d: arena free list %d, want steady-state %d (maps should be recycled, not re-made)",
+				round, parked, freeListAfterFirst)
+		}
+	}
+}
+
 // BenchmarkBidValuationBatch measures one auction round's batched bid
-// preparation — the internal/core hot path the pooling work targets. The
-// interesting number is allocs/op trending with table content (fresh
-// candidate Allocs) rather than with scratch churn.
+// preparation — the internal/core hot path the arena work targets. Each
+// iteration is a full round lifecycle as the Arbiter drives it: prepare every
+// participant's table, then EndRound returns the candidate allocations to the
+// arena, so in steady state the round runs on recycled maps.
 func BenchmarkBidValuationBatch(b *testing.B) {
 	ps, free := valuationFixture(b, 16)
 	var v BidValuator
 	v.prepareBids(0, free, ps) // prime the scratch
+	v.EndRound()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		v.prepareBids(0, free, ps)
+		v.EndRound()
 	}
 }
 

@@ -1,6 +1,8 @@
 package placement
 
 import (
+	"cmp"
+	"slices"
 	"sort"
 
 	"themis/internal/cluster"
@@ -366,4 +368,198 @@ func SplitAmongJobs(topo *cluster.Topology, total cluster.Alloc, jobs int, maxPe
 		}
 	}
 	return out
+}
+
+// Picker is Pick with caller-owned scratch: the remaining vector, the
+// anchor/rack/domain index maps and every ordering slice are reused across
+// calls, so a steady-state valuation round picks candidates without
+// allocating. PickInto is bit-identical to Pick — same three preference
+// passes, same total-order sorts (count/free descending, ID ascending), same
+// stale-snapshot behavior in pass 2 and per-(domain,rack) recomputation in
+// pass 3 — which TestPickerMatchesPick pins on randomized topologies.
+//
+// A Picker is single-goroutine state; each BidValuator/RhoEstimator owns its
+// own.
+type Picker struct {
+	remaining     cluster.Alloc
+	anchorIDs     []cluster.MachineID
+	byFree        []cluster.MachineID
+	anchorRacks   map[cluster.RackID]bool
+	anchorDomains map[cluster.DomainID]bool
+	rackFree      map[cluster.RackID]int
+	domainFree    map[cluster.DomainID]int
+	domains       []cluster.DomainID
+	racks         []cluster.RackID
+}
+
+// PickInto is Pick writing into dst (cleared first; allocated when nil). The
+// returned allocation is dst, valid until the caller reuses it; free and
+// anchor are only read.
+func (p *Picker) PickInto(dst cluster.Alloc, topo *cluster.Topology, free, anchor cluster.Alloc, count int) cluster.Alloc {
+	if dst == nil {
+		dst = cluster.NewAlloc()
+	} else {
+		clear(dst)
+	}
+	if count <= 0 {
+		return dst
+	}
+	if p.remaining == nil {
+		p.remaining = cluster.NewAlloc()
+	}
+	clear(p.remaining)
+	remaining := p.remaining
+	for m, n := range free {
+		if n != 0 {
+			remaining[m] = n
+		}
+	}
+	need := count
+
+	take := func(m cluster.MachineID) {
+		if need <= 0 {
+			return
+		}
+		n := remaining[m]
+		if n <= 0 {
+			return
+		}
+		if n > need {
+			n = need
+		}
+		dst[m] += n
+		remaining[m] -= n
+		need -= n
+	}
+
+	// Pass 1: machines the anchor already uses, largest anchor share first.
+	for _, m := range p.sortedByCount(anchor) {
+		take(m)
+		if need == 0 {
+			return dst
+		}
+	}
+
+	// Pass 2: machines in racks the anchor already touches. The by-free
+	// order is snapshotted once, before any pass-2 take, exactly like Pick.
+	if p.anchorRacks == nil {
+		p.anchorRacks = make(map[cluster.RackID]bool)
+	}
+	clear(p.anchorRacks)
+	for m, n := range anchor {
+		if n > 0 {
+			p.anchorRacks[topo.Rack(m)] = true
+		}
+	}
+	if len(p.anchorRacks) > 0 {
+		for _, m := range p.machinesByFree(remaining) {
+			if p.anchorRacks[topo.Rack(m)] {
+				take(m)
+				if need == 0 {
+					return dst
+				}
+			}
+		}
+	}
+
+	// Pass 3: pack into as few machines as possible, domain before rack,
+	// anchor domains first — Pick's comparators verbatim.
+	if p.anchorDomains == nil {
+		p.anchorDomains = make(map[cluster.DomainID]bool)
+		p.rackFree = make(map[cluster.RackID]int)
+		p.domainFree = make(map[cluster.DomainID]int)
+	}
+	clear(p.anchorDomains)
+	clear(p.rackFree)
+	clear(p.domainFree)
+	for m, n := range anchor {
+		if n > 0 {
+			p.anchorDomains[topo.Domain(m)] = true
+		}
+	}
+	for m, n := range remaining {
+		if n > 0 {
+			p.rackFree[topo.Rack(m)] += n
+			p.domainFree[topo.Domain(m)] += n
+		}
+	}
+	domains := p.domains[:0]
+	for d := range p.domainFree {
+		domains = append(domains, d)
+	}
+	slices.SortFunc(domains, func(di, dj cluster.DomainID) int {
+		if p.anchorDomains[di] != p.anchorDomains[dj] {
+			if p.anchorDomains[di] {
+				return -1
+			}
+			return 1
+		}
+		if p.domainFree[di] != p.domainFree[dj] {
+			return cmp.Compare(p.domainFree[dj], p.domainFree[di])
+		}
+		return cmp.Compare(di, dj)
+	})
+	p.domains = domains
+	racks := p.racks[:0]
+	for r := range p.rackFree {
+		racks = append(racks, r)
+	}
+	slices.SortFunc(racks, func(ri, rj cluster.RackID) int {
+		if p.rackFree[ri] != p.rackFree[rj] {
+			return cmp.Compare(p.rackFree[rj], p.rackFree[ri])
+		}
+		return cmp.Compare(ri, rj)
+	})
+	p.racks = racks
+	for _, d := range domains {
+		for _, r := range racks {
+			for _, m := range p.machinesByFree(remaining) {
+				if topo.Rack(m) != r || topo.Domain(m) != d {
+					continue
+				}
+				take(m)
+				if need == 0 {
+					return dst
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// sortedByCount returns alloc's machines ordered by descending count then
+// ascending ID (sortedMachineIDs over reused scratch).
+func (p *Picker) sortedByCount(alloc cluster.Alloc) []cluster.MachineID {
+	ids := p.anchorIDs[:0]
+	for m, n := range alloc {
+		if n > 0 {
+			ids = append(ids, m)
+		}
+	}
+	slices.SortFunc(ids, func(a, b cluster.MachineID) int {
+		if alloc[a] != alloc[b] {
+			return cmp.Compare(alloc[b], alloc[a])
+		}
+		return cmp.Compare(a, b)
+	})
+	p.anchorIDs = ids
+	return ids
+}
+
+// machinesByFree mirrors the package function over reused scratch.
+func (p *Picker) machinesByFree(free cluster.Alloc) []cluster.MachineID {
+	ids := p.byFree[:0]
+	for m, n := range free {
+		if n > 0 {
+			ids = append(ids, m)
+		}
+	}
+	slices.SortFunc(ids, func(a, b cluster.MachineID) int {
+		if free[a] != free[b] {
+			return cmp.Compare(free[b], free[a])
+		}
+		return cmp.Compare(a, b)
+	})
+	p.byFree = ids
+	return ids
 }

@@ -1,10 +1,12 @@
 package placement
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"themis/internal/cluster"
+	"themis/internal/race"
 )
 
 func testTopo(t *testing.T, machines, gpus, perRack int) *cluster.Topology {
@@ -362,5 +364,60 @@ func TestPickConstrained(t *testing.T) {
 	got = PickConstrained(topo, cluster.Alloc{3: 1}, cluster.NewAlloc(), 1, Constraint{MinGPUsPerMachine: 2})
 	if got.Total() != 0 {
 		t.Errorf("expected empty pick, got %v", got)
+	}
+}
+
+// TestPickerMatchesPick pins PickInto to Pick bit-for-bit: same preference
+// ladder, same sort tie-breaks, across a reused Picker whose scratch carries
+// state between calls.
+func TestPickerMatchesPick(t *testing.T) {
+	topo := multiDomainTopo(t)
+	rng := rand.New(rand.NewSource(19))
+	var p Picker
+	dst := cluster.NewAlloc()
+	for trial := 0; trial < 500; trial++ {
+		free := cluster.NewAlloc()
+		anchor := cluster.NewAlloc()
+		for m := 0; m < topo.NumMachines(); m++ {
+			cap := topo.Machine(cluster.MachineID(m)).NumGPUs
+			if rng.Intn(3) != 0 {
+				free[cluster.MachineID(m)] = rng.Intn(cap + 1)
+			}
+			if rng.Intn(4) == 0 {
+				anchor[cluster.MachineID(m)] = 1 + rng.Intn(cap)
+			}
+		}
+		count := rng.Intn(12)
+		want := Pick(topo, free, anchor, count)
+		got := p.PickInto(dst, topo, free, anchor, count)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: PickInto %v != Pick %v (free=%v anchor=%v count=%d)",
+				trial, got, want, free, anchor, count)
+		}
+		for m, n := range got {
+			if want[m] != n {
+				t.Fatalf("trial %d: representation differs at machine %d", trial, m)
+			}
+		}
+	}
+}
+
+// TestPickerSteadyStateAllocs pins the point of the Picker: after warmup a
+// pick allocates nothing.
+func TestPickerSteadyStateAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	topo := multiDomainTopo(t)
+	free := cluster.Alloc{0: 4, 1: 2, 4: 4, 5: 4}
+	anchor := cluster.Alloc{0: 2}
+	var p Picker
+	dst := cluster.NewAlloc()
+	p.PickInto(dst, topo, free, anchor, 6)
+	allocs := testing.AllocsPerRun(100, func() {
+		p.PickInto(dst, topo, free, anchor, 6)
+	})
+	if allocs != 0 {
+		t.Fatalf("PickInto allocated %v times per run in steady state", allocs)
 	}
 }

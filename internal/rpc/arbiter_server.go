@@ -14,6 +14,12 @@ import (
 	"themis/internal/workload"
 )
 
+// emptyCurrent is the shared "holds nothing" allocation handed to the Arbiter
+// (and to bidder probes) for every agent without GPUs. It must never be
+// written: all Bidder implementations and the Arbiter treat the current
+// allocation as read-only input.
+var emptyCurrent = cluster.NewAlloc()
+
 // RemoteBidder adapts a registered remote Agent to the Arbiter's Bidder
 // interface: every call becomes an HTTP request to the agent daemon. A
 // failing or unreachable agent degrades gracefully — it reports an
@@ -285,6 +291,15 @@ func (s *ArbiterServer) HeldBy(app workload.AppID) cluster.Alloc {
 	return s.state.Held(string(app))
 }
 
+// HeldTotalBy returns how many GPUs app holds here without copying its
+// allocation — the cheap form of HeldBy for sweeps over every registered
+// agent, where almost all of them hold nothing.
+func (s *ArbiterServer) HeldTotalBy(app workload.AppID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state.HeldTotal(string(app))
+}
+
 // ValidateState checks the occupancy state's internal invariants; the
 // concurrency regression tests call it after hammering the server.
 func (s *ArbiterServer) ValidateState() error {
@@ -350,7 +365,15 @@ func (s *ArbiterServer) auctionRound(now float64) (AuctionResponse, map[workload
 	states := make([]core.AgentState, 0, len(s.agents))
 	for _, a := range s.agents {
 		b := a.bidder
-		states = append(states, core.AgentState{Agent: b, Current: s.state.Held(string(b.ID()))})
+		// At scale almost every registered agent holds nothing; cloning a
+		// fresh empty map per agent per round is pure garbage. The Arbiter
+		// treats Current as read-only, so the holders-of-nothing all share
+		// one canonical empty allocation.
+		cur := emptyCurrent
+		if s.state.HeldTotal(string(b.ID())) > 0 {
+			cur = s.state.Held(string(b.ID()))
+		}
+		states = append(states, core.AgentState{Agent: b, Current: cur})
 	}
 	s.mu.Unlock()
 

@@ -134,6 +134,17 @@ func (s *ShardedArbiterServer) HeldGlobal(app workload.AppID) cluster.Alloc {
 	return out
 }
 
+// HeldTotalGlobal returns app's GPU count summed across every shard without
+// materialising the merged allocation — the cheap form of HeldGlobal for
+// whole-population accounting.
+func (s *ShardedArbiterServer) HeldTotalGlobal(app workload.AppID) int {
+	total := 0
+	for _, srv := range s.shards {
+		total += srv.HeldTotalBy(app)
+	}
+	return total
+}
+
 // ValidateState checks every shard's occupancy invariants.
 func (s *ShardedArbiterServer) ValidateState() error {
 	for i, srv := range s.shards {
@@ -237,14 +248,25 @@ func (s *ShardedArbiterServer) reconcile(now float64, allChanged map[workload.Ap
 	var cands []starvedApp
 	for home, srv := range s.shards {
 		for _, b := range srv.snapshotAgents() {
-			localHeld := srv.HeldBy(b.ID())
-			elsewhere := 0
+			// The sweep visits every registered agent, but almost all of them
+			// have no unmet demand. Keep the common case map-free: probe held
+			// totals (no copies), share the canonical empty allocation, and
+			// only copy the local holding for the rare actual candidate.
+			localHeld := emptyCurrent
+			if srv.HeldTotalBy(b.ID()) > 0 {
+				localHeld = srv.HeldBy(b.ID())
+			}
+			unmet := b.UnmetParallelism(localHeld)
+			if unmet <= 0 {
+				continue
+			}
+			// Discount demand already met on other shards by earlier
+			// reconciliation rounds.
 			for other, osrv := range s.shards {
 				if other != home {
-					elsewhere += osrv.HeldBy(b.ID()).Total()
+					unmet -= osrv.HeldTotalBy(b.ID())
 				}
 			}
-			unmet := b.UnmetParallelism(localHeld) - elsewhere
 			if unmet <= 0 {
 				continue
 			}

@@ -1,0 +1,444 @@
+// Dense winner-determination engine. The public Solve API keeps sparse
+// cluster.Alloc maps as its currency, but internally every instance is
+// compiled to flat vectors once and the search never touches a Go map:
+//
+//   - capacity and the incrementally maintained `used` vector are
+//     cluster.DenseAlloc ([]int32 indexed by MachineID, offset-shifted so
+//     arbitrary ID ranges still work),
+//   - each bundle is a (value, log value, total, term-range) record whose
+//     non-zero machine terms live in one shared flat []term slice,
+//   - bidders are index-ordered slices, so greedy and pair-move tie-breaks
+//     are deterministic instead of map-iteration-order dependent.
+//
+// The compiled instance lives in a pooled scratch struct; a Solve call
+// borrows one, compiles, searches, copies the winning bundles into the
+// returned Assignment, and releases the scratch. The search results are
+// bit-identical to the previous map-based implementation (pinned by
+// TestDenseSolverMatchesReference): bidder ordering, per-depth bundle
+// ordering, pruning comparisons and float accumulation order are all
+// preserved; log values are computed once per bundle with the same
+// math.Log the old code called per visit.
+package solver
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"themis/internal/cluster"
+)
+
+// term is one non-zero machine entry of a bundle's allocation.
+type term struct {
+	m int32 // dense machine index (MachineID + offset)
+	n int32
+}
+
+// denseBundle mirrors Bundle with precomputed log value and a term range
+// into scratch.terms.
+type denseBundle struct {
+	value    float64
+	logValue float64
+	total    int32
+	toff     int32
+	tlen     int32
+}
+
+// scratch holds every slice the solver needs, reused across Solve calls via
+// scratchPool. It is single-goroutine state; concurrent Solve calls each
+// borrow their own.
+type scratch struct {
+	arena    *cluster.AllocArena
+	capacity cluster.DenseAlloc
+	used     cluster.DenseAlloc
+	offset   int32 // dense index = MachineID + offset
+
+	norm        []Bidder // normalized bidders, Bundles aliasing normBundles
+	normBundles []Bundle
+
+	boff     []int32 // bundles of bidder i: bundles[boff[i]:boff[i+1]]
+	bundles  []denseBundle
+	terms    []term
+	emptyIdx []int32   // local index of bidder i's empty bundle
+	spread   []float64 // bundleSpread per bidder
+	valIdx   []int32   // per-bidder value-desc local bundle order, same offsets as bundles
+
+	order      []int
+	maxLog     []float64
+	choice     []int
+	bestChoice []int
+	seen       map[string]bool
+}
+
+var scratchPool = sync.Pool{
+	New: func() any { return &scratch{arena: cluster.NewAllocArena()} },
+}
+
+// emptyAlloc is the shared zero-GPU allocation used for synthesized empty
+// bundles. It is read-only by contract: bundle allocations are never mutated
+// by the solver or the auction.
+var emptyAlloc = cluster.Alloc{}
+
+func getScratch() *scratch { return scratchPool.Get().(*scratch) }
+
+func (sc *scratch) release() {
+	sc.arena.ReleaseDense(sc.capacity)
+	sc.arena.ReleaseDense(sc.used)
+	sc.capacity, sc.used = nil, nil
+	// Drop references to caller-owned alloc maps so pooling the scratch
+	// does not extend their lifetime.
+	for i := range sc.normBundles {
+		sc.normBundles[i].Alloc = nil
+	}
+	for i := range sc.norm {
+		sc.norm[i] = Bidder{}
+	}
+	scratchPool.Put(sc)
+}
+
+// normalize deep-copies the bidders' bundle slices into scratch-owned
+// storage (the caller's Bundles backing arrays are never touched — see the
+// Solve regression test), clamps non-positive values and appends a
+// synthesized empty bundle where missing. Alloc maps are shared with the
+// caller, matching the previous behavior; the solver only reads them.
+func (sc *scratch) normalize(bidders []Bidder) {
+	const eps = 1e-12
+	sc.norm = sc.norm[:0]
+	sc.normBundles = sc.normBundles[:0]
+	for _, b := range bidders {
+		start := len(sc.normBundles)
+		hasEmpty := false
+		for _, bun := range b.Bundles {
+			if bun.Value < eps {
+				bun.Value = eps
+			}
+			if bun.Alloc.Total() == 0 {
+				hasEmpty = true
+			}
+			sc.normBundles = append(sc.normBundles, bun)
+		}
+		if !hasEmpty {
+			sc.normBundles = append(sc.normBundles, Bundle{Alloc: emptyAlloc, Value: eps})
+		}
+		sc.norm = append(sc.norm, Bidder{ID: b.ID, Bundles: sc.normBundles[start:len(sc.normBundles):len(sc.normBundles)]})
+	}
+	// The flat slice may have been re-allocated while growing; rebuild the
+	// per-bidder views against the final backing array.
+	off := 0
+	for i := range sc.norm {
+		n := len(sc.norm[i].Bundles)
+		sc.norm[i].Bundles = sc.normBundles[off : off+n : off+n]
+		off += n
+	}
+}
+
+// compile builds the dense instance from the normalized bidders.
+func (sc *scratch) compile(capacity cluster.Alloc) {
+	minID, maxID := 0, -1
+	scan := func(a cluster.Alloc) {
+		for m, n := range a {
+			if n == 0 {
+				continue
+			}
+			if maxID < minID {
+				minID, maxID = int(m), int(m)
+				continue
+			}
+			if int(m) < minID {
+				minID = int(m)
+			}
+			if int(m) > maxID {
+				maxID = int(m)
+			}
+		}
+	}
+	scan(capacity)
+	for _, b := range sc.norm {
+		for _, bun := range b.Bundles {
+			scan(bun.Alloc)
+		}
+	}
+	nm := 0
+	sc.offset = 0
+	if maxID >= minID {
+		nm = maxID - minID + 1
+		sc.offset = int32(-minID)
+	}
+	sc.capacity = sc.arena.Dense(nm)
+	sc.used = sc.arena.Dense(nm)
+	for m, n := range capacity {
+		if n != 0 {
+			sc.capacity[int32(m)+sc.offset] = int32(n)
+		}
+	}
+
+	nb := len(sc.norm)
+	sc.boff = append(sc.boff[:0], 0)
+	sc.bundles = sc.bundles[:0]
+	sc.terms = sc.terms[:0]
+	sc.emptyIdx = sc.emptyIdx[:0]
+	sc.spread = sc.spread[:0]
+	sc.valIdx = sc.valIdx[:0]
+	for i := 0; i < nb; i++ {
+		b := sc.norm[i]
+		empty := int32(-1)
+		loLog, hiLog := math.Inf(1), math.Inf(-1)
+		for bi, bun := range b.Bundles {
+			toff := int32(len(sc.terms))
+			total := int32(0)
+			for m, n := range bun.Alloc {
+				if n == 0 {
+					continue
+				}
+				sc.terms = append(sc.terms, term{m: int32(m) + sc.offset, n: int32(n)})
+				total += int32(n)
+			}
+			l := math.Log(bun.Value)
+			sc.bundles = append(sc.bundles, denseBundle{
+				value:    bun.Value,
+				logValue: l,
+				total:    total,
+				toff:     toff,
+				tlen:     int32(len(sc.terms)) - toff,
+			})
+			if total == 0 && empty < 0 {
+				empty = int32(bi)
+			}
+			if l < loLog {
+				loLog = l
+			}
+			if l > hiLog {
+				hiLog = l
+			}
+		}
+		sc.boff = append(sc.boff, int32(len(sc.bundles)))
+		sc.emptyIdx = append(sc.emptyIdx, empty)
+		sc.spread = append(sc.spread, hiLog-loLog)
+
+		// Value-descending bundle order, computed once per bidder with the
+		// same sort the old per-node code ran (deterministic for a given
+		// input, so precomputing preserves the exact search order).
+		vstart := len(sc.valIdx)
+		for bi := range b.Bundles {
+			sc.valIdx = append(sc.valIdx, int32(bi))
+		}
+		vi := sc.valIdx[vstart:]
+		sort.Slice(vi, func(x, y int) bool {
+			return b.Bundles[vi[x]].Value > b.Bundles[vi[y]].Value
+		})
+	}
+}
+
+func (sc *scratch) bundleAt(bidder int, local int32) *denseBundle {
+	return &sc.bundles[sc.boff[bidder]+local]
+}
+
+func (sc *scratch) addTerms(b *denseBundle) {
+	for _, t := range sc.terms[b.toff : b.toff+b.tlen] {
+		sc.used[t.m] += t.n
+	}
+}
+
+func (sc *scratch) subTerms(b *denseBundle) {
+	for _, t := range sc.terms[b.toff : b.toff+b.tlen] {
+		sc.used[t.m] -= t.n
+	}
+}
+
+// fitsTerms reports whether adding the bundle to used stays within capacity.
+func (sc *scratch) fitsTerms(b *denseBundle) bool {
+	for _, t := range sc.terms[b.toff : b.toff+b.tlen] {
+		if sc.used[t.m]+t.n > sc.capacity[t.m] {
+			return false
+		}
+	}
+	return true
+}
+
+// solveExact runs the same depth-first branch and bound as before, over the
+// compiled instance: bidders ordered by decreasing value spread, bundles
+// tried in descending value, suffix log bounds for pruning.
+func (sc *scratch) solveExact() {
+	nb := len(sc.norm)
+	sc.order = sc.order[:0]
+	for i := 0; i < nb; i++ {
+		sc.order = append(sc.order, i)
+	}
+	order := sc.order
+	sort.Slice(order, func(a, b int) bool {
+		return sc.spread[order[a]] > sc.spread[order[b]]
+	})
+	sc.maxLog = sc.maxLog[:0]
+	for i := 0; i <= nb; i++ {
+		sc.maxLog = append(sc.maxLog, 0)
+	}
+	maxLog := sc.maxLog
+	for i := nb - 1; i >= 0; i-- {
+		best := math.Inf(-1)
+		bi := order[i]
+		for _, bun := range sc.bundles[sc.boff[bi]:sc.boff[bi+1]] {
+			if bun.logValue > best {
+				best = bun.logValue
+			}
+		}
+		maxLog[i] = maxLog[i+1] + best
+	}
+
+	bestObj := math.Inf(-1)
+	haveBest := false
+	sc.choice = sc.choice[:0]
+	sc.bestChoice = sc.bestChoice[:0]
+	for i := 0; i < nb; i++ {
+		sc.choice = append(sc.choice, 0)
+		sc.bestChoice = append(sc.bestChoice, -1)
+	}
+	choice, bestChoice := sc.choice, sc.bestChoice
+
+	var dfs func(depth int, obj float64)
+	dfs = func(depth int, obj float64) {
+		if obj+maxLog[depth] <= bestObj {
+			return // cannot beat the incumbent
+		}
+		if depth == nb {
+			bestObj = obj
+			haveBest = true
+			copy(bestChoice, choice)
+			return
+		}
+		bi := order[depth]
+		start := sc.boff[bi]
+		for _, local := range sc.valIdx[start:sc.boff[bi+1]] {
+			bun := &sc.bundles[start+local]
+			if !sc.fitsTerms(bun) {
+				continue
+			}
+			sc.addTerms(bun)
+			choice[depth] = int(local)
+			dfs(depth+1, obj+bun.logValue)
+			sc.subTerms(bun)
+		}
+	}
+	dfs(0, 0)
+
+	// Translate depth-indexed best choices back to bidder-indexed ones.
+	if !haveBest {
+		// Only possible if even all-empty is infeasible, which cannot
+		// happen; fall back to empty bundles defensively.
+		for i := 0; i < nb; i++ {
+			choice[i] = int(sc.emptyIdx[i])
+		}
+		return
+	}
+	for d, bi := range order {
+		choice[bi] = bestChoice[d]
+	}
+}
+
+// solveGreedy starts every bidder at its empty bundle and repeatedly applies
+// the single-bidder bundle change with the largest feasible objective gain,
+// followed by pair moves that revert a victim to its empty bundle to make
+// room. Bidders are visited in index order, so tie-breaks are deterministic
+// (the old map iteration made them order-dependent; strict > comparisons
+// mean unique-maximum instances are unaffected).
+func (sc *scratch) solveGreedy(rounds int) {
+	nb := len(sc.norm)
+	sc.choice = sc.choice[:0]
+	for i := 0; i < nb; i++ {
+		sc.choice = append(sc.choice, int(sc.emptyIdx[i]))
+	}
+	choice := sc.choice
+	sc.used.Zero() // empty bundles contribute no terms
+	for r := 0; r < rounds; r++ {
+		improved := false
+		bestGain := 1e-12
+		bestBidder, bestLocal := -1, int32(-1)
+		for i := 0; i < nb; i++ {
+			cur := sc.bundleAt(i, int32(choice[i]))
+			sc.subTerms(cur)
+			for local := int32(0); local < sc.boff[i+1]-sc.boff[i]; local++ {
+				bun := sc.bundleAt(i, local)
+				if bun.value <= cur.value {
+					continue
+				}
+				if !sc.fitsTerms(bun) {
+					continue
+				}
+				gain := bun.logValue - cur.logValue
+				if gain > bestGain {
+					bestGain, bestBidder, bestLocal = gain, i, local
+				}
+			}
+			sc.addTerms(cur)
+		}
+		if bestBidder >= 0 {
+			sc.subTerms(sc.bundleAt(bestBidder, int32(choice[bestBidder])))
+			choice[bestBidder] = int(bestLocal)
+			sc.addTerms(sc.bundleAt(bestBidder, bestLocal))
+			improved = true
+		}
+		if !improved {
+			if a, local, victim, ok := sc.findPairMove(); ok {
+				sc.subTerms(sc.bundleAt(victim, int32(choice[victim])))
+				choice[victim] = int(sc.emptyIdx[victim])
+				sc.subTerms(sc.bundleAt(a, int32(choice[a])))
+				choice[a] = int(local)
+				sc.addTerms(sc.bundleAt(a, local))
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+}
+
+// findPairMove looks for the best "bidder a upgrades while victim v falls
+// back to empty" move that improves the objective.
+func (sc *scratch) findPairMove() (a int, local int32, victim int, ok bool) {
+	nb := len(sc.norm)
+	choice := sc.choice
+	bestGain := 1e-12
+	a, local, victim = -1, -1, -1
+	for i := 0; i < nb; i++ {
+		curA := sc.bundleAt(i, int32(choice[i]))
+		for v := 0; v < nb; v++ {
+			if v == i {
+				continue
+			}
+			curV := sc.bundleAt(v, int32(choice[v]))
+			if curV.total == 0 {
+				continue
+			}
+			sc.subTerms(curA)
+			sc.subTerms(curV)
+			lossV := curV.logValue - sc.bundleAt(v, sc.emptyIdx[v]).logValue
+			for bi := int32(0); bi < sc.boff[i+1]-sc.boff[i]; bi++ {
+				bun := sc.bundleAt(i, bi)
+				if !sc.fitsTerms(bun) {
+					continue
+				}
+				gain := bun.logValue - curA.logValue - lossV
+				if gain > bestGain {
+					bestGain, a, local, victim, ok = gain, i, bi, v, true
+				}
+			}
+			sc.addTerms(curV)
+			sc.addTerms(curA)
+		}
+	}
+	return a, local, victim, ok
+}
+
+// result materialises the Assignment from the per-bidder choices and returns
+// it with the index-ordered objective (deterministic, unlike the previous
+// map-order summation).
+func (sc *scratch) result() (Assignment, float64) {
+	asg := make(Assignment, len(sc.norm))
+	obj := 0.0
+	for i, b := range sc.norm {
+		local := sc.choice[i]
+		asg[b.ID] = b.Bundles[local]
+		obj += sc.bundleAt(i, int32(local)).logValue
+	}
+	return asg, obj
+}

@@ -14,7 +14,6 @@ package solver
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"themis/internal/cluster"
 )
@@ -103,37 +102,47 @@ func (o Options) withDefaults() Options {
 
 // Solve picks one bundle per bidder maximising Σ log(value) subject to the
 // per-machine capacity. Every bidder appears in the result (possibly with
-// its empty bundle). The second return value is the achieved objective.
+// its empty bundle). The second return value is the achieved objective,
+// summed in bidder index order so repeated runs return identical bits.
+//
+// Solve never mutates the caller's bidders: normalization deep-copies each
+// bidder's bundle slice into pooled scratch storage before clamping values
+// or appending the empty row. The search itself runs on the dense compiled
+// instance (see dense.go); the sparse maps in the returned Assignment are
+// the caller's own bundle allocations, untouched.
 func Solve(capacity cluster.Alloc, bidders []Bidder, opts Options) (Assignment, float64, error) {
 	opts = opts.withDefaults()
-	if err := validate(capacity, bidders); err != nil {
+	sc := getScratch()
+	defer sc.release()
+	if err := sc.validate(capacity, bidders); err != nil {
 		return nil, 0, err
 	}
-	norm := make([]Bidder, len(bidders))
-	copy(norm, bidders)
-	for i := range norm {
-		norm[i].Normalize()
-	}
+	sc.normalize(bidders)
+	sc.compile(capacity)
 	space := 1
 	exact := true
-	for _, b := range norm {
+	for _, b := range sc.norm {
 		if space > opts.ExactLimit/len(b.Bundles) {
 			exact = false
 			break
 		}
 		space *= len(b.Bundles)
 	}
-	var asg Assignment
 	if exact && space <= opts.ExactLimit {
-		asg = solveExact(capacity, norm)
+		sc.solveExact()
 	} else {
-		asg = solveGreedy(capacity, norm, opts.LocalSearchRounds)
+		sc.solveGreedy(opts.LocalSearchRounds)
 	}
-	return asg, asg.Objective(), nil
+	asg, obj := sc.result()
+	return asg, obj, nil
 }
 
-func validate(capacity cluster.Alloc, bidders []Bidder) error {
-	seen := make(map[string]bool, len(bidders))
+func (sc *scratch) validate(capacity cluster.Alloc, bidders []Bidder) error {
+	if sc.seen == nil {
+		sc.seen = make(map[string]bool, len(bidders))
+	}
+	clear(sc.seen)
+	seen := sc.seen
 	for _, b := range bidders {
 		if b.ID == "" {
 			return fmt.Errorf("solver: bidder with empty ID")
@@ -154,204 +163,4 @@ func validate(capacity cluster.Alloc, bidders []Bidder) error {
 		}
 	}
 	return nil
-}
-
-// solveExact runs depth-first branch and bound over bundle choices.
-func solveExact(capacity cluster.Alloc, bidders []Bidder) Assignment {
-	// Order bidders by decreasing best-value spread to tighten pruning.
-	order := make([]int, len(bidders))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool {
-		return bundleSpread(bidders[order[a]]) > bundleSpread(bidders[order[b]])
-	})
-	// maxLog[i] is the best achievable log-value from bidder order[i] onward.
-	maxLog := make([]float64, len(order)+1)
-	for i := len(order) - 1; i >= 0; i-- {
-		best := math.Inf(-1)
-		for _, bun := range bidders[order[i]].Bundles {
-			if l := math.Log(bun.Value); l > best {
-				best = l
-			}
-		}
-		maxLog[i] = maxLog[i+1] + best
-	}
-
-	bestObj := math.Inf(-1)
-	var bestChoice []int
-	choice := make([]int, len(order))
-	used := cluster.NewAlloc()
-
-	var dfs func(depth int, obj float64)
-	dfs = func(depth int, obj float64) {
-		if obj+maxLog[depth] <= bestObj {
-			return // cannot beat the incumbent
-		}
-		if depth == len(order) {
-			bestObj = obj
-			bestChoice = append([]int(nil), choice...)
-			return
-		}
-		b := bidders[order[depth]]
-		// Try higher-value bundles first so good incumbents appear early.
-		idx := make([]int, len(b.Bundles))
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.Slice(idx, func(x, y int) bool { return b.Bundles[idx[x]].Value > b.Bundles[idx[y]].Value })
-		for _, bi := range idx {
-			bun := b.Bundles[bi]
-			if !fits(used, bun.Alloc, capacity) {
-				continue
-			}
-			for m, n := range bun.Alloc {
-				used[m] += n
-			}
-			choice[depth] = bi
-			dfs(depth+1, obj+math.Log(bun.Value))
-			for m, n := range bun.Alloc {
-				used[m] -= n
-				if used[m] == 0 {
-					delete(used, m)
-				}
-			}
-		}
-	}
-	dfs(0, 0)
-
-	asg := make(Assignment, len(bidders))
-	if bestChoice == nil {
-		// Only possible if even all-empty is infeasible, which cannot happen;
-		// fall back to empty bundles defensively.
-		for _, b := range bidders {
-			asg[b.ID] = emptyBundle(b)
-		}
-		return asg
-	}
-	for d, oi := range order {
-		asg[bidders[oi].ID] = bidders[oi].Bundles[bestChoice[d]]
-	}
-	return asg
-}
-
-func bundleSpread(b Bidder) float64 {
-	lo, hi := math.Inf(1), math.Inf(-1)
-	for _, bun := range b.Bundles {
-		if bun.Value < lo {
-			lo = bun.Value
-		}
-		if bun.Value > hi {
-			hi = bun.Value
-		}
-	}
-	return math.Log(hi) - math.Log(lo)
-}
-
-func emptyBundle(b Bidder) Bundle {
-	for _, bun := range b.Bundles {
-		if bun.Alloc.Total() == 0 {
-			return bun
-		}
-	}
-	return Bundle{Alloc: cluster.NewAlloc(), Value: 1e-12}
-}
-
-// solveGreedy starts every bidder at its empty bundle and repeatedly applies
-// the single-bidder bundle change with the largest feasible objective gain,
-// followed by local-search passes that also consider reverting other bidders
-// to their empty bundles to make room.
-func solveGreedy(capacity cluster.Alloc, bidders []Bidder, rounds int) Assignment {
-	asg := make(Assignment, len(bidders))
-	for _, b := range bidders {
-		asg[b.ID] = emptyBundle(b)
-	}
-	byID := make(map[string]Bidder, len(bidders))
-	for _, b := range bidders {
-		byID[b.ID] = b
-	}
-	for r := 0; r < rounds; r++ {
-		improved := false
-		// Single-bidder improvement.
-		used := asg.TotalAlloc()
-		bestGain := 1e-12
-		var bestID string
-		var bestBundle Bundle
-		for id, cur := range asg {
-			without, err := used.Sub(cur.Alloc)
-			if err != nil {
-				continue
-			}
-			for _, bun := range byID[id].Bundles {
-				if bun.Value <= cur.Value {
-					continue
-				}
-				if !fits(without, bun.Alloc, capacity) {
-					continue
-				}
-				gain := math.Log(bun.Value) - math.Log(cur.Value)
-				if gain > bestGain {
-					bestGain, bestID, bestBundle = gain, id, bun
-				}
-			}
-		}
-		if bestID != "" {
-			asg[bestID] = bestBundle
-			improved = true
-		}
-		// Pairwise move: let bidder A take a better bundle while bidder B
-		// falls back to its empty bundle, if the pair improves the objective.
-		if !improved {
-			if id, bun, victim, ok := findPairMove(capacity, byID, asg); ok {
-				asg[victim] = emptyBundle(byID[victim])
-				asg[id] = bun
-				improved = true
-			}
-		}
-		if !improved {
-			break
-		}
-	}
-	return asg
-}
-
-func findPairMove(capacity cluster.Alloc, byID map[string]Bidder, asg Assignment) (id string, bundle Bundle, victim string, ok bool) {
-	used := asg.TotalAlloc()
-	bestGain := 1e-12
-	for a, curA := range asg {
-		for v, curV := range asg {
-			if a == v || curV.Alloc.Total() == 0 {
-				continue
-			}
-			freed, err := used.Sub(curA.Alloc)
-			if err != nil {
-				continue
-			}
-			freed, err = freed.Sub(curV.Alloc)
-			if err != nil {
-				continue
-			}
-			lossV := math.Log(curV.Value) - math.Log(emptyBundle(byID[v]).Value)
-			for _, bun := range byID[a].Bundles {
-				if !fits(freed, bun.Alloc, capacity) {
-					continue
-				}
-				gain := math.Log(bun.Value) - math.Log(curA.Value) - lossV
-				if gain > bestGain {
-					bestGain, id, bundle, victim, ok = gain, a, bun, v, true
-				}
-			}
-		}
-	}
-	return id, bundle, victim, ok
-}
-
-// fits reports whether adding alloc to used stays within capacity.
-func fits(used, alloc, capacity cluster.Alloc) bool {
-	for m, n := range alloc {
-		if used[m]+n > capacity[m] {
-			return false
-		}
-	}
-	return true
 }

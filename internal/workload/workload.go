@@ -243,6 +243,18 @@ func (a *App) ActiveJobs() []*Job {
 	return out
 }
 
+// AppendActiveJobs appends the active jobs to buf (in Jobs order, like
+// ActiveJobs) and returns it — the allocation-free variant for callers that
+// keep a reusable buffer.
+func (a *App) AppendActiveJobs(buf []*Job) []*Job {
+	for _, j := range a.Jobs {
+		if j.Active() {
+			buf = append(buf, j)
+		}
+	}
+	return buf
+}
+
 // NumActiveJobs returns len(ActiveJobs()) without allocating.
 func (a *App) NumActiveJobs() int {
 	n := 0
