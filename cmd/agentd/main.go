@@ -4,9 +4,14 @@
 // loaded from a trace file (the first app in the trace) or generated
 // synthetically.
 //
+// The listener serves /metrics (Prometheus text format) and /healthz next to
+// the protocol endpoints; -debug-addr starts a second listener adding
+// net/http/pprof under /debug/pprof/.
+//
 // Example:
 //
 //	agentd -listen :7201 -arbiter http://localhost:7100 -app my-app -jobs 8 -model VGG16
+//	agentd -listen :7201 -arbiter http://localhost:7100 -debug-addr 127.0.0.1:7291
 package main
 
 import (
@@ -34,6 +39,7 @@ func main() {
 		gang       = flag.Int("gang", 4, "GPUs per trial")
 		clusterKnd = flag.String("cluster", "testbed", "cluster topology the Arbiter schedules: 'sim' or 'testbed'")
 		tracePath  = flag.String("trace", "", "load the app from a trace file instead of generating one")
+		debugAddr  = flag.String("debug-addr", "", "address for the debug listener serving /metrics, /healthz and /debug/pprof/ (empty: no pprof; metrics stay on -listen)")
 	)
 	flag.Parse()
 
@@ -64,6 +70,15 @@ func main() {
 			log.Fatalf("agentd: registering with %s: %v", *arbiterURL, err)
 		}
 		log.Printf("agentd: registered %s with arbiter (lease %.0f min)", app.ID, resp.LeaseMin)
+	}
+
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("agentd: debug listener (pprof, /metrics) on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, daemon.NewDebugMux(nil)); err != nil {
+				log.Printf("agentd: debug listener: %v", err)
+			}
+		}()
 	}
 
 	log.Printf("agentd: serving app %s (%d trials, %s, demand %d GPUs) on %s",

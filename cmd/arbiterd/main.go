@@ -10,10 +10,17 @@
 // with peer arbiters (heartbeats on /v1/gossip, suspicion timeouts via
 // -suspect-after/-dead-after); GET /v1/shards reports both.
 //
+// Observability: the protocol listener serves /metrics (Prometheus text
+// format), /healthz and /debug/rounds (the last auction rounds' phase traces
+// as JSON). -debug-addr starts a second listener adding net/http/pprof under
+// /debug/pprof/ — profiling stays off the protocol port unless asked for.
+// SIGQUIT prints the round trace ring to stderr without stopping the daemon.
+//
 // Examples:
 //
 //	arbiterd -listen :7100 -cluster testbed -f 0.8 -lease 20 -interval 30s
 //	arbiterd -listen :7100 -cluster sim -shards 4
+//	arbiterd -listen :7100 -shards 2 -debug-addr 127.0.0.1:7190
 //	arbiterd -listen :7101 -shards 4 -name arb-b -advertise http://10.0.0.2:7101 -join http://10.0.0.1:7100
 package main
 
@@ -24,6 +31,8 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"themis"
@@ -38,6 +47,7 @@ func main() {
 		lease       = flag.Float64("lease", 20, "lease duration in scheduling minutes")
 		interval    = flag.Duration("interval", 30*time.Second, "wall-clock interval between auction rounds (0 disables the loop; trigger with POST /v1/auction)")
 		timeScale   = flag.Float64("timescale", 1, "scheduling minutes per wall-clock minute (e.g. 60 makes one real second one scheduling minute)")
+		debugAddr   = flag.String("debug-addr", "", "address for the debug listener serving /metrics, /healthz, /debug/rounds and /debug/pprof/ (empty: no pprof; metrics stay on -listen)")
 
 		shards       = flag.Int("shards", 1, "number of arbiter shards to partition the cluster across")
 		name         = flag.String("name", "", "this arbiter's gossip member name (default: the listen address)")
@@ -61,6 +71,7 @@ func main() {
 	var (
 		handler    http.Handler
 		runAuction func(float64) (daemon.AuctionResponse, error)
+		roundTrace *daemon.RoundRing
 	)
 	if *shards > 1 || *join != "" {
 		server, err := daemon.NewShardedArbiter(topo, cfg, *shards)
@@ -101,6 +112,7 @@ func main() {
 		}
 		handler = server.Handler()
 		runAuction = server.RunAuction
+		roundTrace = server.RoundTrace()
 		log.Printf("arbiterd: %d shards over %d-GPU %s cluster", *shards, topo.TotalGPUs(), *clusterKind)
 	} else {
 		server, err := daemon.NewArbiterServer(topo, cfg)
@@ -110,6 +122,27 @@ func main() {
 		server.Clock = clock
 		handler = server.Handler()
 		runAuction = server.RunAuction
+		roundTrace = server.RoundTrace()
+	}
+
+	// SIGQUIT dumps the recent rounds' phase traces to stderr and keeps
+	// serving — the kill -QUIT equivalent of /debug/rounds for when the
+	// daemon is reachable over SSH but not HTTP.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			roundTrace.WriteText(os.Stderr)
+		}
+	}()
+
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("arbiterd: debug listener (pprof, /metrics, /debug/rounds) on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, daemon.NewDebugMux(roundTrace)); err != nil {
+				log.Printf("arbiterd: debug listener: %v", err)
+			}
+		}()
 	}
 
 	if *interval > 0 {

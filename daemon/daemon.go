@@ -7,12 +7,14 @@ package daemon
 
 import (
 	"fmt"
+	"net/http"
 
 	"themis"
 	"themis/internal/core"
 	"themis/internal/hyperparam"
 	"themis/internal/rpc"
 	"themis/internal/shard"
+	"themis/internal/telemetry"
 )
 
 // Servers and clients of the HTTP protocol. ArbiterServer exposes Handler
@@ -32,7 +34,20 @@ type (
 	Membership = shard.Membership
 	// MembershipConfig tunes the gossip heartbeat and suspicion timeouts.
 	MembershipConfig = shard.MembershipConfig
+	// RoundRing traces the last auction rounds' phase spans; ArbiterServer
+	// and ShardedArbiter expose theirs via RoundTrace(), /debug/rounds
+	// serves it as JSON, and arbiterd dumps it on SIGQUIT.
+	RoundRing = telemetry.RoundRing
 )
+
+// NewDebugMux returns the opt-in debug surface a daemon serves on its
+// -debug-addr: /metrics and /healthz (also present on the main listener),
+// /debug/rounds over ring (nil serves an empty trace) and net/http/pprof
+// under /debug/pprof/. It is a separate mux precisely so profiling endpoints
+// never ride on the public protocol listener.
+func NewDebugMux(ring *RoundRing) http.Handler {
+	return telemetry.DebugMux(telemetry.Default(), ring)
+}
 
 // Wire types crossing the protocol boundary.
 type (

@@ -103,6 +103,39 @@ type ShardedLoadResult struct {
 	// holdings; ParityFrac normalises it by the granted total.
 	ParityL1   int
 	ParityFrac float64
+
+	// SinglePhases / ShardedPhases break each deployment's round time into
+	// the auction's phases, cumulative across rounds (and shards). The gap
+	// between a deployment's wall-clock seconds and its phase sum is the
+	// serving layer: reclaim, grant, aggregation.
+	SinglePhases  PhaseSeconds
+	ShardedPhases PhaseSeconds
+}
+
+// PhaseSeconds is the cumulative in-auction time of one deployment, split
+// the way the arbiter's round telemetry splits it. Reconcile is only nonzero
+// for the sharded deployment (its cross-shard leftover pass).
+type PhaseSeconds struct {
+	Probe, Bid, Solve, Leftover, Reconcile float64
+}
+
+func (p PhaseSeconds) String() string {
+	s := fmt.Sprintf("probe %.3fs, bid %.3fs, solve %.3fs, leftover %.3fs", p.Probe, p.Bid, p.Solve, p.Leftover)
+	if p.Reconcile > 0 {
+		s += fmt.Sprintf(", reconcile %.3fs", p.Reconcile)
+	}
+	return s
+}
+
+// Summary renders the study outcome with the per-phase breakdown — where
+// each deployment's round time actually went, not just how long it took.
+func (r ShardedLoadResult) Summary() string {
+	return fmt.Sprintf(
+		"%d agents, %d rounds: single %.3fs (%s) vs %d shards %.3fs (%s), speedup %.1fx, granted %d/%d, parity L1 %d (%.1f%%)",
+		r.Agents, r.Rounds,
+		r.SingleSeconds, r.SinglePhases,
+		r.Shards, r.ShardedSeconds, r.ShardedPhases,
+		r.Speedup, r.SingleGranted, r.ShardedGranted, r.ParityL1, 100*r.ParityFrac)
 }
 
 // loadBidder is the study's simulated app: deterministic ρ from its index
@@ -288,6 +321,24 @@ func ShardedLoadStudy(opts ShardedLoadOptions) (ShardedLoadResult, error) {
 		res.ShardedThroughput = agentRounds / res.ShardedSeconds
 		res.Speedup = res.SingleSeconds / res.ShardedSeconds
 	}
+
+	// Phase breakdowns come from the arbiters' cumulative round telemetry;
+	// the sharded deployment sums its shards and adds the reconciliation
+	// pass the single arbiter does not have.
+	st := single.Arbiter().Stats
+	res.SinglePhases = PhaseSeconds{
+		Probe: st.ProbeTime.Seconds(), Bid: st.BidTime.Seconds(),
+		Solve: st.SolveTime.Seconds(), Leftover: st.LeftoverTime.Seconds(),
+	}
+	for i := 0; i < sharded.NumShards(); i++ {
+		st := sharded.Shard(i).Arbiter().Stats
+		res.ShardedPhases.Probe += st.ProbeTime.Seconds()
+		res.ShardedPhases.Bid += st.BidTime.Seconds()
+		res.ShardedPhases.Solve += st.SolveTime.Seconds()
+		res.ShardedPhases.Leftover += st.LeftoverTime.Seconds()
+	}
+	_, _, recTime := sharded.ReconcileStats()
+	res.ShardedPhases.Reconcile = recTime.Seconds()
 
 	for i := 0; i < opts.Agents; i++ {
 		id := workload.AppID(fmt.Sprintf("load-%06d", i))

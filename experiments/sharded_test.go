@@ -22,9 +22,7 @@ func TestShardedLoadStudySeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("seed: single %.3fs, sharded %.3fs, speedup %.1fx, granted %d/%d, parity L1 %d (%.1f%%)",
-		res.SingleSeconds, res.ShardedSeconds, res.Speedup,
-		res.SingleGranted, res.ShardedGranted, res.ParityL1, 100*res.ParityFrac)
+	t.Logf("seed: %s", res.Summary())
 
 	total := 16 * 8
 	if res.SingleGranted != total {
@@ -54,10 +52,10 @@ func TestShardedLoadStudyFullScale(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("full: single %.2fs (%.0f agent-rounds/s, worst round %.2fs), sharded %.2fs (%.0f agent-rounds/s, worst round %.2fs), speedup %.1fx, parity L1 %d (%.1f%%)",
-		res.SingleSeconds, res.SingleThroughput, res.MaxRoundSecondsSingle,
-		res.ShardedSeconds, res.ShardedThroughput, res.MaxRoundSecondsSharded,
-		res.Speedup, res.ParityL1, 100*res.ParityFrac)
+	t.Logf("full: %s (throughput %.0f vs %.0f agent-rounds/s, worst round %.2fs vs %.2fs)",
+		res.Summary(),
+		res.SingleThroughput, res.ShardedThroughput,
+		res.MaxRoundSecondsSingle, res.MaxRoundSecondsSharded)
 
 	if res.SingleGranted != 160*8 {
 		t.Errorf("single granted %d, want full capacity %d (full subscription)", res.SingleGranted, 160*8)

@@ -58,10 +58,23 @@ type Arbiter struct {
 
 	// Stats accumulates scheduling telemetry (auction counts, latencies).
 	Stats ArbiterStats
+
+	// lastRound is the phase breakdown of the most recent OfferResources
+	// call. Written by OfferResources, so reading it is only safe when no
+	// round is in flight — the rpc layer reads it under its auctionMu,
+	// immediately after the round returns.
+	lastRound RoundPhases
 }
 
+// LastRound returns the phase breakdown of the most recent auction round.
+// It must not be called concurrently with OfferResources; the serving layer
+// reads it under the same lock that serialises rounds.
+func (a *Arbiter) LastRound() RoundPhases { return a.lastRound }
+
 // ArbiterStats records telemetry about the auctions an Arbiter has run,
-// mirroring the overheads the paper reports in §8.3.2.
+// mirroring the overheads the paper reports in §8.3.2 plus the per-phase
+// breakdown the runtime telemetry exposes (cumulative across rounds; see
+// LastRound for the most recent round alone).
 type ArbiterStats struct {
 	Auctions           int
 	OffersMade         int
@@ -71,6 +84,38 @@ type ArbiterStats struct {
 	MaxAuctionTime     time.Duration
 	TruthfulPayments   float64 // sum of (1 − c_i) over winners
 	WinnersWithNothing int
+	// Cumulative per-phase time across all rounds: ρ probes + offer
+	// selection, bid preparation, winner determination (solver + hidden
+	// payments), and the leftover pass.
+	ProbeTime    time.Duration
+	BidTime      time.Duration
+	SolveTime    time.Duration
+	LeftoverTime time.Duration
+	// AuctionWinners counts apps that won a non-empty auction allocation.
+	AuctionWinners int
+}
+
+// RoundPhases is one auction round's phase breakdown — what OfferResources
+// just spent its time on, and what came out. The rpc layer copies it into
+// round-duration metrics and the /debug/rounds trace ring after every round;
+// experiments.ShardedLoadStudy aggregates it into its summary.
+type RoundPhases struct {
+	// Probe covers the ρ probes and worst-1−f offer selection; Bid the
+	// batched bid preparation; Solve the partial-allocation auction (winner
+	// determination + hidden payments); Leftover the work-conserving
+	// leftover pass. Total is the whole OfferResources call.
+	Probe    time.Duration
+	Bid      time.Duration
+	Solve    time.Duration
+	Leftover time.Duration
+	Total    time.Duration
+
+	Agents       int // agents probed
+	Participants int // agents that received the offer and bid
+	Winners      int // apps with a non-empty auction allocation
+	OfferedGPUs  int
+	GrantedGPUs  int // auction wins + leftover grants
+	LeftoverGPUs int // unallocated by the auction, before the leftover pass
 }
 
 // NewArbiter builds an Arbiter over topo with the given configuration.
@@ -140,6 +185,7 @@ func (a *Arbiter) OfferResources(now float64, free cluster.Alloc, agents []Agent
 	start := time.Now()
 	a.Stats.Auctions++
 	a.Stats.GPUsAuctioned += free.Total()
+	a.lastRound = RoundPhases{Agents: len(agents), OfferedGPUs: free.Total()}
 
 	// Step 1: probe every app for its current ρ.
 	ps := make([]probedAgent, 0, len(agents))
@@ -158,14 +204,21 @@ func (a *Arbiter) OfferResources(now float64, free cluster.Alloc, agents []Agent
 		participants = n
 	}
 	a.Stats.OffersMade += participants
+	probed := time.Now()
+	a.lastRound.Probe = probed.Sub(start)
+	a.lastRound.Participants = participants
 
 	// Step 3: collect bids from the participants, batched through the
 	// Arbiter's valuator so the round reuses the previous round's scratch.
 	bidding := ps[:participants]
 	bids := a.val.prepareBids(now, free, bidding)
+	bid := time.Now()
+	a.lastRound.Bid = bid.Sub(probed)
 
 	// Step 4: partial allocation over the bids.
 	auction, err := RunPartialAllocation(a.topo, free, bids, a.cfg.Auction)
+	solved := time.Now()
+	a.lastRound.Solve = solved.Sub(bid)
 	if err != nil {
 		return nil, err
 	}
@@ -181,14 +234,17 @@ func (a *Arbiter) OfferResources(now float64, free cluster.Alloc, agents []Agent
 			a.Stats.WinnersWithNothing++
 			continue
 		}
+		a.lastRound.Winners++
 		out = append(out, Allocation{App: id, Alloc: alloc, FromAuction: true, Rho: rhoOfWin(bidByApp[id], alloc)})
 	}
+	a.Stats.AuctionWinners += a.lastRound.Winners
 
 	// Step 5 (leftovers): GPUs unallocated by the auction go to apps that
 	// did not participate, one at a time, placement sensitively; if none can
 	// use them, participants may take them so no GPU is left idle.
 	leftover := auction.Leftover
 	a.Stats.GPUsLeftOver += leftover.Total()
+	a.lastRound.LeftoverGPUs = leftover.Total()
 	if leftover.Total() > 0 {
 		nonParticipants := ps[participants:]
 		grants := make(map[workload.AppID]cluster.Alloc)
@@ -209,11 +265,21 @@ func (a *Arbiter) OfferResources(now float64, free cluster.Alloc, agents []Agent
 		}
 	}
 
-	elapsed := time.Since(start)
+	end := time.Now()
+	elapsed := end.Sub(start)
 	a.Stats.TotalAuctionTime += elapsed
 	if elapsed > a.Stats.MaxAuctionTime {
 		a.Stats.MaxAuctionTime = elapsed
 	}
+	a.lastRound.Leftover = end.Sub(solved)
+	a.lastRound.Total = elapsed
+	for _, d := range out {
+		a.lastRound.GrantedGPUs += d.Alloc.Total()
+	}
+	a.Stats.ProbeTime += a.lastRound.Probe
+	a.Stats.BidTime += a.lastRound.Bid
+	a.Stats.SolveTime += a.lastRound.Solve
+	a.Stats.LeftoverTime += a.lastRound.Leftover
 	sort.Slice(out, func(i, j int) bool { return out[i].App < out[j].App })
 	return out, nil
 }

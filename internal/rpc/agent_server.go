@@ -8,6 +8,7 @@ import (
 
 	"themis/internal/cluster"
 	"themis/internal/core"
+	"themis/internal/telemetry"
 )
 
 // AgentServer exposes one app's Agent over HTTP: the Arbiter probes it for ρ
@@ -33,15 +34,20 @@ func (s *AgentServer) Current() cluster.Alloc {
 	return s.current.Clone()
 }
 
-// Handler returns the HTTP handler implementing the Agent protocol.
+// Handler returns the HTTP handler implementing the Agent protocol. Protocol
+// endpoints carry per-endpoint latency and status-class metrics; /metrics and
+// /healthz serve the same operational surface as the arbiter daemons.
 func (s *AgentServer) Handler() http.Handler {
+	reg := telemetry.Default()
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/health", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/v1/health", telemetry.Instrument(reg, "/v1/health", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]string{"status": "ok", "app": string(s.agent.ID())})
-	})
-	mux.HandleFunc("/v1/rho", s.handleRho)
-	mux.HandleFunc("/v1/bid", s.handleBid)
-	mux.HandleFunc("/v1/allocation", s.handleAllocation)
+	}))
+	mux.HandleFunc("/v1/rho", telemetry.Instrument(reg, "/v1/rho", s.handleRho))
+	mux.HandleFunc("/v1/bid", telemetry.Instrument(reg, "/v1/bid", s.handleBid))
+	mux.HandleFunc("/v1/allocation", telemetry.Instrument(reg, "/v1/allocation", s.handleAllocation))
+	mux.Handle("/metrics", telemetry.MetricsHandler(reg))
+	mux.Handle("/healthz", telemetry.HealthzHandler())
 	return mux
 }
 

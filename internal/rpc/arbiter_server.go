@@ -11,6 +11,7 @@ import (
 	"themis/internal/core"
 	"themis/internal/placement"
 	"themis/internal/shard"
+	"themis/internal/telemetry"
 	"themis/internal/workload"
 )
 
@@ -146,6 +147,15 @@ type ArbiterServer struct {
 	arbiter *core.Arbiter
 	topo    *cluster.Topology
 
+	// shardLabel is the shard value on every metric series this server
+	// records: "single" for an unsharded deployment, the shard index inside
+	// a ShardedArbiterServer. tel holds the bound metric handles and ring
+	// the last rounds' phase traces; both are installed by bindTelemetry
+	// before any round can run.
+	shardLabel string
+	tel        *serverTelemetry
+	ring       *telemetry.RoundRing
+
 	// Clock returns the current scheduling time in minutes; the default uses
 	// wall-clock minutes since the server was created.
 	Clock func() float64
@@ -168,8 +178,17 @@ type ArbiterServer struct {
 
 // NewArbiterServer builds a server around an Arbiter and its topology.
 func NewArbiterServer(arb *core.Arbiter) *ArbiterServer {
+	s := newArbiterServerUnbound(arb)
+	s.bindTelemetry("single")
+	return s
+}
+
+// newArbiterServerUnbound builds the server without binding metric handles;
+// the sharded constructor uses it so a shard never registers the "single"
+// series it would immediately abandon.
+func newArbiterServerUnbound(arb *core.Arbiter) *ArbiterServer {
 	start := time.Now()
-	return &ArbiterServer{
+	s := &ArbiterServer{
 		arbiter:   arb,
 		topo:      arb.Topology(),
 		Clock:     func() float64 { return time.Since(start).Minutes() },
@@ -177,18 +196,44 @@ func NewArbiterServer(arb *core.Arbiter) *ArbiterServer {
 		state:     cluster.NewState(arb.Topology()),
 		leases:    core.NewLeaseTable(),
 		agents:    make(map[workload.AppID]*registeredAgent),
+		ring:      telemetry.NewRoundRing(64),
 	}
+	return s
 }
 
-// Handler returns the HTTP handler implementing the Arbiter protocol.
+// bindTelemetry points the server's metric handles at the given shard label.
+// NewArbiterServer binds "single"; the sharded constructor rebinds each shard
+// to its index before any round runs (rebinding later would split series
+// mid-flight).
+func (s *ArbiterServer) bindTelemetry(shard string) {
+	s.shardLabel = shard
+	s.tel = newServerTelemetry(telemetry.Default(), shard)
+}
+
+// Arbiter returns the wrapped core Arbiter; experiments read its cumulative
+// phase timing stats after a run.
+func (s *ArbiterServer) Arbiter() *core.Arbiter { return s.arbiter }
+
+// RoundTrace returns the ring holding the last auction rounds' phase traces;
+// /debug/rounds serves it as JSON and arbiterd dumps it on SIGQUIT.
+func (s *ArbiterServer) RoundTrace() *telemetry.RoundRing { return s.ring }
+
+// Handler returns the HTTP handler implementing the Arbiter protocol. Every
+// protocol endpoint is instrumented with per-endpoint latency and status-class
+// counters; the handler additionally serves the operational surface —
+// /metrics (Prometheus text), /healthz and /debug/rounds (round trace ring).
 func (s *ArbiterServer) Handler() http.Handler {
+	reg := telemetry.Default()
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/register", s.handleRegister)
-	mux.HandleFunc("/v1/auction", s.handleAuction)
-	mux.HandleFunc("/v1/status", s.handleStatus)
-	mux.HandleFunc("/v1/health", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/v1/register", telemetry.Instrument(reg, "/v1/register", s.handleRegister))
+	mux.HandleFunc("/v1/auction", telemetry.Instrument(reg, "/v1/auction", s.handleAuction))
+	mux.HandleFunc("/v1/status", telemetry.Instrument(reg, "/v1/status", s.handleStatus))
+	mux.HandleFunc("/v1/health", telemetry.Instrument(reg, "/v1/health", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]string{"status": "ok"})
-	})
+	}))
+	mux.Handle("/metrics", telemetry.MetricsHandler(reg))
+	mux.Handle("/healthz", telemetry.HealthzHandler())
+	mux.Handle("/debug/rounds", telemetry.RoundsHandler(s.ring))
 	return mux
 }
 
@@ -199,6 +244,7 @@ func (s *ArbiterServer) RegisterBidder(b core.Bidder) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.agents[b.ID()] = &registeredAgent{bidder: b}
+	s.tel.agents.Set(int64(len(s.agents)))
 }
 
 // register installs a remote agent from a wire request, returning whether an
@@ -228,6 +274,7 @@ func (s *ArbiterServer) register(req RegisterRequest) (RegisterResponse, error) 
 		},
 		notify: client,
 	}
+	s.tel.agents.Set(int64(len(s.agents)))
 	s.mu.Unlock()
 	return RegisterResponse{OK: true, LeaseMin: s.arbiter.Config().LeaseDuration, Updated: updated}, nil
 }
@@ -351,12 +398,16 @@ func (s *ArbiterServer) auctionRound(now float64) (AuctionResponse, map[workload
 	s.auctionMu.Lock()
 	defer s.auctionMu.Unlock()
 
+	start := time.Now()
+	rd := telemetry.Round{Wall: start, Shard: s.shardLabel, Now: now}
+
 	s.mu.Lock()
 	// Reclaim expired leases.
 	changed := make(map[workload.AppID]bool)
 	for _, l := range s.leases.Expired(now) {
 		if err := s.state.Release(string(l.App), l.Alloc); err != nil {
 			s.mu.Unlock()
+			s.tel.errors.Inc()
 			return AuctionResponse{}, nil, fmt.Errorf("rpc: releasing expired lease for %s: %w", l.App, err)
 		}
 		changed[l.App] = true
@@ -375,17 +426,38 @@ func (s *ArbiterServer) auctionRound(now float64) (AuctionResponse, map[workload
 		}
 		states = append(states, core.AgentState{Agent: b, Current: cur})
 	}
+	leases := s.leases.Len()
 	s.mu.Unlock()
+	rd.AddSpan("reclaim", 0, time.Since(start))
+	rd.Agents = len(states)
+	rd.Offered = free.Total()
 
 	resp := AuctionResponse{Now: now, Offered: free.Total(), Decisions: make(map[string]WireAlloc)}
 	if free.Total() == 0 || len(states) == 0 {
+		// Nothing to auction is still a completed round: the rounds counter
+		// and trace ring advance so a quiet cluster is visibly quiet rather
+		// than silently unobserved.
+		s.finishRound(&rd, start, leases, free.Total())
 		return resp, changed, nil
 	}
+	offerStart := time.Since(start)
 	decisions, err := s.arbiter.OfferResources(now, free, states)
 	if err != nil {
+		s.tel.errors.Inc()
 		return AuctionResponse{}, nil, err
 	}
+	// The Arbiter's phase breakdown is stable here: rounds are serialised by
+	// auctionMu, so LastRound still describes the call above.
+	ph := s.arbiter.LastRound()
+	rd.AddSpan("probe", offerStart, ph.Probe)
+	rd.AddSpan("bid", offerStart+ph.Probe, ph.Bid)
+	rd.AddSpan("solve", offerStart+ph.Probe+ph.Bid, ph.Solve)
+	rd.AddSpan("leftover", offerStart+ph.Probe+ph.Bid+ph.Solve, ph.Leftover)
+	rd.Winners = ph.Winners
+	rd.Granted = ph.GrantedGPUs
+	rd.Leftover = ph.LeftoverGPUs
 
+	grantStart := time.Since(start)
 	s.mu.Lock()
 	s.auctions++
 	lease := s.arbiter.Config().LeaseDuration
@@ -393,17 +465,31 @@ func (s *ArbiterServer) auctionRound(now float64) (AuctionResponse, map[workload
 	for _, d := range decisions {
 		if err := s.state.Grant(string(d.App), d.Alloc); err != nil {
 			s.mu.Unlock()
+			s.tel.errors.Inc()
 			return AuctionResponse{}, nil, fmt.Errorf("rpc: applying allocation for %s: %w", d.App, err)
 		}
 		s.leases.Grant(d.App, d.Alloc, now, lease)
 		changed[d.App] = true
 		granted[d.App] = granted[d.App].Add(d.Alloc)
 	}
+	leases = s.leases.Len()
+	freeGPUs := s.state.TotalFree()
 	s.mu.Unlock()
+	rd.AddSpan("grant", grantStart, time.Since(start)-grantStart)
 	for id, alloc := range granted {
 		resp.Decisions[string(id)] = ToWireAlloc(alloc)
 	}
+	s.finishRound(&rd, start, leases, freeGPUs)
 	return resp, changed, nil
+}
+
+// finishRound stamps the round's total duration and folds it into the metric
+// handles and the trace ring. Called under auctionMu (never under mu), once
+// per completed round — empty rounds included.
+func (s *ArbiterServer) finishRound(rd *telemetry.Round, start time.Time, leases, freeGPUs int) {
+	rd.Total = time.Since(start)
+	lent, parked := s.arbiter.ValuationArenaStats()
+	s.tel.record(rd, s.ring, leases, freeGPUs, lent, parked)
 }
 
 // reconcileGrant hands chunk free GPUs to app during the sharded

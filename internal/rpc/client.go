@@ -11,7 +11,40 @@ import (
 
 	"themis/internal/cluster"
 	"themis/internal/core"
+	"themis/internal/telemetry"
 )
+
+// clientErrors counts transport failures per endpoint. The map is built once
+// at init over the protocol's fixed endpoint set and never written again, so
+// the failure path reads it without a lock; unknown paths (none exist today)
+// fall back to the catch-all "other" series.
+var clientErrors = func() map[string]*telemetry.Counter {
+	reg := telemetry.Default()
+	m := make(map[string]*telemetry.Counter)
+	for _, p := range []string{
+		"/v1/rho", "/v1/bid", "/v1/allocation", "/v1/health",
+		"/v1/register", "/v1/auction", "/v1/status", "/v1/shards", "other",
+	} {
+		m[p] = reg.Counter("themis_rpc_client_errors_total",
+			"Transport failures calling a remote agent or arbiter, by endpoint.",
+			telemetry.L("endpoint", p))
+	}
+	return m
+}()
+
+// transportError records a failed attempt and wraps err with the method,
+// endpoint and attempt duration, so the /metrics error counters and the log
+// line a caller prints agree on which endpoint failed and how long the
+// attempt ran (a timeout after 10s and a refused connection after 1ms look
+// identical without it).
+func transportError(method, path string, start time.Time, err error) error {
+	c, ok := clientErrors[path]
+	if !ok {
+		c = clientErrors["other"]
+	}
+	c.Inc()
+	return fmt.Errorf("rpc: %s %s failed after %s: %w", method, path, time.Since(start).Round(100*time.Microsecond), err)
+}
 
 // AgentClient is the Arbiter-side client for one registered Agent.
 type AgentClient struct {
@@ -57,9 +90,10 @@ func (c *AgentClient) post(ctx context.Context, path string, in, out any) error 
 		return fmt.Errorf("rpc: building request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
 	resp, err := c.client().Do(req)
 	if err != nil {
-		return fmt.Errorf("rpc: calling %s: %w", path, err)
+		return transportError(http.MethodPost, path, start, err)
 	}
 	defer drainAndClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
@@ -85,9 +119,10 @@ func (c *AgentClient) get(ctx context.Context, path string, out any) error {
 	if err != nil {
 		return fmt.Errorf("rpc: building request: %w", err)
 	}
+	start := time.Now()
 	resp, err := c.client().Do(req)
 	if err != nil {
-		return fmt.Errorf("rpc: calling %s: %w", path, err)
+		return transportError(http.MethodGet, path, start, err)
 	}
 	defer drainAndClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"themis/internal/cluster"
 	"themis/internal/core"
 	"themis/internal/shard"
+	"themis/internal/telemetry"
 	"themis/internal/workload"
 )
 
@@ -52,9 +54,16 @@ type ShardedArbiterServer struct {
 	// /v1/shards; the arbiterd -join mode installs it.
 	Membership *shard.Membership
 
-	mu         sync.Mutex
-	reconciled int
-	rounds     int
+	// tel holds the deployment-wide metric handles (shard-level series live
+	// on each shard's own ArbiterServer); globalRing traces the coarse
+	// phases of the last sharded rounds.
+	tel        *shardedTelemetry
+	globalRing *telemetry.RoundRing
+
+	mu            sync.Mutex
+	reconciled    int
+	rounds        int
+	reconcileTime time.Duration
 }
 
 // NewShardedArbiterServer partitions topo into n shards under cfg. Every
@@ -69,19 +78,22 @@ func NewShardedArbiterServer(topo *cluster.Topology, cfg core.Config, n int) (*S
 	}
 	start := time.Now()
 	s := &ShardedArbiterServer{
-		topo:     topo,
-		ring:     shard.NewRing(shard.DefaultVirtualNodes),
-		shardIdx: make(map[string]int, n),
-		Clock:    func() float64 { return time.Since(start).Minutes() },
+		topo:       topo,
+		ring:       shard.NewRing(shard.DefaultVirtualNodes),
+		shardIdx:   make(map[string]int, n),
+		Clock:      func() float64 { return time.Since(start).Minutes() },
+		tel:        newShardedTelemetry(telemetry.Default()),
+		globalRing: telemetry.NewRoundRing(64),
 	}
 	for i, p := range parts {
 		arb, err := core.NewArbiter(p.Topo, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("rpc: shard %d arbiter: %w", i, err)
 		}
-		srv := NewArbiterServer(arb)
+		srv := newArbiterServerUnbound(arb)
 		srv.Part = p
 		srv.Clock = func() float64 { return s.Clock() }
+		srv.bindTelemetry(strconv.Itoa(i))
 		s.shards = append(s.shards, srv)
 		s.parts = append(s.parts, p)
 		name := shardName(i)
@@ -160,6 +172,9 @@ func (s *ShardedArbiterServer) ValidateState() error {
 // round, then one aggregated delivery per changed app. The returned decisions
 // are in global machine IDs.
 func (s *ShardedArbiterServer) RunAuction(now float64) (AuctionResponse, error) {
+	start := time.Now()
+	rd := telemetry.Round{Wall: start, Shard: "all", Now: now}
+
 	n := len(s.shards)
 	resps := make([]AuctionResponse, n)
 	changed := make([]map[workload.AppID]bool, n)
@@ -174,6 +189,7 @@ func (s *ShardedArbiterServer) RunAuction(now float64) (AuctionResponse, error) 
 		}(i)
 	}
 	wg.Wait()
+	rd.AddSpan("shards", 0, time.Since(start))
 	for i, err := range errs {
 		if err != nil {
 			return AuctionResponse{}, fmt.Errorf("rpc: shard %d auction: %w", i, err)
@@ -197,25 +213,61 @@ func (s *ShardedArbiterServer) RunAuction(now float64) (AuctionResponse, error) 
 		}
 	}
 
+	recStart := time.Since(start)
 	reconciled, err := s.reconcile(now, allChanged)
 	if err != nil {
 		return AuctionResponse{}, err
 	}
+	recDur := time.Since(start) - recStart
+	rd.AddSpan("reconcile", recStart, recDur)
 	for app, alloc := range reconciled {
 		granted[app] = granted[app].Add(alloc)
 	}
+	grantedGPUs := 0
 	for app, alloc := range granted {
 		resp.Decisions[string(app)] = ToWireAlloc(alloc)
 		resp.Reconciled += reconciled[app].Total()
+		grantedGPUs += alloc.Total()
 	}
 
 	s.mu.Lock()
 	s.rounds++
 	s.reconciled += resp.Reconciled
+	s.reconcileTime += recDur
 	s.mu.Unlock()
 
+	delStart := time.Since(start)
 	s.deliver(now, allChanged)
+	delDur := time.Since(start) - delStart
+	rd.AddSpan("deliver", delStart, delDur)
+
+	rd.Total = time.Since(start)
+	rd.Offered = resp.Offered
+	rd.Granted = grantedGPUs
+	rd.Reconciled = resp.Reconciled
+	rd.Winners = len(resp.Decisions)
+	s.tel.rounds.Inc()
+	s.tel.reconciled.Add(uint64(resp.Reconciled))
+	s.tel.roundDur.ObserveDuration(rd.Total)
+	s.tel.shardsDur.ObserveDuration(rd.Spans()[0].Dur)
+	s.tel.reconcileDur.ObserveDuration(recDur)
+	s.tel.deliverDur.ObserveDuration(delDur)
+	s.globalRing.Record(rd)
 	return resp, nil
+}
+
+// RoundTrace returns the deployment-wide trace ring: one entry per sharded
+// round with its coarse phases (shards, reconcile, deliver). The fine-grained
+// per-shard phases live on each Shard(i).RoundTrace().
+func (s *ShardedArbiterServer) RoundTrace() *telemetry.RoundRing { return s.globalRing }
+
+// ReconcileStats reports the cumulative reconciliation telemetry: completed
+// sharded rounds, leftover GPUs re-offered across shards, and the total time
+// spent inside reconciliation rounds.
+func (s *ShardedArbiterServer) ReconcileStats() (rounds, gpus int, spent time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rounds, s.reconciled, s.reconcileTime
 }
 
 // starvedApp is one reconciliation candidate: an app with demand its own
@@ -410,8 +462,9 @@ func (s *ShardedArbiterServer) ShardStatus() ShardStatusResponse {
 // and /v1/gossip when membership is attached. Agents cannot tell whether
 // they registered with a sharded arbiter.
 func (s *ShardedArbiterServer) Handler() http.Handler {
+	reg := telemetry.Default()
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/register", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/v1/register", telemetry.Instrument(reg, "/v1/register", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 			return
@@ -426,8 +479,8 @@ func (s *ShardedArbiterServer) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, resp)
-	})
-	mux.HandleFunc("/v1/auction", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/v1/auction", telemetry.Instrument(reg, "/v1/auction", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
 			return
@@ -438,16 +491,19 @@ func (s *ShardedArbiterServer) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, resp)
-	})
-	mux.HandleFunc("/v1/status", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/v1/status", telemetry.Instrument(reg, "/v1/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.Status())
-	})
-	mux.HandleFunc("/v1/shards", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/v1/shards", telemetry.Instrument(reg, "/v1/shards", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.ShardStatus())
-	})
-	mux.HandleFunc("/v1/health", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/v1/health", telemetry.Instrument(reg, "/v1/health", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]string{"status": "ok"})
-	})
+	}))
+	mux.Handle("/metrics", telemetry.MetricsHandler(reg))
+	mux.Handle("/healthz", telemetry.HealthzHandler())
+	mux.Handle("/debug/rounds", telemetry.RoundsHandler(s.globalRing))
 	if s.Membership != nil {
 		mux.Handle("/v1/gossip", s.Membership.Handler())
 	}

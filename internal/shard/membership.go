@@ -10,7 +10,34 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"themis/internal/telemetry"
 )
+
+// membershipTelemetry holds the gossip metric handles: how many members the
+// local failure detector sees in each state, this member's incarnation (a
+// refutation bumps it, so a climbing incarnation means the group keeps
+// suspecting us), and exchange outcomes.
+type membershipTelemetry struct {
+	alive       *telemetry.Gauge
+	suspect     *telemetry.Gauge
+	dead        *telemetry.Gauge
+	incarnation *telemetry.Gauge
+	exchangeOK  *telemetry.Counter
+	exchangeErr *telemetry.Counter
+}
+
+func newMembershipTelemetry() *membershipTelemetry {
+	reg := telemetry.Default()
+	return &membershipTelemetry{
+		alive:       reg.Gauge("themis_gossip_members", "Members by failure-detector state, self included.", telemetry.L("state", "alive")),
+		suspect:     reg.Gauge("themis_gossip_members", "Members by failure-detector state, self included.", telemetry.L("state", "suspect")),
+		dead:        reg.Gauge("themis_gossip_members", "Members by failure-detector state, self included.", telemetry.L("state", "dead")),
+		incarnation: reg.Gauge("themis_gossip_incarnation", "This member's own incarnation number."),
+		exchangeOK:  reg.Counter("themis_gossip_exchanges_total", "Gossip exchanges by outcome.", telemetry.L("outcome", "ok")),
+		exchangeErr: reg.Counter("themis_gossip_exchanges_total", "Gossip exchanges by outcome.", telemetry.L("outcome", "error")),
+	}
+}
 
 // MemberState is a member's health as seen by the local failure detector.
 type MemberState string
@@ -110,6 +137,7 @@ type memberEntry struct {
 // incarnation.
 type Membership struct {
 	cfg MembershipConfig
+	tel *membershipTelemetry
 
 	mu    sync.Mutex
 	self  memberEntry
@@ -123,14 +151,44 @@ func NewMembership(cfg MembershipConfig) (*Membership, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Membership{
+	m := &Membership{
 		cfg: cfg,
+		tel: newMembershipTelemetry(),
 		self: memberEntry{
 			Member:   Member{Name: cfg.Name, Addr: cfg.Addr, Incarnation: 1, State: StateAlive},
 			lastSeen: cfg.Clock(),
 		},
 		peers: make(map[string]*memberEntry),
-	}, nil
+	}
+	m.mu.Lock()
+	m.updateGaugesLocked()
+	m.mu.Unlock()
+	return m, nil
+}
+
+// updateGaugesLocked recomputes the state gauges from the table. Callers hold
+// mu; the walk is over a handful of members, so holding the lock through it
+// is cheaper than the bookkeeping to avoid it.
+func (m *Membership) updateGaugesLocked() {
+	var alive, suspect, dead int64
+	count := func(s MemberState) {
+		switch s {
+		case StateDead:
+			dead++
+		case StateSuspect:
+			suspect++
+		default:
+			alive++
+		}
+	}
+	count(m.self.State)
+	for _, p := range m.peers {
+		count(p.State)
+	}
+	m.tel.alive.Set(alive)
+	m.tel.suspect.Set(suspect)
+	m.tel.dead.Set(dead)
+	m.tel.incarnation.Set(int64(m.self.Incarnation))
 }
 
 // Name returns this member's name.
@@ -211,6 +269,7 @@ func (m *Membership) Merge(remote []Member) {
 	now := m.cfg.Clock()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	defer m.updateGaugesLocked()
 	for _, r := range remote {
 		if r.Name == m.cfg.Name {
 			if r.State != StateAlive && r.Incarnation >= m.self.Incarnation {
@@ -244,6 +303,7 @@ func (m *Membership) observed(name string) {
 	now := m.cfg.Clock()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	defer m.updateGaugesLocked()
 	if p, ok := m.peers[name]; ok {
 		p.lastSeen = now
 		if p.State != StateAlive {
@@ -262,6 +322,7 @@ func (m *Membership) Sweep() []string {
 	now := m.cfg.Clock()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	defer m.updateGaugesLocked()
 	var changed []string
 	for name, p := range m.peers {
 		silent := now.Sub(p.lastSeen)
@@ -307,7 +368,14 @@ func (m *Membership) Handler() http.Handler {
 }
 
 // exchange gossips with the peer at addr: push our table, merge the reply.
-func (m *Membership) exchange(ctx context.Context, name, addr string) error {
+func (m *Membership) exchange(ctx context.Context, name, addr string) (err error) {
+	defer func() {
+		if err != nil {
+			m.tel.exchangeErr.Inc()
+		} else {
+			m.tel.exchangeOK.Inc()
+		}
+	}()
 	body, err := json.Marshal(m.snapshot())
 	if err != nil {
 		return err

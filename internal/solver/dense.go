@@ -378,6 +378,7 @@ func (sc *scratch) solveGreedy(rounds int) {
 		}
 		if !improved {
 			if a, local, victim, ok := sc.findPairMove(); ok {
+				pairMoveCount.Inc()
 				sc.subTerms(sc.bundleAt(victim, int32(choice[victim])))
 				choice[victim] = int(sc.emptyIdx[victim])
 				sc.subTerms(sc.bundleAt(a, int32(choice[a])))

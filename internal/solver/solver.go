@@ -16,6 +16,17 @@ import (
 	"math"
 
 	"themis/internal/cluster"
+	"themis/internal/telemetry"
+)
+
+// Solver selection counters: the exact-vs-greedy split tells an operator
+// whether auction instances are staying under ExactLimit (where the solution
+// is provably optimal) or spilling into the heuristic. Single atomic adds —
+// the solver runs inside the allocation-free auction round.
+var (
+	solveExactCount  = telemetry.Default().Counter("themis_solver_solves_total", "Winner-determination solves by mode.", telemetry.L("mode", "exact"))
+	solveGreedyCount = telemetry.Default().Counter("themis_solver_solves_total", "Winner-determination solves by mode.", telemetry.L("mode", "greedy"))
+	pairMoveCount    = telemetry.Default().Counter("themis_solver_pair_moves_total", "Pair moves applied by the greedy local search (a bidder upgrades while a victim reverts to empty).")
 )
 
 // Bundle is one row of a bidder's valuation table: an allocation and the
@@ -129,8 +140,10 @@ func Solve(capacity cluster.Alloc, bidders []Bidder, opts Options) (Assignment, 
 		space *= len(b.Bundles)
 	}
 	if exact && space <= opts.ExactLimit {
+		solveExactCount.Inc()
 		sc.solveExact()
 	} else {
+		solveGreedyCount.Inc()
 		sc.solveGreedy(opts.LocalSearchRounds)
 	}
 	asg, obj := sc.result()

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// MetricsHandler serves reg in Prometheus text exposition format v0.0.4.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+}
+
+// HealthzHandler answers liveness probes with 200 "ok".
+func HealthzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+}
+
+// RoundsHandler serves ring's retained round traces as JSON. A nil ring
+// serves an empty document, so daemons without an arbiter (agentd) can mount
+// the same debug surface.
+func RoundsHandler(ring *RoundRing) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if ring == nil {
+			_, _ = w.Write([]byte("{\"rounds\": []}\n"))
+			return
+		}
+		_ = ring.WriteJSON(w)
+	})
+}
+
+// DebugMux builds the opt-in debug surface daemons serve behind -debug-addr:
+// /metrics, /healthz, /debug/rounds, and net/http/pprof under /debug/pprof/.
+// It is a separate mux by design — profiling endpoints can stall a process
+// for seconds and must never ride the public protocol listener.
+func DebugMux(reg *Registry, ring *RoundRing) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(reg))
+	mux.Handle("/healthz", HealthzHandler())
+	mux.Handle("/debug/rounds", RoundsHandler(ring))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// statusWriter captures the response status code for the request counters.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// endpointMetrics are the preallocated handles Instrument binds per endpoint:
+// a latency histogram and one counter per status class. Wrapping happens at
+// mux construction, so serving a request touches no registry locks.
+type endpointMetrics struct {
+	latency *Histogram
+	classes [6]*Counter // index code/100; 0 is the catch-all
+}
+
+func newEndpointMetrics(reg *Registry, endpoint string) *endpointMetrics {
+	m := &endpointMetrics{
+		latency: reg.Histogram("themis_http_request_seconds",
+			"HTTP request latency by endpoint.", nil, L("endpoint", endpoint)),
+	}
+	for c := range m.classes {
+		class := "unknown"
+		if c > 0 {
+			class = strconv.Itoa(c) + "xx"
+		}
+		m.classes[c] = reg.Counter("themis_http_requests_total",
+			"HTTP requests by endpoint and status class.",
+			L("endpoint", endpoint), L("class", class))
+	}
+	return m
+}
+
+// Instrument wraps an HTTP handler with per-endpoint latency and
+// status-class accounting against reg.
+func Instrument(reg *Registry, endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	m := newEndpointMetrics(reg, endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(&sw, r)
+		m.latency.ObserveDuration(time.Since(start))
+		class := sw.code / 100
+		if class < 1 || class >= len(m.classes) {
+			class = 0
+		}
+		m.classes[class].Inc()
+	}
+}

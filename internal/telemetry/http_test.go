@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsAndHealthzHandlers(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("probe_total", "A counter.").Add(5)
+	ring := NewRoundRing(4)
+	ring.Record(Round{Shard: "single", Offered: 8})
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(reg))
+	mux.Handle("/healthz", HealthzHandler())
+	mux.Handle("/debug/rounds", RoundsHandler(ring))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != 200 || !strings.Contains(body, "probe_total 5") {
+		t.Errorf("/metrics: code %d body %q", code, body)
+	}
+	if code, body = get(t, srv, "/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("/healthz: code %d body %q", code, body)
+	}
+	if code, body = get(t, srv, "/debug/rounds"); code != 200 || !strings.Contains(body, `"offered_gpus": 8`) {
+		t.Errorf("/debug/rounds: code %d body %q", code, body)
+	}
+}
+
+func TestDebugMuxServesPprof(t *testing.T) {
+	srv := httptest.NewServer(DebugMux(NewRegistry(), nil))
+	defer srv.Close()
+
+	if code, _ := get(t, srv, "/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline: code %d", code)
+	}
+	if code, body := get(t, srv, "/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index: code %d", code)
+	}
+	// Nil ring still serves an (empty) rounds document.
+	if code, body := get(t, srv, "/debug/rounds"); code != 200 || !strings.Contains(body, `"rounds": []`) {
+		t.Errorf("/debug/rounds with nil ring: code %d body %q", code, body)
+	}
+}
+
+func TestInstrumentCountsByClass(t *testing.T) {
+	reg := NewRegistry()
+	h := Instrument(reg, "/v1/test", func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Query().Get("mode") {
+		case "fail":
+			http.Error(w, "boom", http.StatusInternalServerError)
+		case "bad":
+			http.Error(w, "nope", http.StatusBadRequest)
+		default:
+			fmt.Fprint(w, "ok")
+		}
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/v1/test", h)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	for _, mode := range []string{"", "", "fail", "bad", "bad", "bad"} {
+		get(t, srv, "/v1/test?mode="+mode)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`themis_http_requests_total{class="2xx",endpoint="/v1/test"} 2`,
+		`themis_http_requests_total{class="4xx",endpoint="/v1/test"} 3`,
+		`themis_http_requests_total{class="5xx",endpoint="/v1/test"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, `themis_http_request_seconds_count{endpoint="/v1/test"} 6`) {
+		t.Errorf("latency histogram did not record 6 requests:\n%s", out)
+	}
+}
